@@ -1,0 +1,81 @@
+//! Wall-clock benches for the NIDS engine kernels (real time, next to the
+//! deterministic cycle model used for the figures): per-session processing
+//! cost for the heaviest modules, with and without coordination checks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nwdp_core::{build_units, AnalysisClass};
+use nwdp_engine::{standalone_coordination, AhoCorasick, CoordContext, Engine, Placement};
+use nwdp_hash::KeyedHasher;
+use nwdp_topo::{line, NodeId, PathDb};
+use nwdp_traffic::{generate_trace, NetTrace, TraceConfig, TrafficMatrix, VolumeModel};
+use std::hint::black_box;
+
+fn trace_1k() -> NetTrace {
+    let topo = line(2);
+    let tm = TrafficMatrix::uniform(&topo);
+    generate_trace(&topo, &tm, &TraceConfig::new(1000, 77))
+}
+
+fn bench_engine_pipeline(c: &mut Criterion) {
+    let trace = trace_1k();
+    let pkts: u64 = trace.total_packets() as u64;
+    let topo = line(2);
+    let paths = PathDb::shortest_paths(&topo);
+    let tm = TrafficMatrix::uniform(&topo);
+    let vol = VolumeModel::internet2_baseline();
+    let classes = AnalysisClass::standard_set();
+    let dep = build_units(&topo, &paths, &tm, &vol, &classes);
+    let (solo, manifest) = standalone_coordination(&dep, NodeId(0));
+    let names: Vec<String> = classes.iter().map(|c| c.name.clone()).collect();
+
+    let mut g = c.benchmark_group("engine_per_packet");
+    g.throughput(Throughput::Elements(pkts));
+    for placement in [Placement::Unmodified, Placement::EventEngine, Placement::PolicyEngine] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{placement:?}")),
+            &placement,
+            |b, &placement| {
+                b.iter(|| {
+                    let coord = match placement {
+                        Placement::Unmodified => None,
+                        _ => Some(CoordContext::new(&solo, &manifest)),
+                    };
+                    let mut engine = Engine::new(
+                        NodeId(0),
+                        placement,
+                        &names,
+                        coord,
+                        KeyedHasher::unkeyed(),
+                    );
+                    for s in &trace.sessions {
+                        engine.process_session(s);
+                    }
+                    black_box(engine.stats().cpu_cycles)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_signature_matching(c: &mut Criterion) {
+    let ac = AhoCorasick::new(&[
+        &b"msblast.exe"[..],
+        &b"\x90\x90\x90\x90\xeb\x1f"[..],
+        &b"cmd.exe /c tftp -i"[..],
+        &b"GET /admin"[..],
+    ]);
+    let clean: Vec<u8> = (0..1460u32).map(|i| (i * 31 % 200 + 32) as u8).collect();
+    let mut dirty = clean.clone();
+    dirty[700..711].copy_from_slice(b"msblast.exe");
+    let mut g = c.benchmark_group("aho_corasick_1460B");
+    g.throughput(Throughput::Bytes(1460));
+    g.bench_function("clean_payload", |b| b.iter(|| ac.is_match(black_box(&clean))));
+    g.bench_function("matching_payload", |b| {
+        b.iter(|| ac.scan(black_box(&dirty), |_, _| {}))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_pipeline, bench_signature_matching);
+criterion_main!(benches);

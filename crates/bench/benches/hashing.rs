@@ -1,0 +1,44 @@
+//! Wall-clock benches for the coordination-hashing substrate: the per-
+//! packet cost of the Fig 3 check is dominated by the Bob hash, so its
+//! throughput bounds the prototype's overhead (§2.3–2.4).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nwdp_hash::{lookup3, FiveTuple, FlowKeyKind, KeyedHasher, RangeSet};
+use std::hint::black_box;
+
+fn bench_lookup3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lookup3");
+    let data: Vec<u8> = (0..1500u32).map(|i| (i % 251) as u8).collect();
+    g.throughput(Throughput::Bytes(1500));
+    g.bench_function("hashlittle_1500B", |b| {
+        b.iter(|| lookup3::hashlittle(black_box(&data), 0))
+    });
+    let words = [0x0a000001u32, 0xc0a80107, 0x9c408050, 6];
+    g.bench_function("hashword_5tuple", |b| {
+        b.iter(|| lookup3::hashword(black_box(&words), black_box(0xdead)))
+    });
+    g.finish();
+}
+
+fn bench_coordination_check(c: &mut Criterion) {
+    // The full Fig 3 line-4/5 kernel: key extraction + keyed hash + range
+    // membership.
+    let hasher = KeyedHasher::with_key(0x5eed);
+    let range = RangeSet::interval(0.25, 0.5);
+    let tuple = FiveTuple::new(0x0a000001, 0x0a0a0101, 43210, 80, 6);
+    c.bench_function("fig3_check_bisession", |b| {
+        b.iter(|| {
+            let h = hasher.unit_hash(black_box(&tuple), FlowKeyKind::BiSession);
+            range.contains(h)
+        })
+    });
+    c.bench_function("fig3_check_source", |b| {
+        b.iter(|| {
+            let h = hasher.unit_hash(black_box(&tuple), FlowKeyKind::Source);
+            range.contains(h)
+        })
+    });
+}
+
+criterion_group!(benches, bench_lookup3, bench_coordination_check);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Wall-clock benches for the Fig 10 pipeline pieces: LP relaxation with
+//! lazy rows, one randomized-rounding run per strategy, and the exact
+//! min-cost-flow inner solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nwdp_core::nips::{
+    round_once, solve_inner_flow, solve_relaxation, NipsInstance, RoundingOpts, Strategy,
+};
+use nwdp_lp::rowgen::RowGenOpts;
+use nwdp_topo::{internet2, PathDb};
+use nwdp_traffic::{MatchRates, TrafficMatrix, VolumeModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn instance(n_rules: usize) -> NipsInstance {
+    let t = internet2();
+    let paths = PathDb::shortest_paths(&t);
+    let tm = TrafficMatrix::gravity(&t);
+    let vol = VolumeModel::internet2_baseline();
+    let rates = MatchRates::uniform_001(n_rules, paths.all_pairs().count(), 1);
+    NipsInstance::evaluation_setup(&t, &paths, &tm, &vol, n_rules, 0.15, rates)
+}
+
+fn bench_relaxation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nips_relaxation");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(12));
+    for &rules in &[10usize, 25] {
+        let inst = instance(rules);
+        g.bench_with_input(BenchmarkId::from_parameter(rules), &inst, |b, inst| {
+            b.iter(|| black_box(solve_relaxation(inst, &RowGenOpts::default()).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rounding(c: &mut Criterion) {
+    let inst = instance(15);
+    let relax = solve_relaxation(&inst, &RowGenOpts::default()).unwrap();
+    let mut g = c.benchmark_group("nips_round_once");
+    g.sample_size(10);
+    for strategy in [Strategy::ScaledFig9, Strategy::LpResolve, Strategy::GreedyLpResolve] {
+        let opts = RoundingOpts { strategy, iterations: 1, seed: 7, ..Default::default() };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &opts,
+            |b, opts| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(3);
+                    black_box(round_once(&inst, &relax, opts, &mut rng))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_inner_flow(c: &mut Criterion) {
+    let inst = instance(20);
+    let ehat: Vec<Vec<bool>> =
+        (0..20).map(|i| (0..inst.num_nodes).map(|j| (i + j) % 4 != 0).collect()).collect();
+    c.bench_function("inner_flow_20rules", |b| {
+        b.iter(|| black_box(solve_inner_flow(&inst, &ehat)))
+    });
+}
+
+criterion_group!(benches, bench_relaxation, bench_rounding, bench_inner_flow);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Wall-clock bench for one FPL epoch (oracle solve + bookkeeping): the
+//! per-epoch cost bounds how fast the online defense can adapt (§3.5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nwdp_core::nips::NipsInstance;
+use nwdp_online::{run_fpl, FplConfig, StochasticUniform};
+use nwdp_topo::{internet2, PathDb};
+use nwdp_traffic::{MatchRates, TrafficMatrix, VolumeModel};
+use std::hint::black_box;
+
+fn instance(n_rules: usize) -> NipsInstance {
+    let t = internet2();
+    let paths = PathDb::shortest_paths(&t);
+    let tm = TrafficMatrix::gravity(&t);
+    let vol = VolumeModel::internet2_baseline();
+    let rates = MatchRates::zeros(n_rules, paths.all_pairs().count());
+    let mut inst = NipsInstance::evaluation_setup(&t, &paths, &tm, &vol, n_rules, 1.0, rates);
+    inst.cam_cap = vec![f64::INFINITY; inst.num_nodes];
+    inst
+}
+
+fn bench_fpl_epochs(c: &mut Criterion) {
+    let inst = instance(10);
+    let mut g = c.benchmark_group("fpl");
+    g.sample_size(10);
+    g.bench_function("ten_epochs_10rules", |b| {
+        b.iter(|| {
+            let mut adv = StochasticUniform::new(10, inst.paths.len(), 0.01, 5);
+            let cfg = FplConfig { epochs: 10, seed: 2, ..Default::default() };
+            black_box(run_fpl(&inst, &mut adv, &cfg))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fpl_epochs);
+criterion_main!(benches);

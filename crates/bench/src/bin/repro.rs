@@ -1,0 +1,92 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! Usage: `repro [--quick] [--out DIR] [fig5 fig6 fig7 fig8 fig10 fig11 opt-time ext | all]`
+//!
+//! Results are written as CSV files under `--out` (default `results/`) and
+//! printed as ASCII tables.
+
+use nwdp_bench::output::Table;
+use nwdp_bench::{fig10, fig11, fig5, fig678, opttime, Scale};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = Scale::from_flag(quick);
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    let mut wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && Some(a.as_str()) != out.to_str())
+        .cloned()
+        .collect();
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = ["fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "opt-time", "ext"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    println!(
+        "repro: scale = {:?}, experiments = {wanted:?}, output = {}",
+        scale,
+        out.display()
+    );
+
+    for w in &wanted {
+        let started = std::time::Instant::now();
+        match w.as_str() {
+            "fig5" => {
+                let r = fig5::run(scale);
+                let (cpu, mem) = fig5::tables(&r);
+                emit(&cpu, &out, "fig5a_cpu_overhead");
+                emit(&mem, &out, "fig5b_mem_overhead");
+            }
+            "fig6" => {
+                let pts = fig678::fig6(scale);
+                emit(&fig678::table6(&pts), &out, "fig6_modules_sweep");
+            }
+            "fig7" => {
+                let pts = fig678::fig7(scale);
+                emit(&fig678::table7(&pts), &out, "fig7_volume_sweep");
+            }
+            "fig8" => {
+                let r = fig678::fig8(scale);
+                emit(&fig678::table8(&r), &out, "fig8_per_node");
+            }
+            "fig10" => {
+                let topos = fig10::topologies();
+                let pts = fig10::run(scale, &topos);
+                emit(&fig10::table(&pts), &out, "fig10_rounding_quality");
+            }
+            "fig11" => {
+                let runs = fig11::run(scale);
+                emit(&fig11::table(&runs), &out, "fig11_online_regret");
+                println!(
+                    "final worst-case normalized regret: {:.3} (paper: ≤ 0.15)",
+                    fig11::final_worst_regret(&runs)
+                );
+            }
+            "ext" => {
+                emit(&nwdp_bench::extensions::fine_grained_ablation(scale), &out, "ext_fine_grained");
+                emit(&nwdp_bench::extensions::redundancy_cost(scale), &out, "ext_redundancy_cost");
+                emit(&nwdp_bench::extensions::adversary_comparison(scale), &out, "ext_adversaries");
+            }
+            "opt-time" => {
+                let mut rows = vec![opttime::nids_lp_time(50, 50)];
+                let (n, rules) = if quick { (30, 25) } else { (50, 50) };
+                rows.push(opttime::nips_pipeline_time(n, rules, 51));
+                emit(&opttime::table(&rows), &out, "opt_time");
+            }
+            other => eprintln!("unknown experiment: {other}"),
+        }
+        println!("[{w} done in {:.1}s]\n", started.elapsed().as_secs_f64());
+    }
+}
+
+fn emit(t: &Table, out: &std::path::Path, name: &str) {
+    t.emit(out, name).expect("write results");
+}

@@ -1,0 +1,137 @@
+//! Experiments beyond the paper's plots, for the extensions it sketches:
+//! the §2.5 fine-grained coordination ablation, the §2.5 redundancy cost,
+//! and the §3.5 adversary-model comparison (future-work directions).
+
+use crate::output::{f2, f3, Table};
+use crate::scenario::{default_caps, NidsContext, Scale};
+use nwdp_core::nids::{solve_nids_lp, NidsLpConfig};
+use nwdp_core::nips::NipsInstance;
+use nwdp_core::{AnalysisClass, ClassScope, NidsDeployment};
+use nwdp_engine::{CoordContext, Engine, Placement};
+use nwdp_hash::KeyedHasher;
+use nwdp_online::{run_fpl, Adversary, FplConfig, Reactive, Shifting, StochasticUniform};
+use nwdp_topo::{internet2, NodeId, PathDb};
+use nwdp_traffic::{MatchRates, TrafficMatrix, VolumeModel};
+
+const MB: f64 = 1024.0 * 1024.0;
+
+/// §2.5 fine-grained coordination: per-node memory with and without
+/// lightweight connection records, coordinated deployment, 21 modules.
+pub fn fine_grained_ablation(scale: Scale) -> Table {
+    let ctx = NidsContext::internet2();
+    let dep = ctx.deployment(21);
+    let (_a, manifest) = ctx.manifests(&dep);
+    let trace = ctx.trace(scale.netwide_sessions().min(30_000), 777);
+    let names: Vec<String> = dep.classes.iter().map(|c| c.name.clone()).collect();
+    let h = KeyedHasher::with_key(0xF1FE);
+
+    let run = |fine: bool| -> Vec<(u64, u64)> {
+        (0..ctx.topo.num_nodes())
+            .map(|j| {
+                let node = NodeId(j);
+                let coord = CoordContext::new(&dep, &manifest);
+                let mut e = Engine::new(node, Placement::EventEngine, &names, Some(coord), h);
+                e.set_fine_grained(fine);
+                for s in trace.onpath_sessions(&ctx.paths, node) {
+                    e.process_session(s);
+                }
+                let st = e.stats();
+                (st.cpu_cycles, st.mem_peak)
+            })
+            .collect()
+    };
+    let base = run(false);
+    let fine = run(true);
+
+    let mut t = Table::new(
+        "Extension (§2.5): fine-grained coordination — lightweight records for conn-event modules",
+        &["node", "city", "coord mem (MB)", "fine-grained mem (MB)", "saving", "cpu saving"],
+    );
+    for j in 0..ctx.topo.num_nodes() {
+        let (bc, bm) = base[j];
+        let (fc, fm) = fine[j];
+        t.row(vec![
+            (j + 1).to_string(),
+            ctx.topo.node(NodeId(j)).name.clone(),
+            f2(bm as f64 / MB),
+            f2(fm as f64 / MB),
+            format!("{:.1}%", 100.0 * (1.0 - fm as f64 / bm as f64)),
+            format!("{:.1}%", 100.0 * (1.0 - fc as f64 / bc as f64)),
+        ]);
+    }
+    t
+}
+
+/// §2.5 redundancy: max load at r = 1 vs r = 2 (path-scoped classes).
+pub fn redundancy_cost(_scale: Scale) -> Table {
+    let ctx = NidsContext::internet2();
+    let classes: Vec<AnalysisClass> = AnalysisClass::scaled_set(21)
+        .into_iter()
+        .filter(|c| c.scope == ClassScope::PerPath)
+        .collect();
+    let dep: NidsDeployment = nwdp_core::build_units(
+        &ctx.topo,
+        &ctx.paths,
+        &ctx.tm,
+        &ctx.vol,
+        &classes,
+    );
+    let mut t = Table::new(
+        "Extension (§2.5): the load price of r-redundant coverage",
+        &["redundancy r", "optimal max load (frac of capacity)", "vs r=1"],
+    );
+    let mut base = None;
+    for r in [1.0f64, 2.0, 3.0] {
+        let mut cfg = NidsLpConfig::homogeneous(dep.num_nodes, default_caps());
+        cfg.redundancy = r;
+        match solve_nids_lp(&dep, &cfg) {
+            Ok(a) => {
+                let b = *base.get_or_insert(a.max_load);
+                t.row(vec![
+                    format!("{r}"),
+                    f3(a.max_load),
+                    format!("{:.2}x", a.max_load / b),
+                ]);
+            }
+            Err(e) => t.row(vec![format!("{r}"), format!("{e}"), "-".into()]),
+        }
+    }
+    t
+}
+
+/// §3.5 future work: FPL against stochastic, shifting, and reactive
+/// adversaries.
+pub fn adversary_comparison(scale: Scale) -> Table {
+    let topo = internet2();
+    let paths = PathDb::shortest_paths(&topo);
+    let tm = TrafficMatrix::gravity(&topo);
+    let vol = VolumeModel::internet2_baseline();
+    let n_rules = 15;
+    let rates = MatchRates::zeros(n_rules, paths.all_pairs().count());
+    let mut inst = NipsInstance::evaluation_setup(&topo, &paths, &tm, &vol, n_rules, 1.0, rates);
+    inst.cam_cap = vec![f64::INFINITY; inst.num_nodes];
+    let epochs = (scale.fig11_epochs() / 4).max(50);
+
+    let mut advs: Vec<(&str, Box<dyn Adversary>)> = vec![
+        ("stochastic", Box::new(StochasticUniform::new(n_rules, inst.paths.len(), 0.01, 7))),
+        ("shifting", Box::new(Shifting::new(n_rules, inst.paths.len(), 0.01, 10, 3, 7))),
+        ("reactive", Box::new(Reactive::new(n_rules, inst.paths.len(), 0.01, 7))),
+    ];
+    let mut t = Table::new(
+        "Extension (§3.5): FPL vs adversary models",
+        &["adversary", "epochs", "total FPL value", "best static value", "final norm. regret"],
+    );
+    for (name, adv) in advs.iter_mut() {
+        let run = run_fpl(&inst, adv.as_mut(), &FplConfig { epochs, seed: 42, ..Default::default() });
+        let total: f64 = run.fpl_value.iter().sum();
+        let static_total = *run.static_prefix_value.last().unwrap();
+        t.row(vec![
+            name.to_string(),
+            epochs.to_string(),
+            format!("{total:.3e}"),
+            format!("{static_total:.3e}"),
+            format!("{:+.3}", run.normalized_regret.last().unwrap()),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,75 @@
+//! Fig 11 — online adaptation: normalized regret over time for five
+//! independent runs of FPL on the Internet2 setup (uniform match rates
+//! revealed only at the end of each epoch; no TCAM constraints).
+
+use crate::output::{f4, Table};
+use crate::scenario::Scale;
+use nwdp_core::nips::NipsInstance;
+use nwdp_online::{run_fpl, FplConfig, StochasticUniform};
+use nwdp_topo::{internet2, PathDb};
+use nwdp_traffic::{MatchRates, TrafficMatrix, VolumeModel};
+
+#[derive(Debug, Clone)]
+pub struct Fig11Run {
+    pub run: usize,
+    /// Normalized regret sampled over the epochs.
+    pub regret: Vec<f64>,
+}
+
+pub fn instance(n_rules: usize) -> NipsInstance {
+    let t = internet2();
+    let paths = PathDb::shortest_paths(&t);
+    let tm = TrafficMatrix::gravity(&t);
+    let vol = VolumeModel::internet2_baseline();
+    let rates = MatchRates::zeros(n_rules, paths.all_pairs().count());
+    let mut inst = NipsInstance::evaluation_setup(&t, &paths, &tm, &vol, n_rules, 1.0, rates);
+    inst.cam_cap = vec![f64::INFINITY; inst.num_nodes]; // §3.5 drops TCAM
+    inst
+}
+
+pub fn run(scale: Scale) -> Vec<Fig11Run> {
+    let inst = instance(20);
+    (0..scale.fig11_runs())
+        .map(|r| {
+            let mut adv =
+                StochasticUniform::new(inst.rules.len(), inst.paths.len(), 0.01, 500 + r as u64);
+            let cfg = FplConfig {
+                epochs: scale.fig11_epochs(),
+                seed: 900 + r as u64,
+                ..Default::default()
+            };
+            let out = run_fpl(&inst, &mut adv, &cfg);
+            Fig11Run { run: r + 1, regret: out.normalized_regret }
+        })
+        .collect()
+}
+
+/// Sample each run's trajectory at ~20 points for the table/CSV.
+pub fn table(runs: &[Fig11Run]) -> Table {
+    let epochs = runs.first().map_or(0, |r| r.regret.len());
+    let mut cols: Vec<String> = vec!["epoch".to_string()];
+    cols.extend(runs.iter().map(|r| format!("run {}", r.run)));
+    let mut t = Table::new(
+        "Fig 11: normalized regret of FPL online adaptation over time",
+        &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
+    let step = (epochs / 20).max(1);
+    let mut e = step - 1;
+    while e < epochs {
+        let mut row = vec![(e + 1).to_string()];
+        for r in runs {
+            row.push(f4(r.regret[e]));
+        }
+        t.row(row);
+        e += step;
+    }
+    t
+}
+
+/// Worst regret across runs at the final epoch (the paper: ≤ 15% of the
+/// best static solution).
+pub fn final_worst_regret(runs: &[Fig11Run]) -> f64 {
+    runs.iter()
+        .filter_map(|r| r.regret.last())
+        .fold(f64::NEG_INFINITY, |m, &x| m.max(x))
+}

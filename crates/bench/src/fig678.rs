@@ -1,0 +1,148 @@
+//! Figs 6–8 — the network-wide evaluation on Internet2.
+//!
+//! Fig 6: max per-node memory/CPU as NIDS module count grows (9 → 21,
+//! duplicates of HTTP/IRC/Login/TFTP), 100 k sessions.
+//! Fig 7: max per-node memory/CPU as traffic volume grows (20 k → 100 k
+//! sessions), 21 modules.
+//! Fig 8: per-node memory/CPU for 100 k sessions and 21 modules — the
+//! edge-only hotspot (node 11 = New York) vs the coordinated spread.
+
+use crate::output::{f2, Table};
+use crate::scenario::{NidsContext, Scale};
+use nwdp_engine::{run_coordinated, run_edge_only, NetworkRun, Placement};
+use nwdp_hash::KeyedHasher;
+
+const MB: f64 = 1024.0 * 1024.0;
+/// CPU-cycles → the paper's "utilization × time" style unit (arbitrary
+/// linear scale; only relative magnitudes matter).
+const CPU_UNIT: f64 = 1.0e9;
+
+/// One (config) → (edge max, coord max) measurement pair.
+#[derive(Debug, Clone)]
+pub struct NetwidePoint {
+    pub x: usize,
+    pub edge_max_cpu: f64,
+    pub coord_max_cpu: f64,
+    pub edge_max_mem: f64,
+    pub coord_max_mem: f64,
+}
+
+fn one_run(ctx: &NidsContext, n_modules: usize, sessions: usize, seed: u64) -> (NetworkRun, NetworkRun) {
+    let dep = ctx.deployment(n_modules);
+    let (_assignment, manifest) = ctx.manifests(&dep);
+    let trace = ctx.trace(sessions, seed);
+    let h = KeyedHasher::with_key(0xC0DE);
+    let edge = run_edge_only(&dep, &trace, h);
+    let coord =
+        run_coordinated(&dep, &manifest, &ctx.paths, &trace, Placement::EventEngine, h);
+    (edge, coord)
+}
+
+/// Fig 6: sweep the module count.
+pub fn fig6(scale: Scale) -> Vec<NetwidePoint> {
+    let ctx = NidsContext::internet2();
+    let sessions = scale.netwide_sessions();
+    scale
+        .fig6_modules()
+        .into_iter()
+        .map(|m| {
+            let (edge, coord) = one_run(&ctx, m, sessions, 7000 + m as u64);
+            NetwidePoint {
+                x: m,
+                edge_max_cpu: edge.max_cpu() as f64 / CPU_UNIT,
+                coord_max_cpu: coord.max_cpu() as f64 / CPU_UNIT,
+                edge_max_mem: edge.max_mem() as f64 / MB,
+                coord_max_mem: coord.max_mem() as f64 / MB,
+            }
+        })
+        .collect()
+}
+
+/// Fig 7: sweep the traffic volume at 21 modules.
+pub fn fig7(scale: Scale) -> Vec<NetwidePoint> {
+    let ctx = NidsContext::internet2();
+    scale
+        .fig7_volumes()
+        .into_iter()
+        .map(|v| {
+            let (edge, coord) = one_run(&ctx, 21, v, 9000 + v as u64);
+            NetwidePoint {
+                x: v,
+                edge_max_cpu: edge.max_cpu() as f64 / CPU_UNIT,
+                coord_max_cpu: coord.max_cpu() as f64 / CPU_UNIT,
+                edge_max_mem: edge.max_mem() as f64 / MB,
+                coord_max_mem: coord.max_mem() as f64 / MB,
+            }
+        })
+        .collect()
+}
+
+/// Fig 8: per-node loads at the largest configuration.
+pub struct Fig8Result {
+    /// (node id 1-based, node name, edge cpu, coord cpu, edge mem MB,
+    /// coord mem MB)
+    pub rows: Vec<(usize, String, f64, f64, f64, f64)>,
+}
+
+pub fn fig8(scale: Scale) -> Fig8Result {
+    let ctx = NidsContext::internet2();
+    let (edge, coord) = one_run(&ctx, 21, scale.netwide_sessions(), 4242);
+    let rows = (0..ctx.topo.num_nodes())
+        .map(|j| {
+            (
+                j + 1,
+                ctx.topo.node(nwdp_topo::NodeId(j)).name.clone(),
+                edge.per_node[j].cpu_cycles as f64 / CPU_UNIT,
+                coord.per_node[j].cpu_cycles as f64 / CPU_UNIT,
+                edge.per_node[j].mem_peak as f64 / MB,
+                coord.per_node[j].mem_peak as f64 / MB,
+            )
+        })
+        .collect();
+    Fig8Result { rows }
+}
+
+pub fn table6(points: &[NetwidePoint]) -> Table {
+    let mut t = Table::new(
+        "Fig 6: max per-node load vs number of NIDS modules (100k-session class)",
+        &["modules", "edge max CPU", "coord max CPU", "edge max mem (MB)", "coord max mem (MB)"],
+    );
+    for p in points {
+        t.row(vec![
+            p.x.to_string(),
+            f2(p.edge_max_cpu),
+            f2(p.coord_max_cpu),
+            f2(p.edge_max_mem),
+            f2(p.coord_max_mem),
+        ]);
+    }
+    t
+}
+
+pub fn table7(points: &[NetwidePoint]) -> Table {
+    let mut t = Table::new(
+        "Fig 7: max per-node load vs total traffic volume (21 modules)",
+        &["sessions", "edge max CPU", "coord max CPU", "edge max mem (MB)", "coord max mem (MB)"],
+    );
+    for p in points {
+        t.row(vec![
+            p.x.to_string(),
+            f2(p.edge_max_cpu),
+            f2(p.coord_max_cpu),
+            f2(p.edge_max_mem),
+            f2(p.coord_max_mem),
+        ]);
+    }
+    t
+}
+
+pub fn table8(r: &Fig8Result) -> Table {
+    let mut t = Table::new(
+        "Fig 8: per-node load (21 modules)",
+        &["node", "city", "edge CPU", "coord CPU", "edge mem (MB)", "coord mem (MB)"],
+    );
+    for (id, name, ec, cc, em, cm) in &r.rows {
+        t.row(vec![id.to_string(), name.clone(), f2(*ec), f2(*cc), f2(*em), f2(*cm)]);
+    }
+    t
+}

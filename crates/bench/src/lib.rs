@@ -1,0 +1,16 @@
+//! # nwdp-bench — the experiment harness
+//!
+//! One module per paper figure/table; the `repro` binary drives them and
+//! writes CSV + ASCII tables into `results/`. Criterion benches (under
+//! `benches/`) measure wall-clock for the key kernels.
+
+pub mod extensions;
+pub mod fig10;
+pub mod fig11;
+pub mod fig5;
+pub mod fig678;
+pub mod opttime;
+pub mod output;
+pub mod scenario;
+
+pub use scenario::Scale;

@@ -1,0 +1,158 @@
+//! Shared experiment scaffolding: scale presets and common setups.
+
+use nwdp_core::nids::{generate_manifests, solve_nids_lp, NidsLpConfig, NodeCaps};
+use nwdp_core::{build_units, AnalysisClass, NidsDeployment};
+use nwdp_topo::{internet2, PathDb, Topology};
+use nwdp_traffic::{generate_trace, NetTrace, TraceConfig, TrafficMatrix, VolumeModel};
+
+/// Experiment scale preset.
+///
+/// `quick` trims workload sizes so the whole suite runs in minutes;
+/// `full` uses the paper's sizes (100 k sessions, 30 match-rate scenarios,
+/// 1000 epochs). EXPERIMENTS.md records which preset produced the shipped
+/// numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Quick,
+    Full,
+}
+
+impl Scale {
+    pub fn from_flag(quick: bool) -> Self {
+        if quick {
+            Scale::Quick
+        } else {
+            Scale::Full
+        }
+    }
+
+    /// Sessions for the Fig 5 microbenchmark (paper: 100 k).
+    pub fn fig5_sessions(&self) -> usize {
+        match self {
+            Scale::Quick => 20_000,
+            Scale::Full => 100_000,
+        }
+    }
+
+    /// Runs per configuration (paper: 5).
+    pub fn repeats(&self) -> usize {
+        5
+    }
+
+    /// Sessions for the Fig 6/8 network-wide runs (paper: 100 k).
+    pub fn netwide_sessions(&self) -> usize {
+        match self {
+            Scale::Quick => 20_000,
+            Scale::Full => 100_000,
+        }
+    }
+
+    /// Volume sweep for Fig 7 (paper: 20 k → 100 k).
+    pub fn fig7_volumes(&self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![5_000, 10_000, 15_000, 20_000],
+            Scale::Full => vec![20_000, 40_000, 60_000, 80_000, 100_000],
+        }
+    }
+
+    /// Module counts for Fig 6 (paper: 9 standard → 21 with duplicates;
+    /// the figure's x-axis starts at 8).
+    pub fn fig6_modules(&self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![9, 13, 17, 21],
+            Scale::Full => vec![9, 11, 13, 15, 17, 19, 21],
+        }
+    }
+
+    /// NIPS rules for Fig 10 (paper: 100).
+    pub fn fig10_rules(&self) -> usize {
+        match self {
+            Scale::Quick => 30,
+            Scale::Full => 100,
+        }
+    }
+
+    /// Match-rate scenarios per configuration (paper: 30).
+    pub fn fig10_scenarios(&self) -> usize {
+        match self {
+            Scale::Quick => 5,
+            Scale::Full => 30,
+        }
+    }
+
+    /// Rounding iterations per scenario (paper: 10).
+    pub fn fig10_iterations(&self) -> usize {
+        match self {
+            Scale::Quick => 5,
+            Scale::Full => 10,
+        }
+    }
+
+    /// Rule-capacity fractions swept in Fig 10.
+    pub fn fig10_cap_fracs(&self) -> Vec<f64> {
+        vec![0.05, 0.10, 0.15, 0.20, 0.25]
+    }
+
+    /// Epochs for Fig 11 (paper: 1000).
+    pub fn fig11_epochs(&self) -> usize {
+        match self {
+            Scale::Quick => 150,
+            Scale::Full => 1000,
+        }
+    }
+
+    /// Independent runs for Fig 11 (paper: 5).
+    pub fn fig11_runs(&self) -> usize {
+        5
+    }
+}
+
+/// Homogeneous node capacities used for the NIDS network-wide evaluation.
+pub fn default_caps() -> NodeCaps {
+    NodeCaps { cpu: 2.0e8, mem: 4.0e9 }
+}
+
+/// The Internet2 NIDS evaluation context: topology, routing, gravity TM,
+/// baseline volume.
+pub struct NidsContext {
+    pub topo: Topology,
+    pub paths: PathDb,
+    pub tm: TrafficMatrix,
+    pub vol: VolumeModel,
+}
+
+impl NidsContext {
+    pub fn internet2() -> Self {
+        let topo = internet2();
+        let paths = PathDb::shortest_paths(&topo);
+        let tm = TrafficMatrix::gravity(&topo);
+        let vol = VolumeModel::internet2_baseline();
+        NidsContext { topo, paths, tm, vol }
+    }
+
+    pub fn deployment(&self, n_modules: usize) -> NidsDeployment {
+        let classes = if n_modules <= 9 {
+            let mut c = AnalysisClass::standard_set();
+            c.truncate(n_modules);
+            c
+        } else {
+            AnalysisClass::scaled_set(n_modules)
+        };
+        build_units(&self.topo, &self.paths, &self.tm, &self.vol, &classes)
+    }
+
+    pub fn trace(&self, sessions: usize, seed: u64) -> NetTrace {
+        generate_trace(&self.topo, &self.tm, &TraceConfig::new(sessions, seed))
+    }
+
+    /// Solve the LP and compile manifests for a deployment.
+    pub fn manifests(
+        &self,
+        dep: &NidsDeployment,
+    ) -> (nwdp_core::nids::NidsAssignment, nwdp_core::nids::SamplingManifest) {
+        let cfg = NidsLpConfig::homogeneous(dep.num_nodes, default_caps());
+        let assignment = solve_nids_lp(dep, &cfg).expect("NIDS LP must solve");
+        let manifest = generate_manifests(dep, &assignment.d);
+        (assignment, manifest)
+    }
+}

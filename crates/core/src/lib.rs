@@ -1,0 +1,33 @@
+//! # nwdp-core — network-wide NIDS/NIPS deployment optimization
+//!
+//! The primary contribution of *Sekar, Krishnaswamy, Gupta, Reiter:
+//! "Network-Wide Deployment of Intrusion Detection and Prevention
+//! Systems" (ACM CoNEXT 2010)*, reimplemented as a library:
+//!
+//! - **NIDS** (§2): analysis [`class`]es are partitioned into coordination
+//!   [`units`]; the [`nids::lp`] linear program (Eqs 1–6) assigns
+//!   fractional responsibilities minimizing the maximum CPU/memory load;
+//!   [`nids::manifest`] compiles the solution into hash-range sampling
+//!   manifests (Fig 2) consulted by the per-packet check (Fig 3). The
+//!   §2.5 redundancy extension covers the hash space `r` times with
+//!   wraparound ranges.
+//! - **NIPS** (§3): the [`nips::model`] MILP (Eqs 7–14) maximizes the
+//!   distance-weighted drop footprint under TCAM/memory/CPU budgets;
+//!   [`nips::relax`] solves its LP relaxation with lazy rows;
+//!   [`nips::round`] implements the randomized rounding of Fig 9 plus the
+//!   LP-re-solve and greedy refinements evaluated in Fig 10;
+//!   [`nips::hardness`] witnesses the NP-hardness structure and solves
+//!   small instances exactly via branch-and-bound.
+//! - [`provision`]: the §5 what-if upgrade analysis;
+//! - [`migration`]: the §5 routing-change transition planner (drain vs
+//!   state-transfer).
+
+pub mod class;
+pub mod migration;
+pub mod nids;
+pub mod nips;
+pub mod provision;
+pub mod units;
+
+pub use class::{AnalysisClass, ClassScope};
+pub use units::{build_units, CoordUnit, NidsDeployment, UnitKey};

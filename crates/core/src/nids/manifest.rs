@@ -1,0 +1,213 @@
+//! Sampling manifests (paper Fig 2) and the per-node coordination check
+//! (paper Fig 3).
+//!
+//! `GENERATE-NIDS-MANIFEST` converts the optimal fractional assignment
+//! `d*` into **non-overlapping hash ranges** per coordination unit: walking
+//! the unit's nodes in a fixed order, node `j` receives
+//! `[Range, Range + d*_ikj)`. Because every node hashes packets with the
+//! same keyed function, the ranges partition the hash space and each item
+//! is analyzed exactly once network-wide — with zero runtime coordination.
+//!
+//! With the redundancy extension (§2.5) the covered space is `[0, r)`; the
+//! running range wraps around the unit interval, so a node's share can be
+//! a two-segment [`RangeSet`]. Since each `d ≤ 1`, a node never wraps onto
+//! itself, guaranteeing `r` *distinct* nodes per point.
+
+use crate::units::{NidsDeployment, UnitKey};
+use nwdp_hash::RangeSet;
+use nwdp_topo::NodeId;
+use std::collections::HashMap;
+
+/// One node's responsibility for one coordination unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestEntry {
+    /// Class index in the deployment.
+    pub class: usize,
+    /// Unit index in the deployment.
+    pub unit: usize,
+    pub key: UnitKey,
+    pub ranges: RangeSet,
+}
+
+/// The network-wide set of sampling manifests.
+#[derive(Debug, Clone)]
+pub struct SamplingManifest {
+    /// Entries grouped per node.
+    per_node: Vec<Vec<ManifestEntry>>,
+    /// `(unit index, node)` → position in `per_node[node]`.
+    index: HashMap<(usize, usize), usize>,
+}
+
+/// Fig 2: translate the optimal solution into sampling manifests.
+///
+/// `d[u]` lists `(node, fraction)` in a fixed node order (the order of
+/// `dep.units[u].nodes`; the paper notes the order does not matter as long
+/// as it is consistent).
+pub fn generate_manifests(dep: &NidsDeployment, d: &[Vec<(NodeId, f64)>]) -> SamplingManifest {
+    assert_eq!(d.len(), dep.units.len(), "assignment/unit count mismatch");
+    let mut per_node: Vec<Vec<ManifestEntry>> = vec![Vec::new(); dep.num_nodes];
+    let mut index = HashMap::new();
+    for (u, unit) in dep.units.iter().enumerate() {
+        let mut range = 0.0f64;
+        for &(j, frac) in &d[u] {
+            debug_assert!((0.0..=1.0 + 1e-9).contains(&frac), "fraction {frac} out of range");
+            if frac <= 1e-12 {
+                continue;
+            }
+            let ranges = RangeSet::wrapped(range, range + frac);
+            range += frac;
+            let entry =
+                ManifestEntry { class: unit.class, unit: u, key: unit.key, ranges };
+            index.insert((u, j.index()), per_node[j.index()].len());
+            per_node[j.index()].push(entry);
+        }
+    }
+    SamplingManifest { per_node, index }
+}
+
+impl SamplingManifest {
+    /// All of `node`'s responsibilities.
+    pub fn node_entries(&self, node: NodeId) -> &[ManifestEntry] {
+        &self.per_node[node.index()]
+    }
+
+    /// The hash range `HashRange(i, k, j)` for unit `u` at `node`, if any.
+    pub fn range(&self, unit: usize, node: NodeId) -> Option<&RangeSet> {
+        self.index
+            .get(&(unit, node.index()))
+            .map(|&pos| &self.per_node[node.index()][pos].ranges)
+    }
+
+    /// Fig 3 line 5: should `node` run the unit's class on a packet whose
+    /// coordination hash is `h ∈ [0, 1)`?
+    pub fn should_analyze(&self, unit: usize, node: NodeId, h: f64) -> bool {
+        self.range(unit, node).is_some_and(|r| r.contains(h))
+    }
+
+    /// Fraction of the unit's hash space assigned to `node`.
+    pub fn share(&self, unit: usize, node: NodeId) -> f64 {
+        self.range(unit, node).map_or(0.0, |r| r.measure())
+    }
+
+    /// Verify the manifest invariants for every unit:
+    /// 1. the ranges of distinct nodes are disjoint within each unit
+    ///    (checked on a grid), and
+    /// 2. every point of the hash space is covered exactly `r` times by
+    ///    `r` distinct nodes.
+    ///
+    /// Returns the observed coverage multiplicity (min, max) over a probe
+    /// grid of `grid` points.
+    pub fn verify_coverage(&self, dep: &NidsDeployment, grid: usize) -> (usize, usize) {
+        let mut lo = usize::MAX;
+        let mut hi = 0usize;
+        for (u, unit) in dep.units.iter().enumerate() {
+            for g in 0..grid {
+                let h = (g as f64 + 0.5) / grid as f64;
+                let mut covers = 0usize;
+                for &j in &unit.nodes {
+                    if self.should_analyze(u, j, h) {
+                        covers += 1;
+                    }
+                }
+                lo = lo.min(covers);
+                hi = hi.max(covers);
+            }
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::AnalysisClass;
+    use crate::nids::lp::{solve_nids_lp, NidsLpConfig, NodeCaps};
+    use crate::units::{build_units, NidsDeployment};
+    use nwdp_topo::{internet2, PathDb};
+    use nwdp_traffic::{TrafficMatrix, VolumeModel};
+
+    fn dep() -> NidsDeployment {
+        let t = internet2();
+        let paths = PathDb::shortest_paths(&t);
+        let tm = TrafficMatrix::gravity(&t);
+        let vol = VolumeModel::internet2_baseline();
+        build_units(&t, &paths, &tm, &vol, &AnalysisClass::standard_set())
+    }
+
+    #[test]
+    fn optimal_assignment_yields_exact_single_coverage() {
+        let d = dep();
+        let cfg = NidsLpConfig::homogeneous(d.num_nodes, NodeCaps { cpu: 2e8, mem: 4e9 });
+        let a = solve_nids_lp(&d, &cfg).unwrap();
+        let m = generate_manifests(&d, &a.d);
+        let (lo, hi) = m.verify_coverage(&d, 101);
+        assert_eq!((lo, hi), (1, 1), "every hash point covered exactly once");
+    }
+
+    #[test]
+    fn shares_match_fractions() {
+        let d = dep();
+        let cfg = NidsLpConfig::homogeneous(d.num_nodes, NodeCaps { cpu: 2e8, mem: 4e9 });
+        let a = solve_nids_lp(&d, &cfg).unwrap();
+        let m = generate_manifests(&d, &a.d);
+        for (u, fr) in a.d.iter().enumerate() {
+            for &(j, f) in fr {
+                assert!(
+                    (m.share(u, j) - f).abs() < 1e-9,
+                    "unit {u} node {j:?}: share {} vs fraction {f}",
+                    m.share(u, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn redundancy_two_covers_twice_distinctly() {
+        let d0 = dep();
+        let d2 = NidsDeployment {
+            classes: d0.classes.clone(),
+            units: d0.units.iter().filter(|u| u.nodes.len() >= 2).cloned().collect(),
+            num_nodes: d0.num_nodes,
+        };
+        let mut cfg = NidsLpConfig::homogeneous(d2.num_nodes, NodeCaps { cpu: 2e8, mem: 4e9 });
+        cfg.redundancy = 2.0;
+        let a = solve_nids_lp(&d2, &cfg).unwrap();
+        let m = generate_manifests(&d2, &a.d);
+        let (lo, hi) = m.verify_coverage(&d2, 101);
+        assert_eq!((lo, hi), (2, 2), "every point covered exactly twice");
+    }
+
+    #[test]
+    fn hand_built_assignment_manifest() {
+        // A unit split 0.25 / 0.75 across two nodes.
+        let d0 = dep();
+        let mut d: Vec<Vec<(NodeId, f64)>> = d0
+            .units
+            .iter()
+            .map(|u| {
+                let mut v: Vec<(NodeId, f64)> = u.nodes.iter().map(|&n| (n, 0.0)).collect();
+                if v.len() >= 2 {
+                    v[0].1 = 0.25;
+                    v[1].1 = 0.75;
+                } else {
+                    v[0].1 = 1.0;
+                }
+                v
+            })
+            .collect();
+        // Perturb one unit to check `share` on zero-fraction nodes.
+        d[0][0].1 = 0.25;
+        let m = generate_manifests(&d0, &d);
+        let u0 = &d0.units[0];
+        assert!((m.share(0, u0.nodes[0]) - 0.25).abs() < 1e-12);
+        assert!((m.share(0, u0.nodes[1]) - 0.75).abs() < 1e-12);
+        if u0.nodes.len() > 2 {
+            assert_eq!(m.share(0, u0.nodes[2]), 0.0);
+            assert!(m.range(0, u0.nodes[2]).is_none());
+        }
+        // Boundary semantics: 0.25 belongs to the second node.
+        assert!(m.should_analyze(0, u0.nodes[0], 0.2499));
+        assert!(!m.should_analyze(0, u0.nodes[0], 0.25));
+        assert!(m.should_analyze(0, u0.nodes[1], 0.25));
+    }
+}

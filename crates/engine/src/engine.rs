@@ -1,0 +1,504 @@
+//! The coordinated NIDS engine (paper §2.3, Figs 3–4).
+//!
+//! Emulates the two-stage Bro architecture: packets flow through basic
+//! connection processing (event engine), protocol analyzers, and policy
+//! scripts. Three configurations reproduce the paper's comparison:
+//!
+//! - [`Placement::Unmodified`] — stock Bro: no coordination state, every
+//!   packet analyzed by every interested module;
+//! - [`Placement::EventEngine`] — approach 2: coordination checks hoisted
+//!   into the event engine where possible (analyzer instantiation time),
+//!   falling back to policy checks for policy-only modules;
+//! - [`Placement::PolicyEngine`] — approach 1: all checks delayed into the
+//!   interpreted policy layer (cheap to build, expensive at runtime for
+//!   per-packet modules — the Fig 5(a) HTTP/IRC/Login spikes).
+//!
+//! The engine also implements the §2.3 fast path: "we add a check in the
+//! basic connection processing step to avoid creating session state for
+//! traffic that falls outside the sampling manifest for this Bro
+//! instance".
+
+use crate::conn::ConnTable;
+use crate::cost::{CostModel, Meter};
+use crate::modules::{module_for_class, Alert, Analyzer, Granularity, Stage};
+use nwdp_core::nids::{generate_manifests, SamplingManifest};
+use nwdp_core::{ClassScope, NidsDeployment, UnitKey};
+use nwdp_hash::{FlowKeyKind, KeyedHasher};
+use nwdp_topo::NodeId;
+use nwdp_traffic::{node_of_ip, Packet, Session};
+use std::collections::{BTreeSet, HashMap};
+
+/// Where coordination checks are implemented (§2.3's two alternatives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Stock Bro: no coordination at all.
+    Unmodified,
+    /// Checks as early as possible (event engine when the module allows).
+    EventEngine,
+    /// All checks delayed to the policy engine.
+    PolicyEngine,
+}
+
+/// Coordination context shared by all nodes of a deployment.
+pub struct CoordContext<'a> {
+    pub dep: &'a NidsDeployment,
+    pub manifest: &'a SamplingManifest,
+    /// `(class index, unit key)` → unit index.
+    unit_of: HashMap<(usize, UnitKey), usize>,
+}
+
+impl<'a> CoordContext<'a> {
+    pub fn new(dep: &'a NidsDeployment, manifest: &'a SamplingManifest) -> Self {
+        let mut unit_of = HashMap::with_capacity(dep.units.len());
+        for (u, unit) in dep.units.iter().enumerate() {
+            unit_of.insert((unit.class, unit.key), u);
+        }
+        CoordContext { dep, manifest, unit_of }
+    }
+
+    /// Resolve the unit a connection belongs to for a class.
+    fn unit_for(&self, class: usize, src_node: NodeId, dst_node: NodeId) -> Option<usize> {
+        let key = match self.dep.classes[class].scope {
+            ClassScope::PerPath => UnitKey::Path(src_node, dst_node),
+            ClassScope::PerIngress => UnitKey::Ingress(src_node),
+            ClassScope::PerEgress => UnitKey::Egress(dst_node),
+        };
+        self.unit_of.get(&(class, key)).copied()
+    }
+}
+
+/// A standalone single-instance coordination setup for microbenchmarks:
+/// every unit's eligible set becomes `{node}` with a full-range
+/// assignment — "the sampling manifests … specify that this standalone
+/// node needs to process all the traffic" (§2.4).
+pub fn standalone_coordination(
+    dep: &NidsDeployment,
+    node: NodeId,
+) -> (NidsDeployment, SamplingManifest) {
+    let mut solo = dep.clone();
+    for unit in solo.units.iter_mut() {
+        unit.nodes = vec![node];
+    }
+    let d: Vec<Vec<(NodeId, f64)>> = solo.units.iter().map(|_| vec![(node, 1.0)]).collect();
+    let manifest = generate_manifests(&solo, &d);
+    (solo, manifest)
+}
+
+/// Per-run statistics.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    pub node: NodeId,
+    /// Total CPU cycles (event engine + all modules + checks).
+    pub cpu_cycles: u64,
+    /// Peak resident memory (bytes): connection table + module state.
+    pub mem_peak: u64,
+    pub packets: u64,
+    pub connections: usize,
+    pub per_module_cpu: Vec<(String, u64)>,
+    pub alerts: BTreeSet<Alert>,
+}
+
+/// One NIDS instance at one network node.
+pub struct Engine<'a> {
+    pub node: NodeId,
+    placement: Placement,
+    costs: CostModel,
+    hasher: KeyedHasher,
+    coord: Option<CoordContext<'a>>,
+    conns: ConnTable,
+    modules: Vec<Box<dyn Analyzer>>,
+    base_meter: Meter,
+    module_meters: Vec<Meter>,
+    packets: u64,
+    /// §2.5 fine-grained coordination: connections whose interested
+    /// modules all consume only connection-level events are tracked in
+    /// lightweight records and skip per-packet analysis.
+    fine_grained: bool,
+}
+
+impl<'a> Engine<'a> {
+    /// Build an engine running the given classes. For coordinated
+    /// placements pass the shared [`CoordContext`]; `None` with
+    /// [`Placement::Unmodified`] is stock Bro (edge-only / baseline runs).
+    pub fn new(
+        node: NodeId,
+        placement: Placement,
+        class_names: &[String],
+        coord: Option<CoordContext<'a>>,
+        hasher: KeyedHasher,
+    ) -> Self {
+        if placement == Placement::Unmodified {
+            assert!(coord.is_none(), "unmodified Bro cannot consume manifests");
+        } else {
+            assert!(coord.is_some(), "coordinated placements need a manifest context");
+        }
+        let modules: Vec<Box<dyn Analyzer>> =
+            class_names.iter().map(|n| module_for_class(n)).collect();
+        let with_hashes = placement != Placement::Unmodified;
+        let n_modules = modules.len();
+        Engine {
+            node,
+            placement,
+            costs: CostModel::default(),
+            hasher,
+            coord,
+            conns: ConnTable::new(with_hashes, n_modules),
+            module_meters: vec![Meter::new(); n_modules],
+            modules,
+            base_meter: Meter::new(),
+            packets: 0,
+            fine_grained: false,
+        }
+    }
+
+    pub fn set_costs(&mut self, costs: CostModel) {
+        self.costs = costs;
+    }
+
+    /// Enable the §2.5 fine-grained coordination extension (effective
+    /// under [`Placement::EventEngine`]): modules that only need
+    /// connection-level events (Scan, SYNFlood) no longer force full
+    /// per-packet connection tracking at their nodes.
+    pub fn set_fine_grained(&mut self, on: bool) {
+        self.fine_grained = on;
+    }
+
+    /// Feed one session's packets through the engine.
+    pub fn process_session(&mut self, session: &Session) {
+        for pkt in session.packets() {
+            self.process_packet(&pkt);
+        }
+    }
+
+    /// Feed a session through a fault injector (drops / duplicates /
+    /// reordering), as seen at a lossy capture point.
+    pub fn process_session_faulty(
+        &mut self,
+        session: &Session,
+        faults: &nwdp_traffic::FaultInjector,
+    ) {
+        for pkt in faults.apply(session, session.packets()) {
+            self.process_packet(&pkt);
+        }
+    }
+
+    /// The per-packet pipeline (paper Fig 3 embedded in the Bro stages).
+    pub fn process_packet(&mut self, pkt: &Packet<'_>) {
+        self.packets += 1;
+        self.base_meter.cpu(self.costs.pkt_base);
+
+        let tuple = canonical_tuple(pkt);
+        let (src_node, dst_node) = (node_of_ip(tuple.src_ip), node_of_ip(tuple.dst_ip));
+
+        // --- §2.3 fast path: for traffic with no existing state, skip
+        // connection creation when no module's manifest range covers it.
+        if self.coord.is_some() && self.conns.find(&tuple).is_none() {
+            let coord = self.coord.as_ref().expect("checked");
+            // Each needed hash kind is computed once per packet.
+            let mut hash_cache: [Option<f64>; 4] = [None; 4];
+            let mut hashed = 0u64;
+            let mut any = false;
+            for m in 0..self.modules.len() {
+                let class = m; // modules are built 1:1 from the class list
+                if let Some(unit) = coord.unit_for(class, src_node, dst_node) {
+                    let kind = self.modules[m].key_kind();
+                    let slot = kind_slot(kind);
+                    let h = *hash_cache[slot].get_or_insert_with(|| {
+                        hashed += 1;
+                        self.hasher.unit_hash(&tuple, kind)
+                    });
+                    self.base_meter.cpu(self.costs.evt_check);
+                    if coord.manifest.should_analyze(unit, self.node, h) {
+                        any = true;
+                        break;
+                    }
+                }
+            }
+            self.base_meter.cpu(self.costs.hash_compute * hashed);
+            if !any {
+                return; // transit fast path: no state, no analysis
+            }
+        }
+
+        // --- Basic connection processing. ---
+        let (idx, is_new) =
+            self.conns.upsert(&tuple, &self.hasher, &self.costs, &mut self.base_meter);
+        {
+            let rec = self.conns.get_mut(idx);
+            rec.pkts += 1;
+            rec.bytes += pkt.size as u64;
+            rec.saw_syn |= pkt.syn;
+            rec.saw_fin |= pkt.fin;
+        }
+
+        // Event-engine checks: decide module enablement once per
+        // connection, at analyzer-instantiation time. This covers all
+        // modules under approach 2, and the event-only modules (e.g. the
+        // Signature engine) under *both* approaches.
+        if is_new && self.coord.is_some() {
+            let coord = self.coord.as_ref().expect("coordinated");
+            let rec = self.conns.get(idx);
+            let (sn, dn) = (node_of_ip(rec.orig.src_ip), node_of_ip(rec.orig.dst_ip));
+            let mut enabled = vec![false; self.modules.len()];
+            let mut checks = 0u64;
+            for (m, module) in self.modules.iter().enumerate() {
+                if !self.decided_in_event_engine(module.stage()) {
+                    enabled[m] = true; // the policy layer decides later
+                    continue;
+                }
+                checks += 1;
+                enabled[m] = match coord.unit_for(m, sn, dn) {
+                    Some(unit) => {
+                        let h = rec.hashes.get(module.key_kind());
+                        coord.manifest.should_analyze(unit, self.node, h)
+                    }
+                    None => false,
+                };
+            }
+            self.base_meter.cpu(self.costs.evt_check * checks);
+            // §2.5 fine-grained extension: if every module interested in
+            // this connection consumes only connection-level events, track
+            // it in a lightweight record.
+            if self.fine_grained && self.placement == Placement::EventEngine {
+                let rec = self.conns.get(idx);
+                let mut any_interested = false;
+                let mut needs_full = false;
+                for (m, module) in self.modules.iter().enumerate() {
+                    if !module.wants(rec) {
+                        continue;
+                    }
+                    let interested = if self.decided_in_event_engine(module.stage()) {
+                        enabled[m]
+                    } else {
+                        // Policy-side decision is per-connection too;
+                        // resolve it now from the record's hashes.
+                        match coord.unit_for(m, sn, dn) {
+                            Some(unit) => {
+                                let h = rec.hashes.get(module.key_kind());
+                                coord.manifest.should_analyze(unit, self.node, h)
+                            }
+                            None => false,
+                        }
+                    };
+                    if interested {
+                        any_interested = true;
+                        if module.needs_all_packets() {
+                            needs_full = true;
+                            break;
+                        }
+                    }
+                }
+                if any_interested && !needs_full {
+                    self.conns.make_light(idx, &self.costs, &mut self.base_meter);
+                }
+            }
+            self.conns.get_mut(idx).enabled = enabled;
+        }
+
+        // Lightweight connections skip mid-stream per-packet analysis
+        // entirely (their modules only consume connection-level events).
+        if self.conns.get(idx).light && !is_new && !pkt.fin && !(pkt.syn && !pkt.ack) {
+            return;
+        }
+
+        // --- Per-module analysis (Fig 3 loop). ---
+        for m in 0..self.modules.len() {
+            let rec = self.conns.get(idx);
+            if !self.modules[m].wants(rec) {
+                continue;
+            }
+            let event_decided = self.decided_in_event_engine(self.modules[m].stage());
+            let run = match (&self.coord, event_decided) {
+                (None, _) => true,
+                (Some(_), true) => rec.enabled[m],
+                (Some(coord), false) => {
+                    // Interpreted policy-layer check (Fig 3 line 5 as a
+                    // policy predicate), charged per delivered event:
+                    // every packet for per-packet modules, setup/teardown
+                    // events for connection-level modules.
+                    let (sn, dn) =
+                        (node_of_ip(rec.orig.src_ip), node_of_ip(rec.orig.dst_ip));
+                    match coord.unit_for(m, sn, dn) {
+                        None => false,
+                        Some(unit) => {
+                            let charge = match self.modules[m].granularity() {
+                                Granularity::PerPacket => self.costs.policy_check_pkt,
+                                Granularity::PerConnection if rec.pkts <= 1 || pkt.fin => {
+                                    self.costs.policy_check_conn
+                                }
+                                Granularity::PerConnection => 0,
+                            };
+                            self.module_meters[m].cpu(charge);
+                            let h = rec.hashes.get(self.modules[m].key_kind());
+                            coord.manifest.should_analyze(unit, self.node, h)
+                        }
+                    }
+                }
+            };
+            if run {
+                let rec = self.conns.get(idx);
+                self.modules[m].on_packet(
+                    pkt,
+                    rec,
+                    is_new,
+                    &self.costs,
+                    &mut self.module_meters[m],
+                );
+            }
+        }
+    }
+
+    /// Is this module's coordination check resolved at analyzer
+    /// instantiation time in the event engine (as opposed to per-event in
+    /// the interpreted policy layer)?
+    fn decided_in_event_engine(&self, stage: Stage) -> bool {
+        match stage {
+            Stage::EventOnly => true,
+            Stage::EventCapable => self.placement == Placement::EventEngine,
+            Stage::PolicyOnly => false,
+        }
+    }
+
+    /// Collected statistics.
+    pub fn stats(&self) -> RunStats {
+        let mut cpu = self.base_meter.cpu_cycles;
+        let mut mem_peak = self.base_meter.mem_peak;
+        let mut per_module_cpu = Vec::with_capacity(self.modules.len());
+        let mut alerts = BTreeSet::new();
+        for (m, module) in self.modules.iter().enumerate() {
+            cpu += self.module_meters[m].cpu_cycles;
+            mem_peak += self.module_meters[m].mem_peak;
+            per_module_cpu
+                .push((module.class_name().to_string(), self.module_meters[m].cpu_cycles));
+            alerts.extend(module.alerts().iter().cloned());
+        }
+        RunStats {
+            node: self.node,
+            cpu_cycles: cpu,
+            mem_peak,
+            packets: self.packets,
+            connections: self.conns.len(),
+            per_module_cpu,
+            alerts,
+        }
+    }
+}
+
+/// Recover the originator-oriented tuple from a packet (forward packets
+/// already are; reverse packets get flipped back — the event engine knows
+/// direction from SYN/first-packet state).
+fn canonical_tuple(pkt: &Packet<'_>) -> nwdp_hash::FiveTuple {
+    if pkt.forward {
+        pkt.tuple
+    } else {
+        pkt.tuple.reversed()
+    }
+}
+
+fn kind_slot(kind: FlowKeyKind) -> usize {
+    match kind {
+        FlowKeyKind::UniFlow => 0,
+        FlowKeyKind::BiSession | FlowKeyKind::HostPair => 1,
+        FlowKeyKind::Source => 2,
+        FlowKeyKind::Destination => 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwdp_core::{build_units, AnalysisClass};
+    use nwdp_topo::{line, PathDb};
+    use nwdp_traffic::{generate_trace, TraceConfig, TrafficMatrix, VolumeModel};
+
+    fn small_setup() -> (nwdp_topo::Topology, NidsDeployment) {
+        let topo = line(3);
+        let paths = PathDb::shortest_paths(&topo);
+        let tm = TrafficMatrix::uniform(&topo);
+        let vol = VolumeModel::internet2_baseline();
+        let dep = build_units(&topo, &paths, &tm, &vol, &AnalysisClass::standard_set());
+        (topo, dep)
+    }
+
+    #[test]
+    fn standalone_coordination_covers_everything_at_one_node() {
+        let (_topo, dep) = small_setup();
+        let (solo, manifest) = standalone_coordination(&dep, NodeId(1));
+        for (u, unit) in solo.units.iter().enumerate() {
+            assert_eq!(unit.nodes, vec![NodeId(1)]);
+            for g in 0..11 {
+                let h = (g as f64 + 0.5) / 11.0;
+                assert!(manifest.should_analyze(u, NodeId(1), h));
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_skips_state_for_unassigned_traffic() {
+        // All units assigned to node 1; an engine at node 0 must create
+        // no connection state at all.
+        let (topo, dep) = small_setup();
+        let (solo, manifest) = standalone_coordination(&dep, NodeId(1));
+        let names: Vec<String> = solo.classes.iter().map(|c| c.name.clone()).collect();
+        let tm = TrafficMatrix::uniform(&topo);
+        let trace = generate_trace(&topo, &tm, &TraceConfig::new(200, 3));
+        let coord = CoordContext::new(&solo, &manifest);
+        let mut bystander =
+            Engine::new(NodeId(0), Placement::EventEngine, &names, Some(coord), KeyedHasher::unkeyed());
+        for s in &trace.sessions {
+            bystander.process_session(s);
+        }
+        let st = bystander.stats();
+        assert_eq!(st.connections, 0, "no responsibilities ⇒ no state");
+        assert!(st.alerts.is_empty());
+        assert!(st.packets > 0);
+        // The responsible node tracks everything instead.
+        let coord = CoordContext::new(&solo, &manifest);
+        let mut owner =
+            Engine::new(NodeId(1), Placement::EventEngine, &names, Some(coord), KeyedHasher::unkeyed());
+        for s in &trace.sessions {
+            owner.process_session(s);
+        }
+        assert!(owner.stats().connections > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unmodified_engine_rejects_manifests() {
+        let (_topo, dep) = small_setup();
+        let (solo, manifest) = standalone_coordination(&dep, NodeId(0));
+        let names = vec!["HTTP".to_string()];
+        let coord = CoordContext::new(&solo, &manifest);
+        let _ = Engine::new(NodeId(0), Placement::Unmodified, &names, Some(coord), KeyedHasher::unkeyed());
+    }
+
+    #[test]
+    #[should_panic]
+    fn coordinated_engine_requires_manifests() {
+        let names = vec!["HTTP".to_string()];
+        let _ = Engine::new(NodeId(0), Placement::EventEngine, &names, None, KeyedHasher::unkeyed());
+    }
+
+    #[test]
+    fn stats_attribute_per_module_cpu() {
+        let (topo, dep) = small_setup();
+        let names: Vec<String> = dep.classes.iter().map(|c| c.name.clone()).collect();
+        let tm = TrafficMatrix::uniform(&topo);
+        let trace = generate_trace(&topo, &tm, &TraceConfig::new(300, 9));
+        let mut e = Engine::new(NodeId(0), Placement::Unmodified, &names, None, KeyedHasher::unkeyed());
+        for s in &trace.sessions {
+            e.process_session(s);
+        }
+        let st = e.stats();
+        assert_eq!(st.per_module_cpu.len(), 9);
+        // Signature (scans every payload byte) must be among the most
+        // expensive modules.
+        let sig = st.per_module_cpu.iter().find(|(n, _)| n == "Signature").unwrap().1;
+        let median = {
+            let mut v: Vec<u64> = st.per_module_cpu.iter().map(|(_, c)| *c).collect();
+            v.sort();
+            v[v.len() / 2]
+        };
+        assert!(sig >= median, "signature {sig} vs median {median}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # nwdp-engine — a Bro-like coordinated NIDS engine
+//!
+//! The paper's prototype extends Bro 1.4 with coordination functions; this
+//! crate rebuilds the relevant slice of that architecture as a
+//! deterministic emulation (see DESIGN.md → substitutions):
+//!
+//! - [`conn`]: the event engine's connection records, extended with
+//!   precomputed coordination hashes (§2.3);
+//! - [`modules`]: the nine benchmark analysis modules of Fig 5 (Baseline,
+//!   Scan, IRC, Login, TFTP, HTTP, Blaster, Signature, SYNFlood) over an
+//!   [`ac`] Aho–Corasick signature matcher;
+//! - [`engine`]: the per-packet pipeline with both coordination-check
+//!   placements (event engine vs policy engine) and the
+//!   skip-state-creation fast path;
+//! - [`cost`]: the deterministic cycle/byte accounting that stands in for
+//!   the paper's `atop` measurements;
+//! - [`netwide`]: edge-only vs coordinated network-wide runs (Figs 6–8).
+
+pub mod ac;
+pub mod conn;
+pub mod cost;
+pub mod engine;
+pub mod modules;
+pub mod netwide;
+
+pub use ac::AhoCorasick;
+pub use conn::{ConnRecord, ConnTable};
+pub use cost::{CostModel, Meter};
+pub use engine::{standalone_coordination, CoordContext, Engine, Placement, RunStats};
+pub use modules::{module_for_class, Alert, Analyzer, Granularity, Stage};
+pub use netwide::{run_coordinated, run_edge_only, run_standalone_reference, NetworkRun};

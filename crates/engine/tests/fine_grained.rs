@@ -1,0 +1,69 @@
+//! §2.5 fine-grained coordination extension: connections whose interested
+//! modules only consume connection-level events (Scan, SYNFlood) are
+//! tracked in lightweight records. Detection must be unchanged; ingress
+//! memory must drop.
+
+use nwdp_core::nids::{generate_manifests, solve_nids_lp, NidsLpConfig, NodeCaps};
+use nwdp_core::{build_units, AnalysisClass};
+use nwdp_engine::{CoordContext, Engine, Placement, RunStats};
+use nwdp_hash::KeyedHasher;
+use nwdp_topo::{internet2, NodeId, PathDb};
+use nwdp_traffic::{generate_trace, NetTrace, TraceConfig, TrafficMatrix};
+
+fn run_network(fine_grained: bool, trace: &NetTrace) -> Vec<RunStats> {
+    let topo = internet2();
+    let paths = PathDb::shortest_paths(&topo);
+    let tm = TrafficMatrix::gravity(&topo);
+    let vol = nwdp_traffic::VolumeModel::internet2_baseline();
+    let dep = build_units(&topo, &paths, &tm, &vol, &AnalysisClass::standard_set());
+    let cfg = NidsLpConfig::homogeneous(dep.num_nodes, NodeCaps { cpu: 2e8, mem: 4e9 });
+    let a = solve_nids_lp(&dep, &cfg).unwrap();
+    let manifest = generate_manifests(&dep, &a.d);
+    let names: Vec<String> = dep.classes.iter().map(|c| c.name.clone()).collect();
+    let h = KeyedHasher::with_key(0xF1FE);
+    (0..topo.num_nodes())
+        .map(|j| {
+            let node = NodeId(j);
+            let coord = CoordContext::new(&dep, &manifest);
+            let mut engine = Engine::new(node, Placement::EventEngine, &names, Some(coord), h);
+            engine.set_fine_grained(fine_grained);
+            for s in trace.onpath_sessions(&paths, node) {
+                engine.process_session(s);
+            }
+            engine.stats()
+        })
+        .collect()
+}
+
+#[test]
+fn fine_grained_preserves_detection_and_cuts_memory() {
+    let topo = internet2();
+    let tm = TrafficMatrix::gravity(&topo);
+    let trace = generate_trace(&topo, &tm, &TraceConfig::new(4000, 99));
+
+    let base = run_network(false, &trace);
+    let fine = run_network(true, &trace);
+
+    // Identical alerts network-wide.
+    let alerts_base: std::collections::BTreeSet<_> =
+        base.iter().flat_map(|s| s.alerts.iter().cloned()).collect();
+    let alerts_fine: std::collections::BTreeSet<_> =
+        fine.iter().flat_map(|s| s.alerts.iter().cloned()).collect();
+    assert_eq!(alerts_base, alerts_fine, "fine-grained mode must not change detection");
+
+    // Strictly less total memory, and no node worse off.
+    let mem_base: u64 = base.iter().map(|s| s.mem_peak).sum();
+    let mem_fine: u64 = fine.iter().map(|s| s.mem_peak).sum();
+    assert!(
+        mem_fine < mem_base,
+        "lightweight records must save memory: {mem_fine} vs {mem_base}"
+    );
+    for (b, f) in base.iter().zip(&fine) {
+        assert!(f.mem_peak <= b.mem_peak, "node {:?} regressed", b.node);
+    }
+    // CPU also drops (mid-stream packets of light connections skip the
+    // module loop).
+    let cpu_base: u64 = base.iter().map(|s| s.cpu_cycles).sum();
+    let cpu_fine: u64 = fine.iter().map(|s| s.cpu_cycles).sum();
+    assert!(cpu_fine <= cpu_base);
+}

@@ -1,0 +1,96 @@
+//! Failure injection: the engine must stay correct and the
+//! coordinated-equals-standalone equivalence must survive lossy capture
+//! (drops, duplicates, reordering are end-to-end properties of the trace,
+//! seen identically by every on-path node).
+
+use nwdp_core::nids::{generate_manifests, solve_nids_lp, NidsLpConfig, NodeCaps};
+use nwdp_core::{build_units, AnalysisClass};
+use nwdp_engine::{CoordContext, Engine, Placement};
+use nwdp_hash::KeyedHasher;
+use nwdp_topo::{internet2, NodeId, PathDb};
+use nwdp_traffic::{generate_trace, FaultInjector, TraceConfig, TrafficMatrix, VolumeModel};
+use std::collections::BTreeSet;
+
+#[test]
+fn equivalence_survives_packet_loss_duplication_and_reordering() {
+    let topo = internet2();
+    let paths = PathDb::shortest_paths(&topo);
+    let tm = TrafficMatrix::gravity(&topo);
+    let vol = VolumeModel::internet2_baseline();
+    let dep = build_units(&topo, &paths, &tm, &vol, &AnalysisClass::standard_set());
+    let cfg = NidsLpConfig::homogeneous(dep.num_nodes, NodeCaps { cpu: 2e8, mem: 4e9 });
+    let a = solve_nids_lp(&dep, &cfg).unwrap();
+    let manifest = generate_manifests(&dep, &a.d);
+    let names: Vec<String> = dep.classes.iter().map(|c| c.name.clone()).collect();
+    let trace = generate_trace(&topo, &tm, &TraceConfig::new(2500, 404));
+    let h = KeyedHasher::with_key(0xFA17);
+    // smoltcp-style starting point: ~15% drop chance stresses every path.
+    let faults = FaultInjector::new(0.15, 0.05, 0.10, 9);
+
+    // Standalone reference over the faulted trace.
+    let mut reference = Engine::new(NodeId(0), Placement::Unmodified, &names, None, h);
+    for s in &trace.sessions {
+        reference.process_session_faulty(s, &faults);
+    }
+    let ref_alerts = reference.stats().alerts;
+
+    // Coordinated network over the same faulted trace.
+    let mut coord_alerts = BTreeSet::new();
+    for j in 0..topo.num_nodes() {
+        let node = NodeId(j);
+        let coord = CoordContext::new(&dep, &manifest);
+        let mut engine = Engine::new(node, Placement::EventEngine, &names, Some(coord), h);
+        for s in trace.onpath_sessions(&paths, node) {
+            engine.process_session_faulty(s, &faults);
+        }
+        coord_alerts.extend(engine.stats().alerts);
+    }
+    assert!(!ref_alerts.is_empty(), "faulted trace still triggers detections");
+    assert_eq!(coord_alerts, ref_alerts);
+}
+
+#[test]
+fn engine_handles_pathological_streams() {
+    // 100% duplication + heavy reordering: nothing panics, state stays
+    // bounded (one record per connection).
+    let topo = internet2();
+    let tm = TrafficMatrix::gravity(&topo);
+    let trace = generate_trace(&topo, &tm, &TraceConfig::new(500, 5));
+    let names: Vec<String> =
+        AnalysisClass::standard_set().iter().map(|c| c.name.clone()).collect();
+    let mut engine =
+        Engine::new(NodeId(0), Placement::Unmodified, &names, None, KeyedHasher::unkeyed());
+    let faults = FaultInjector::new(0.0, 1.0, 0.5, 1);
+    for s in &trace.sessions {
+        engine.process_session_faulty(s, &faults);
+    }
+    let stats = engine.stats();
+    assert!(stats.connections <= trace.sessions.len());
+    assert_eq!(stats.packets as usize, 2 * trace.total_packets());
+}
+
+#[test]
+fn loss_degrades_detection_gracefully_not_catastrophically() {
+    // With 30% loss some per-session detections disappear (their packets
+    // were dropped) but a healthy fraction must survive.
+    let topo = internet2();
+    let tm = TrafficMatrix::gravity(&topo);
+    let trace = generate_trace(&topo, &tm, &TraceConfig::new(4000, 6));
+    let names: Vec<String> =
+        AnalysisClass::standard_set().iter().map(|c| c.name.clone()).collect();
+    let run = |faults: FaultInjector| {
+        let mut e =
+            Engine::new(NodeId(0), Placement::Unmodified, &names, None, KeyedHasher::unkeyed());
+        for s in &trace.sessions {
+            e.process_session_faulty(s, &faults);
+        }
+        e.stats().alerts.len()
+    };
+    let clean = run(FaultInjector::none());
+    let lossy = run(FaultInjector::new(0.3, 0.0, 0.0, 2));
+    assert!(lossy < clean, "loss must cost some detections");
+    assert!(
+        lossy as f64 > 0.3 * clean as f64,
+        "detection should degrade gracefully: {lossy} of {clean}"
+    );
+}

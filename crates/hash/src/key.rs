@@ -1,0 +1,152 @@
+//! Flow-key extraction for coordination hashing.
+//!
+//! Different NIDS/NIPS analysis classes hash different header-field
+//! combinations (§2.2 of the paper): per-flow analysis hashes the
+//! unidirectional 5-tuple; session (connection) analysis hashes a
+//! *bidirectional* 5-tuple canonicalized so both directions of a connection
+//! hash identically; per-source and per-destination analyses hash a single
+//! address. [`FlowKeyKind`] enumerates these aggregation levels and
+//! [`flow_key_words`] produces the word sequence fed to the Bob hash.
+
+/// A packet header 5-tuple (IPv4 addresses as host-order `u32`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FiveTuple {
+    pub src_ip: u32,
+    pub dst_ip: u32,
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub proto: u8,
+}
+
+impl FiveTuple {
+    pub fn new(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16, proto: u8) -> Self {
+        FiveTuple { src_ip, dst_ip, src_port, dst_port, proto }
+    }
+
+    /// The same tuple with source and destination swapped (the reverse
+    /// direction of the same connection).
+    pub fn reversed(&self) -> Self {
+        FiveTuple {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+
+    /// True if `(src_ip, src_port)` orders lexicographically before
+    /// `(dst_ip, dst_port)`; used to canonicalize bidirectional keys.
+    fn is_canonical(&self) -> bool {
+        (self.src_ip, self.src_port) <= (self.dst_ip, self.dst_port)
+    }
+}
+
+/// The unit of traffic aggregation for a class's coordination hash.
+///
+/// Mirrors the paper's examples: "for flow-based analysis, the hash is over
+/// the unidirectional 5-tuple. For session-based analysis, the hash is over
+/// a bidirectional 5-tuple such that the src/dst IP are consistent in both
+/// directions."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowKeyKind {
+    /// Unidirectional 5-tuple: each direction is a distinct item.
+    UniFlow,
+    /// Bidirectional 5-tuple: both directions of a connection map to the
+    /// same item (required for stateful session analysis).
+    BiSession,
+    /// Source IP address only (e.g., scan detection tracks sources).
+    Source,
+    /// Destination IP address only (e.g., flood detection tracks victims).
+    Destination,
+    /// Unordered source/destination address pair.
+    HostPair,
+}
+
+/// Encode the key fields selected by `kind` as a word sequence suitable for
+/// [`crate::lookup3::hashword`]. Encodings are fixed-width and injective per
+/// kind.
+pub fn flow_key_words(t: &FiveTuple, kind: FlowKeyKind) -> ([u32; 4], usize) {
+    let ports = |a: u16, b: u16| ((a as u32) << 16) | (b as u32);
+    match kind {
+        FlowKeyKind::UniFlow => (
+            [t.src_ip, t.dst_ip, ports(t.src_port, t.dst_port), t.proto as u32],
+            4,
+        ),
+        FlowKeyKind::BiSession => {
+            let c = if t.is_canonical() { *t } else { t.reversed() };
+            (
+                [c.src_ip, c.dst_ip, ports(c.src_port, c.dst_port), c.proto as u32],
+                4,
+            )
+        }
+        FlowKeyKind::Source => ([t.src_ip, 0, 0, 0], 1),
+        FlowKeyKind::Destination => ([t.dst_ip, 0, 0, 0], 1),
+        FlowKeyKind::HostPair => {
+            let (a, b) = if t.src_ip <= t.dst_ip {
+                (t.src_ip, t.dst_ip)
+            } else {
+                (t.dst_ip, t.src_ip)
+            };
+            ([a, b, 0, 0], 2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> FiveTuple {
+        FiveTuple::new(0x0a000001, 0xc0a80107, 49152, 80, 6)
+    }
+
+    #[test]
+    fn bisession_is_direction_invariant() {
+        let fwd = t();
+        let rev = fwd.reversed();
+        assert_eq!(
+            flow_key_words(&fwd, FlowKeyKind::BiSession),
+            flow_key_words(&rev, FlowKeyKind::BiSession)
+        );
+    }
+
+    #[test]
+    fn uniflow_is_direction_sensitive() {
+        let fwd = t();
+        let rev = fwd.reversed();
+        assert_ne!(
+            flow_key_words(&fwd, FlowKeyKind::UniFlow),
+            flow_key_words(&rev, FlowKeyKind::UniFlow)
+        );
+    }
+
+    #[test]
+    fn host_pair_is_unordered() {
+        let fwd = t();
+        let rev = fwd.reversed();
+        assert_eq!(
+            flow_key_words(&fwd, FlowKeyKind::HostPair),
+            flow_key_words(&rev, FlowKeyKind::HostPair)
+        );
+    }
+
+    #[test]
+    fn source_and_destination_swap_under_reversal() {
+        let fwd = t();
+        let rev = fwd.reversed();
+        assert_eq!(
+            flow_key_words(&fwd, FlowKeyKind::Source),
+            flow_key_words(&rev, FlowKeyKind::Destination)
+        );
+    }
+
+    #[test]
+    fn bisession_ties_on_equal_endpoints_are_stable() {
+        // src==dst: canonicalization must not loop or panic.
+        let same = FiveTuple::new(1, 1, 5, 5, 17);
+        let (w, n) = flow_key_words(&same, FlowKeyKind::BiSession);
+        assert_eq!(n, 4);
+        assert_eq!(w[0], 1);
+    }
+}

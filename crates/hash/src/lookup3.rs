@@ -1,0 +1,250 @@
+//! Bob Jenkins' lookup3 hash ("Bob hash").
+//!
+//! The paper (§2.3) uses "the Bob hash function recommended by prior
+//! studies" (Molina, Niccolini, Duffield, *A Comparative Experimental Study
+//! of Hash Functions Applied to Packet Sampling*, ITC 2005) to map packet
+//! header fields onto the unit interval. This module is a faithful port of
+//! the public-domain `lookup3.c` (Bob Jenkins, May 2006): [`hashlittle`]
+//! (byte-oriented, little-endian semantics) and [`hashword`]
+//! (u32-word-oriented).
+//!
+//! The implementation is verified against the self-test vectors published in
+//! `lookup3.c` (see the unit tests at the bottom of this file).
+
+#[inline(always)]
+fn rot(x: u32, k: u32) -> u32 {
+    x.rotate_left(k)
+}
+
+/// The lookup3 `mix` macro: scrambles three 32-bit accumulators.
+#[inline(always)]
+fn mix(a: &mut u32, b: &mut u32, c: &mut u32) {
+    *a = a.wrapping_sub(*c);
+    *a ^= rot(*c, 4);
+    *c = c.wrapping_add(*b);
+    *b = b.wrapping_sub(*a);
+    *b ^= rot(*a, 6);
+    *a = a.wrapping_add(*c);
+    *c = c.wrapping_sub(*b);
+    *c ^= rot(*b, 8);
+    *b = b.wrapping_add(*a);
+    *a = a.wrapping_sub(*c);
+    *a ^= rot(*c, 16);
+    *c = c.wrapping_add(*b);
+    *b = b.wrapping_sub(*a);
+    *b ^= rot(*a, 19);
+    *a = a.wrapping_add(*c);
+    *c = c.wrapping_sub(*b);
+    *c ^= rot(*b, 4);
+    *b = b.wrapping_add(*a);
+}
+
+/// The lookup3 `final` macro: final mixing of three 32-bit accumulators.
+#[inline(always)]
+fn final_mix(a: &mut u32, b: &mut u32, c: &mut u32) {
+    *c ^= *b;
+    *c = c.wrapping_sub(rot(*b, 14));
+    *a ^= *c;
+    *a = a.wrapping_sub(rot(*c, 11));
+    *b ^= *a;
+    *b = b.wrapping_sub(rot(*a, 25));
+    *c ^= *b;
+    *c = c.wrapping_sub(rot(*b, 16));
+    *a ^= *c;
+    *a = a.wrapping_sub(rot(*c, 4));
+    *b ^= *a;
+    *b = b.wrapping_sub(rot(*a, 14));
+    *c ^= *b;
+    *c = c.wrapping_sub(rot(*b, 24));
+}
+
+/// Hash an array of 32-bit words. Port of lookup3's `hashword()`.
+///
+/// `initval` is the previous hash or an arbitrary seed; different seeds
+/// produce independent hash functions over the same key.
+pub fn hashword(k: &[u32], initval: u32) -> u32 {
+    let mut a: u32 = 0xdeadbeef_u32
+        .wrapping_add((k.len() as u32) << 2)
+        .wrapping_add(initval);
+    let mut b = a;
+    let mut c = a;
+
+    let mut k = k;
+    while k.len() > 3 {
+        a = a.wrapping_add(k[0]);
+        b = b.wrapping_add(k[1]);
+        c = c.wrapping_add(k[2]);
+        mix(&mut a, &mut b, &mut c);
+        k = &k[3..];
+    }
+    match k.len() {
+        3 => {
+            c = c.wrapping_add(k[2]);
+            b = b.wrapping_add(k[1]);
+            a = a.wrapping_add(k[0]);
+            final_mix(&mut a, &mut b, &mut c);
+        }
+        2 => {
+            b = b.wrapping_add(k[1]);
+            a = a.wrapping_add(k[0]);
+            final_mix(&mut a, &mut b, &mut c);
+        }
+        1 => {
+            a = a.wrapping_add(k[0]);
+            final_mix(&mut a, &mut b, &mut c);
+        }
+        _ => {}
+    }
+    c
+}
+
+/// Hash an array of 32-bit words, returning two 32-bit results
+/// (`(c, b)` in lookup3 terms). Port of `hashword2()`.
+///
+/// Useful to derive a 64-bit value from one pass.
+pub fn hashword2(k: &[u32], initval_c: u32, initval_b: u32) -> (u32, u32) {
+    let mut a: u32 = 0xdeadbeef_u32
+        .wrapping_add((k.len() as u32) << 2)
+        .wrapping_add(initval_c);
+    let mut b = a;
+    let mut c = a.wrapping_add(initval_b);
+
+    let mut k = k;
+    while k.len() > 3 {
+        a = a.wrapping_add(k[0]);
+        b = b.wrapping_add(k[1]);
+        c = c.wrapping_add(k[2]);
+        mix(&mut a, &mut b, &mut c);
+        k = &k[3..];
+    }
+    match k.len() {
+        3 => {
+            c = c.wrapping_add(k[2]);
+            b = b.wrapping_add(k[1]);
+            a = a.wrapping_add(k[0]);
+            final_mix(&mut a, &mut b, &mut c);
+        }
+        2 => {
+            b = b.wrapping_add(k[1]);
+            a = a.wrapping_add(k[0]);
+            final_mix(&mut a, &mut b, &mut c);
+        }
+        1 => {
+            a = a.wrapping_add(k[0]);
+            final_mix(&mut a, &mut b, &mut c);
+        }
+        _ => {}
+    }
+    (c, b)
+}
+
+#[inline]
+fn le_word(bytes: &[u8], at: usize, len: usize) -> u32 {
+    // Load up to 4 bytes starting at `at`, little-endian, zero-padded.
+    let mut w = 0u32;
+    for i in 0..4 {
+        if at + i < len {
+            w |= (bytes[at + i] as u32) << (8 * i);
+        }
+    }
+    w
+}
+
+/// Hash a byte slice. Port of lookup3's `hashlittle()` (the portable
+/// byte-at-a-time variant; identical output to the aligned variants on
+/// little-endian machines).
+pub fn hashlittle(data: &[u8], initval: u32) -> u32 {
+    let length = data.len();
+    let mut a: u32 = 0xdeadbeef_u32
+        .wrapping_add(length as u32)
+        .wrapping_add(initval);
+    let mut b = a;
+    let mut c = a;
+
+    let mut off = 0usize;
+    let mut len = length;
+    while len > 12 {
+        a = a.wrapping_add(le_word(data, off, length));
+        b = b.wrapping_add(le_word(data, off + 4, length));
+        c = c.wrapping_add(le_word(data, off + 8, length));
+        mix(&mut a, &mut b, &mut c);
+        off += 12;
+        len -= 12;
+    }
+
+    if len == 0 {
+        return c;
+    }
+    // Tail: len is 1..=12. The masked little-endian loads implement the
+    // byte-wise switch of lookup3.c exactly (high bytes zero).
+    let mut ta = 0u32;
+    let mut tb = 0u32;
+    let mut tc = 0u32;
+    for i in 0..len {
+        let byte = (data[off + i] as u32) << (8 * (i % 4));
+        match i / 4 {
+            0 => ta |= byte,
+            1 => tb |= byte,
+            _ => tc |= byte,
+        }
+    }
+    a = a.wrapping_add(ta);
+    b = b.wrapping_add(tb);
+    c = c.wrapping_add(tc);
+    final_mix(&mut a, &mut b, &mut c);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Self-test vectors from the driver code / comments in lookup3.c.
+    #[test]
+    fn hashlittle_published_vectors() {
+        let s = b"Four score and seven years ago";
+        assert_eq!(hashlittle(s, 0), 0x17770551);
+        assert_eq!(hashlittle(s, 1), 0xcd628161);
+        assert_eq!(hashlittle(b"", 0), 0xdeadbeef);
+        assert_eq!(hashlittle(b"", 0xdeadbeef), 0xbd5b7dde);
+    }
+
+    #[test]
+    fn hashword_matches_hashlittle_on_word_aligned_input() {
+        // lookup3 documents that hashword() and hashlittle() agree on
+        // little-endian machines for word-multiples *is not* guaranteed
+        // (length is counted in words vs bytes), so we only check
+        // self-consistency and seed sensitivity here.
+        let words = [0x01020304u32, 0x05060708, 0x090a0b0c];
+        let h0 = hashword(&words, 0);
+        let h1 = hashword(&words, 1);
+        assert_ne!(h0, h1);
+        assert_eq!(h0, hashword(&words, 0));
+    }
+
+    #[test]
+    fn hashword2_first_result_matches_hashword() {
+        let words = [7u32, 77, 777, 7777, 77777];
+        let (c, b) = hashword2(&words, 42, 0);
+        assert_eq!(c, hashword(&words, 42));
+        assert_ne!(c, b);
+    }
+
+    #[test]
+    fn incremental_chaining_changes_result() {
+        let w = [1u32, 2, 3, 4];
+        let h1 = hashword(&w, 0);
+        let h2 = hashword(&w, h1);
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn tail_lengths_all_distinct() {
+        // Exercise every tail length 0..=12 plus a multi-block input.
+        let data: Vec<u8> = (0u8..64).collect();
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=25 {
+            assert!(seen.insert(hashlittle(&data[..len], 0)), "collision at len {len}");
+        }
+    }
+}

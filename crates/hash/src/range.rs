@@ -1,0 +1,186 @@
+//! Hash-range arithmetic over the unit interval.
+//!
+//! The optimization output assigns each node a sub-range of `[0, 1)` per
+//! coordination unit (Fig. 2 of the paper); a node analyzes a packet iff the
+//! packet's unit-interval hash falls inside its range. With the
+//! redundancy-`r` extension (§2.5) the covered space is `[0, r)` and a
+//! node's range *wraps around* the unit interval, so a node's assignment is
+//! in general a set of disjoint half-open segments — a [`RangeSet`].
+
+/// A half-open interval `[lo, hi)` within the unit interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl Segment {
+    pub fn new(lo: f64, hi: f64) -> Self {
+        debug_assert!(lo <= hi, "segment bounds out of order: [{lo}, {hi})");
+        Segment { lo, hi }
+    }
+
+    pub fn len(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.hi <= self.lo
+    }
+
+    pub fn contains(&self, u: f64) -> bool {
+        self.lo <= u && u < self.hi
+    }
+}
+
+/// A set of disjoint, sorted half-open segments within `[0, 1)`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RangeSet {
+    segments: Vec<Segment>,
+}
+
+impl RangeSet {
+    /// The empty range set (node analyzes nothing).
+    pub fn empty() -> Self {
+        RangeSet { segments: Vec::new() }
+    }
+
+    /// A single contiguous range `[lo, hi)` with `0 <= lo <= hi <= 1`.
+    pub fn interval(lo: f64, hi: f64) -> Self {
+        assert!((0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0 + 1e-12,
+            "interval [{lo}, {hi}) outside the unit interval");
+        if hi <= lo {
+            return Self::empty();
+        }
+        RangeSet { segments: vec![Segment::new(lo, hi.min(1.0))] }
+    }
+
+    /// A range on the *extended* space `[0, r)` used by the redundancy
+    /// extension: the extended range `[lo, hi)` (with `hi - lo <= 1`) is
+    /// wrapped modulo 1 into up to two unit-interval segments.
+    ///
+    /// Example: `wrapped(0.8, 1.3)` covers `[0.8, 1) ∪ [0, 0.3)`.
+    pub fn wrapped(lo: f64, hi: f64) -> Self {
+        assert!(hi >= lo, "wrapped range bounds out of order");
+        assert!(hi - lo <= 1.0 + 1e-12, "wrapped range longer than the unit interval");
+        if hi <= lo {
+            return Self::empty();
+        }
+        let lo_m = lo - lo.floor();
+        let len = hi - lo;
+        if lo_m + len <= 1.0 + 1e-12 {
+            Self::interval(lo_m, (lo_m + len).min(1.0))
+        } else {
+            let first = Segment::new(lo_m, 1.0);
+            let second = Segment::new(0.0, lo_m + len - 1.0);
+            RangeSet { segments: vec![second, first] }
+        }
+    }
+
+    /// Merge another range set into this one. Panics (debug) if the sets
+    /// overlap, since manifests must assign disjoint responsibilities.
+    pub fn union(mut self, other: &RangeSet) -> Self {
+        self.segments.extend(other.segments.iter().copied());
+        self.segments
+            .sort_by(|a, b| a.lo.partial_cmp(&b.lo).expect("NaN in range set"));
+        for w in self.segments.windows(2) {
+            debug_assert!(
+                w[0].hi <= w[1].lo + 1e-12,
+                "overlapping segments in range set: {:?} and {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        self
+    }
+
+    /// Does the unit-interval point `u` fall inside this set?
+    pub fn contains(&self, u: f64) -> bool {
+        // Few segments (1-2 in practice): linear scan beats binary search.
+        self.segments.iter().any(|s| s.contains(u))
+    }
+
+    /// Total measure of the set (the fraction of traffic this node handles).
+    pub fn measure(&self) -> f64 {
+        self.segments.iter().map(Segment::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.segments.iter().all(Segment::is_empty)
+    }
+
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+}
+
+/// Map a 32-bit hash to the unit interval `[0, 1)`.
+#[inline]
+pub fn unit(hash: u32) -> f64 {
+    (hash as f64) / 4_294_967_296.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_contains_endpoints_half_open() {
+        let r = RangeSet::interval(0.25, 0.5);
+        assert!(!r.contains(0.2499999));
+        assert!(r.contains(0.25));
+        assert!(r.contains(0.4999999));
+        assert!(!r.contains(0.5));
+    }
+
+    #[test]
+    fn empty_interval_is_empty() {
+        assert!(RangeSet::interval(0.3, 0.3).is_empty());
+        assert!(!RangeSet::interval(0.3, 0.3).contains(0.3));
+    }
+
+    #[test]
+    fn wrapped_splits_across_unit_boundary() {
+        let r = RangeSet::wrapped(0.8, 1.3);
+        assert!(r.contains(0.9));
+        assert!(r.contains(0.0));
+        assert!(r.contains(0.29));
+        assert!(!r.contains(0.301)); // boundary fuzzy only at f64 epsilon
+        assert!(!r.contains(0.5));
+        assert!((r.measure() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrapped_without_crossing_equals_interval() {
+        let w = RangeSet::wrapped(1.2, 1.5);
+        let i = RangeSet::interval(0.2, 0.5);
+        assert_eq!(w.segments().len(), 1);
+        assert!((w.segments()[0].lo - i.segments()[0].lo).abs() < 1e-12);
+        assert!((w.segments()[0].hi - i.segments()[0].hi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_of_disjoint_sets() {
+        let r = RangeSet::interval(0.0, 0.2).union(&RangeSet::interval(0.5, 0.7));
+        assert!(r.contains(0.1));
+        assert!(!r.contains(0.3));
+        assert!(r.contains(0.6));
+        assert!((r.measure() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_maps_full_u32_range_into_unit_interval() {
+        assert_eq!(unit(0), 0.0);
+        assert!(unit(u32::MAX) < 1.0);
+        assert!((unit(u32::MAX / 2) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_wrap_covers_everything() {
+        let r = RangeSet::wrapped(0.4, 1.4);
+        assert!((r.measure() - 1.0).abs() < 1e-9);
+        for i in 0..100 {
+            assert!(r.contains(i as f64 / 100.0));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Independent optimality verification.
+//!
+//! For a linear program, a primal point `x` together with row duals `π` is
+//! optimal **iff** it satisfies the KKT conditions: primal feasibility,
+//! dual feasibility (sign-correct reduced costs at the bounds), and
+//! complementary slackness. [`verify_kkt`] checks all three directly
+//! against the raw problem data — it shares no code path with the simplex —
+//! so a passing check certifies optimality regardless of how the solution
+//! was produced. It doubles as the test oracle for the solver.
+
+use crate::model::{Cmp, Problem, Sense};
+use crate::solution::Solution;
+
+/// Tolerances for [`verify_kkt`].
+#[derive(Debug, Clone, Copy)]
+pub struct KktTol {
+    pub feas: f64,
+    pub dual: f64,
+    pub comp: f64,
+}
+
+impl Default for KktTol {
+    fn default() -> Self {
+        KktTol { feas: 1e-6, dual: 1e-6, comp: 1e-5 }
+    }
+}
+
+/// Verify that `sol` is an optimal solution of `p` via the KKT conditions.
+/// Returns a human-readable description of the first violated condition.
+pub fn verify_kkt(p: &Problem, sol: &Solution, tol: KktTol) -> Result<(), String> {
+    let x = &sol.x;
+    if x.len() != p.num_vars() {
+        return Err(format!("x has {} entries, problem has {} vars", x.len(), p.num_vars()));
+    }
+    // Scale-aware tolerance: large coefficients/rhs magnify roundoff.
+    let scale = p
+        .cons
+        .iter()
+        .map(|c| c.rhs.abs())
+        .fold(1.0f64, f64::max)
+        .max(x.iter().map(|v| v.abs()).fold(1.0f64, f64::max));
+
+    // --- Primal feasibility ---
+    for (j, v) in p.vars.iter().enumerate() {
+        if x[j] < v.lb - tol.feas * scale || x[j] > v.ub + tol.feas * scale {
+            return Err(format!("var {} = {} outside [{}, {}]", v.name, x[j], v.lb, v.ub));
+        }
+    }
+    let mut act = vec![0.0f64; p.num_cons()];
+    for (j, col) in p.cols.iter().enumerate() {
+        for &(row, a) in col {
+            act[row] += a * x[j];
+        }
+    }
+    for (i, con) in p.cons.iter().enumerate() {
+        let viol = match con.cmp {
+            Cmp::Le => act[i] - con.rhs,
+            Cmp::Ge => con.rhs - act[i],
+            Cmp::Eq => (act[i] - con.rhs).abs(),
+        };
+        if viol > tol.feas * scale {
+            return Err(format!("row {} violated by {viol}", con.name));
+        }
+    }
+
+    // --- Dual feasibility: constraint dual signs ---
+    // Convention: for Min, a binding `≤` row has π ≤ 0 and a `≥` row π ≥ 0;
+    // for Max the signs flip (we store duals in the problem's own sense).
+    let flip = match p.sense {
+        Sense::Min => 1.0,
+        Sense::Max => -1.0,
+    };
+    for (i, con) in p.cons.iter().enumerate() {
+        let d = flip * sol.duals[i];
+        match con.cmp {
+            Cmp::Le if d > tol.dual * scale => {
+                return Err(format!("row {}: dual {} has wrong sign for ≤", con.name, sol.duals[i]))
+            }
+            Cmp::Ge if d < -tol.dual * scale => {
+                return Err(format!("row {}: dual {} has wrong sign for ≥", con.name, sol.duals[i]))
+            }
+            _ => {}
+        }
+    }
+
+    // --- Complementary slackness on rows ---
+    for (i, con) in p.cons.iter().enumerate() {
+        let slack = match con.cmp {
+            Cmp::Le => con.rhs - act[i],
+            Cmp::Ge => act[i] - con.rhs,
+            Cmp::Eq => 0.0,
+        };
+        if slack.abs() > tol.comp * scale && sol.duals[i].abs() > tol.comp * scale {
+            return Err(format!(
+                "row {}: slack {} and dual {} both nonzero",
+                con.name, slack, sol.duals[i]
+            ));
+        }
+    }
+
+    // --- Reduced costs: dual feasibility + complementary slackness on vars ---
+    // Reduced cost (in min convention): r_j = c_j - π·A_j, where c is the
+    // min-sense objective. At optimum: x_j at lb ⇒ r_j ≥ 0; at ub ⇒ r_j ≤ 0;
+    // strictly between ⇒ r_j ≈ 0.
+    for (j, v) in p.vars.iter().enumerate() {
+        let cj = flip * v.obj;
+        let mut r = cj;
+        for &(row, a) in &p.cols[j] {
+            r -= flip * sol.duals[row] * a;
+        }
+        let at_lb = (x[j] - v.lb).abs() <= tol.comp * scale;
+        let at_ub = (v.ub - x[j]).abs() <= tol.comp * scale;
+        if at_lb && at_ub {
+            continue; // fixed variable: any reduced cost is fine
+        }
+        if at_lb {
+            if r < -tol.dual * scale {
+                return Err(format!("var {}: at lower bound with reduced cost {r}", v.name));
+            }
+        } else if at_ub {
+            if r > tol.dual * scale {
+                return Err(format!("var {}: at upper bound with reduced cost {r}", v.name));
+            }
+        } else if r.abs() > tol.dual * scale * 10.0 {
+            return Err(format!("var {}: basic/interior with reduced cost {r}", v.name));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,349 @@
+//! LP presolve: cheap problem reductions applied before the simplex.
+//!
+//! Opt-in (`reduce` → solve → `restore`): the deployment formulations
+//! produce many structurally-trivial elements — variables fixed by their
+//! bounds, empty rows, singleton rows that are really bounds — and
+//! removing them shrinks the basis the simplex must manage. The reduction
+//! is conservative and reversible; `restore` maps a reduced solution back
+//! to the original variable space.
+
+use crate::model::{Cmp, Problem, VarId};
+use crate::solution::{Solution, Status};
+
+/// Outcome of presolving.
+pub struct Reduced {
+    /// The reduced problem (possibly identical).
+    pub problem: Problem,
+    /// For each original variable: `Keep(new index)` or `Fixed(value)`.
+    map: Vec<Disposition>,
+    /// Rows kept (original indices, in reduced order).
+    rows_kept: Vec<usize>,
+    n_orig_vars: usize,
+    n_orig_rows: usize,
+    /// Objective contribution of fixed variables.
+    fixed_obj: f64,
+    /// Detected infeasibility during reduction.
+    pub infeasible: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Disposition {
+    Keep(usize),
+    Fixed(f64),
+}
+
+/// Statistics from a reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PresolveStats {
+    pub vars_fixed: usize,
+    pub rows_dropped: usize,
+    pub bounds_tightened: usize,
+}
+
+impl Reduced {
+    /// Map a solution of the reduced problem back to original indices.
+    pub fn restore(&self, sol: &Solution) -> Solution {
+        if sol.status != Status::Optimal {
+            return Solution {
+                status: sol.status,
+                objective: sol.objective,
+                x: self
+                    .map
+                    .iter()
+                    .map(|d| match d {
+                        Disposition::Keep(j) => sol.x.get(*j).copied().unwrap_or(0.0),
+                        Disposition::Fixed(v) => *v,
+                    })
+                    .collect(),
+                duals: vec![0.0; self.n_orig_rows],
+                iterations: sol.iterations,
+            };
+        }
+        let x: Vec<f64> = self
+            .map
+            .iter()
+            .map(|d| match d {
+                Disposition::Keep(j) => sol.x[*j],
+                Disposition::Fixed(v) => *v,
+            })
+            .collect();
+        let mut duals = vec![0.0; self.n_orig_rows];
+        for (new, &orig) in self.rows_kept.iter().enumerate() {
+            duals[orig] = sol.duals[new];
+        }
+        Solution {
+            status: sol.status,
+            objective: sol.objective + self.fixed_obj,
+            x,
+            duals,
+            iterations: sol.iterations,
+        }
+    }
+
+    pub fn stats(&self) -> PresolveStats {
+        PresolveStats {
+            vars_fixed: self
+                .map
+                .iter()
+                .filter(|d| matches!(d, Disposition::Fixed(_)))
+                .count(),
+            rows_dropped: self.n_orig_rows - self.rows_kept.len(),
+            bounds_tightened: 0, // folded into var fixing in this pass
+        }
+    }
+
+    pub fn num_orig_vars(&self) -> usize {
+        self.n_orig_vars
+    }
+}
+
+/// Reduce `p`: fix variables with `lb == ub`, drop empty rows (checking
+/// their trivial feasibility), and convert singleton rows into bounds on
+/// their single variable.
+pub fn reduce(p: &Problem) -> Reduced {
+    let n = p.num_vars();
+    let m = p.num_cons();
+    let tol = 1e-11;
+
+    // Pass 1: dispositions for fixed variables.
+    let mut map = Vec::with_capacity(n);
+    let mut fixed_obj = 0.0;
+    let mut lb: Vec<f64> = Vec::with_capacity(n);
+    let mut ub: Vec<f64> = Vec::with_capacity(n);
+    for j in 0..n {
+        let v = p.var_id(j);
+        let (l, u) = p.var_bounds(v);
+        lb.push(l);
+        ub.push(u);
+        if (u - l).abs() <= tol {
+            map.push(Disposition::Fixed(l));
+            fixed_obj += 0.0; // filled after we know objectives
+        } else {
+            map.push(Disposition::Keep(usize::MAX)); // index assigned later
+        }
+    }
+
+    // Row scan: compute constant contribution of fixed vars per row;
+    // detect empty and singleton rows.
+    let mut row_terms: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+    for j in 0..n {
+        for &(row, a) in &p.cols[j] {
+            row_terms[row].push((j, a));
+        }
+    }
+    let mut infeasible = false;
+    let mut rows_kept = Vec::new();
+    // Singleton rows become bound tightenings.
+    for (i, terms) in row_terms.iter().enumerate() {
+        let live: Vec<&(usize, f64)> = terms
+            .iter()
+            .filter(|(j, _)| matches!(map[*j], Disposition::Keep(_)))
+            .collect();
+        let fixed_part: f64 = terms
+            .iter()
+            .filter_map(|(j, a)| match map[*j] {
+                Disposition::Fixed(v) => Some(a * v),
+                Disposition::Keep(_) => None,
+            })
+            .sum();
+        let rhs = p.cons[i].rhs - fixed_part;
+        let cmp = p.cons[i].cmp;
+        match live.len() {
+            0 => {
+                // Empty row: feasible constant or infeasible problem.
+                let viol = match cmp {
+                    Cmp::Le => -rhs,
+                    Cmp::Ge => rhs,
+                    Cmp::Eq => rhs.abs(),
+                };
+                if viol > 1e-7 {
+                    infeasible = true;
+                }
+            }
+            1 => {
+                let &&(j, a) = live.first().expect("len checked");
+                // a * x cmp rhs → bound on x.
+                let b = rhs / a;
+                match (cmp, a > 0.0) {
+                    (Cmp::Le, true) | (Cmp::Ge, false) => ub[j] = ub[j].min(b),
+                    (Cmp::Le, false) | (Cmp::Ge, true) => lb[j] = lb[j].max(b),
+                    (Cmp::Eq, _) => {
+                        lb[j] = lb[j].max(b);
+                        ub[j] = ub[j].min(b);
+                    }
+                }
+                if lb[j] > ub[j] + 1e-9 {
+                    infeasible = true;
+                }
+            }
+            _ => rows_kept.push(i),
+        }
+    }
+
+    // Variables that became fixed through singleton tightening.
+    for j in 0..n {
+        if matches!(map[j], Disposition::Keep(_)) && (ub[j] - lb[j]).abs() <= tol {
+            map[j] = Disposition::Fixed(lb[j]);
+        }
+        if lb[j] > ub[j] + 1e-9 {
+            infeasible = true;
+        }
+    }
+    if infeasible {
+        // Don't build a reduced problem with crossed bounds; callers must
+        // consult `infeasible` first.
+        return Reduced {
+            problem: Problem::new(p.sense()),
+            map: (0..n).map(|_| Disposition::Fixed(0.0)).collect(),
+            rows_kept: Vec::new(),
+            n_orig_vars: n,
+            n_orig_rows: m,
+            fixed_obj: 0.0,
+            infeasible: true,
+        };
+    }
+
+    // Build the reduced problem.
+    let mut q = Problem::new(p.sense());
+    let mut next = 0usize;
+    for j in 0..n {
+        let v = p.var_id(j);
+        match map[j] {
+            Disposition::Fixed(val) => {
+                fixed_obj += val * obj_of(p, v);
+            }
+            Disposition::Keep(_) => {
+                let nv = q.add_var(p.var_name(v).to_string(), lb[j], ub[j], obj_of(p, v));
+                if p.var_is_integer(v) {
+                    q.mark_integer(nv);
+                }
+                map[j] = Disposition::Keep(nv.index());
+                debug_assert_eq!(nv.index(), next);
+                next += 1;
+            }
+        }
+    }
+    for &i in &rows_kept {
+        let mut terms: Vec<(VarId, f64)> = Vec::new();
+        let mut fixed_part = 0.0;
+        for &(j, a) in &row_terms[i] {
+            match map[j] {
+                Disposition::Keep(nj) => terms.push((q.var_id(nj), a)),
+                Disposition::Fixed(v) => fixed_part += a * v,
+            }
+        }
+        q.add_con(p.cons[i].name.clone(), &terms, p.cons[i].cmp, p.cons[i].rhs - fixed_part);
+    }
+
+    Reduced {
+        problem: q,
+        map,
+        rows_kept,
+        n_orig_vars: n,
+        n_orig_rows: m,
+        fixed_obj,
+        infeasible,
+    }
+}
+
+fn obj_of(p: &Problem, v: VarId) -> f64 {
+    p.vars[v.index()].obj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::{solve, SolverOpts};
+    use crate::model::Sense;
+
+    #[test]
+    fn fixed_vars_removed_and_restored() {
+        let mut p = Problem::new(Sense::Max);
+        let x = p.add_var("x", 0.0, 5.0, 2.0);
+        let f = p.add_var("f", 3.0, 3.0, 10.0); // fixed at 3
+        p.add_con("c", &[(x, 1.0), (f, 1.0)], Cmp::Le, 6.0);
+        let red = reduce(&p);
+        assert!(!red.infeasible);
+        assert_eq!(red.problem.num_vars(), 1);
+        assert_eq!(red.stats().vars_fixed, 1);
+        let sol = solve(&red.problem, &SolverOpts::default());
+        let full = red.restore(&sol);
+        assert_eq!(full.status, Status::Optimal);
+        // x <= 3 after fixing f: objective = 2*3 + 10*3 = 36.
+        assert!((full.objective - 36.0).abs() < 1e-7, "{}", full.objective);
+        assert!((full.x[x.index()] - 3.0).abs() < 1e-7);
+        assert!((full.x[f.index()] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_rows_become_bounds() {
+        let mut p = Problem::new(Sense::Max);
+        let x = p.add_var("x", 0.0, 100.0, 1.0);
+        let y = p.add_var("y", 0.0, 100.0, 1.0);
+        p.add_con("sx", &[(x, 2.0)], Cmp::Le, 10.0); // x <= 5
+        p.add_con("sy", &[(y, -1.0)], Cmp::Le, -2.0); // y >= 2
+        p.add_con("joint", &[(x, 1.0), (y, 1.0)], Cmp::Le, 6.0);
+        let red = reduce(&p);
+        assert_eq!(red.problem.num_cons(), 1, "singletons removed");
+        let sol = solve(&red.problem, &SolverOpts::default());
+        let full = red.restore(&sol);
+        assert_eq!(full.status, Status::Optimal);
+        assert!((full.objective - 6.0).abs() < 1e-7);
+        // Check the reduced solution obeys the singleton-derived bounds.
+        assert!(full.x[x.index()] <= 5.0 + 1e-9);
+        assert!(full.x[y.index()] >= 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn empty_infeasible_row_detected() {
+        let mut p = Problem::new(Sense::Min);
+        let f = p.add_var("f", 1.0, 1.0, 0.0);
+        p.add_con("bad", &[(f, 1.0)], Cmp::Ge, 5.0); // 1 >= 5: impossible
+        let red = reduce(&p);
+        assert!(red.infeasible);
+    }
+
+    #[test]
+    fn reduction_preserves_optimum_on_random_lps() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..40 {
+            let nv = rng.random_range(2..8);
+            let mut p = Problem::new(Sense::Max);
+            let vars: Vec<_> = (0..nv)
+                .map(|j| {
+                    // A third of variables are fixed.
+                    let lb = rng.random_range(0.0..1.0);
+                    let ub = if rng.random_bool(0.33) { lb } else { lb + rng.random_range(0.5..2.0) };
+                    p.add_var(format!("v{j}"), lb, ub, rng.random_range(-2.0..2.0))
+                })
+                .collect();
+            for c in 0..rng.random_range(1..5) {
+                let k = rng.random_range(1..=nv);
+                let terms: Vec<_> =
+                    (0..k).map(|t| (vars[(t + c) % nv], rng.random_range(0.2..1.5))).collect();
+                p.add_con(format!("c{c}"), &terms, Cmp::Le, rng.random_range(2.0..8.0));
+            }
+            let direct = solve(&p, &SolverOpts::default());
+            let red = reduce(&p);
+            if red.infeasible {
+                assert_eq!(direct.status, Status::Infeasible, "trial {trial}");
+                continue;
+            }
+            let sol = solve(&red.problem, &SolverOpts::default());
+            let full = red.restore(&sol);
+            assert_eq!(direct.status, full.status, "trial {trial}");
+            if direct.status == Status::Optimal {
+                assert!(
+                    (direct.objective - full.objective).abs()
+                        < 1e-6 * (1.0 + direct.objective.abs()),
+                    "trial {trial}: {} vs {}",
+                    direct.objective,
+                    full.objective
+                );
+                assert!(p.max_violation(&full.x) < 1e-6, "trial {trial}");
+            }
+        }
+    }
+}

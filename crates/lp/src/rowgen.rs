@@ -1,0 +1,193 @@
+//! Lazy-constraint (row generation) solving.
+//!
+//! The NIPS LP relaxation has one coverage row per (rule, path) pair and
+//! one variable-upper-bound row per (rule, path, node) triple — hundreds of
+//! thousands of rows, of which only a small fraction bind at the optimum.
+//! Rather than materializing all of them, [`solve_with_lazy_rows`] solves a
+//! restricted LP, scans the lazy pool for violated rows, adds the worst
+//! offenders, and repeats. At termination no lazy row is violated, so the
+//! restricted optimum is optimal for the full LP (cutting-plane argument:
+//! the restricted problem is a relaxation of the full one).
+
+use crate::model::{Cmp, Problem, VarId};
+use crate::simplex::{solve_warm, SolverOpts, WarmStart};
+#[cfg(test)]
+use crate::simplex::solve;
+use crate::solution::{Solution, Status};
+
+/// A constraint kept out of the LP until it becomes violated.
+#[derive(Debug, Clone)]
+pub struct LazyRow {
+    pub name: String,
+    pub terms: Vec<(VarId, f64)>,
+    pub cmp: Cmp,
+    pub rhs: f64,
+}
+
+impl LazyRow {
+    pub fn new(name: impl Into<String>, terms: Vec<(VarId, f64)>, cmp: Cmp, rhs: f64) -> Self {
+        LazyRow { name: name.into(), terms, cmp, rhs }
+    }
+
+    fn violation(&self, x: &[f64]) -> f64 {
+        let act: f64 = self.terms.iter().map(|&(v, c)| c * x[v.index()]).sum();
+        match self.cmp {
+            Cmp::Le => act - self.rhs,
+            Cmp::Ge => self.rhs - act,
+            Cmp::Eq => (act - self.rhs).abs(),
+        }
+    }
+}
+
+/// Row-generation report.
+#[derive(Debug, Clone)]
+pub struct RowGenResult {
+    pub solution: Solution,
+    /// Number of lazy rows that ended up in the LP.
+    pub rows_added: usize,
+    /// Cutting-plane rounds performed.
+    pub rounds: usize,
+    /// True when the final solution violates no lazy row (i.e. it is
+    /// optimal for the *full* problem).
+    pub converged: bool,
+}
+
+/// Options for [`solve_with_lazy_rows`].
+#[derive(Debug, Clone)]
+pub struct RowGenOpts {
+    pub lp: SolverOpts,
+    /// Violation tolerance for activating a lazy row.
+    pub tol: f64,
+    /// Add at most this many rows per round (worst violations first).
+    pub batch: usize,
+    /// Give up after this many rounds.
+    pub max_rounds: usize,
+    /// Predictive margin: when any row is violated, also activate rows
+    /// within this distance of binding (they are very likely to be cut
+    /// next round; activating them now saves whole re-solve rounds).
+    pub near_margin: f64,
+}
+
+impl Default for RowGenOpts {
+    fn default() -> Self {
+        RowGenOpts { lp: SolverOpts::default(), tol: 1e-7, batch: usize::MAX, max_rounds: 60, near_margin: 0.0 }
+    }
+}
+
+/// Solve `base` plus the lazy pool to optimality by row generation.
+pub fn solve_with_lazy_rows(
+    base: &Problem,
+    lazy: &[LazyRow],
+    opts: &RowGenOpts,
+) -> RowGenResult {
+    let mut p = base.clone();
+    let mut active = vec![false; lazy.len()];
+    let mut rows_added = 0usize;
+    let mut rounds = 0usize;
+    let mut warm: Option<WarmStart> = None;
+    loop {
+        rounds += 1;
+        let (sol, snapshot) = solve_warm(&p, &opts.lp, warm.as_ref());
+        warm = snapshot;
+        if sol.status != Status::Optimal {
+            return RowGenResult { solution: sol, rows_added, rounds, converged: false };
+        }
+        // Scan for violated lazy rows (and, when predictive activation is
+        // on, near-binding ones).
+        let mut violated: Vec<(usize, f64)> = Vec::new();
+        let mut near: Vec<usize> = Vec::new();
+        for (i, r) in lazy.iter().enumerate() {
+            if active[i] {
+                continue;
+            }
+            let v = r.violation(&sol.x);
+            if v > opts.tol {
+                violated.push((i, v));
+            } else if v > -opts.near_margin {
+                near.push(i);
+            }
+        }
+        if violated.is_empty() {
+            return RowGenResult { solution: sol, rows_added, rounds, converged: true };
+        }
+        if rounds >= opts.max_rounds {
+            return RowGenResult { solution: sol, rows_added, rounds, converged: false };
+        }
+        violated.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN violation"));
+        for &(i, _) in violated.iter().take(opts.batch) {
+            let r = &lazy[i];
+            p.add_con(r.name.clone(), &r.terms, r.cmp, r.rhs);
+            active[i] = true;
+            rows_added += 1;
+        }
+        if violated.len() <= opts.batch {
+            for i in near {
+                let r = &lazy[i];
+                p.add_con(r.name.clone(), &r.terms, r.cmp, r.rhs);
+                active[i] = true;
+                rows_added += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sense;
+
+    #[test]
+    fn matches_full_solve() {
+        // max sum x_j, x_j in [0,1], plus 20 lazy rows x_a + x_b <= 1.
+        let mut base = Problem::new(Sense::Max);
+        let vars: Vec<_> = (0..10).map(|j| base.add_var(format!("x{j}"), 0.0, 1.0, 1.0)).collect();
+        let mut lazy = Vec::new();
+        let mut full = base.clone();
+        for a in 0..10usize {
+            let b = (a + 1) % 10;
+            let terms = vec![(vars[a], 1.0), (vars[b], 1.0)];
+            lazy.push(LazyRow::new(format!("l{a}"), terms.clone(), Cmp::Le, 1.0));
+            full.add_con(format!("l{a}"), &terms, Cmp::Le, 1.0);
+        }
+        let lazy_sol = solve_with_lazy_rows(&base, &lazy, &RowGenOpts::default());
+        let full_sol = solve(&full, &SolverOpts::default());
+        assert!(lazy_sol.converged);
+        assert!(
+            (lazy_sol.solution.objective - full_sol.objective).abs() < 1e-6,
+            "{} vs {}",
+            lazy_sol.solution.objective,
+            full_sol.objective
+        );
+        // Odd cycle of length 10 pairwise caps → optimum 5.
+        assert!((full_sol.objective - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_violations_single_round() {
+        let mut base = Problem::new(Sense::Max);
+        let x = base.add_var("x", 0.0, 1.0, 1.0);
+        let lazy = vec![LazyRow::new("loose", vec![(x, 1.0)], Cmp::Le, 5.0)];
+        let r = solve_with_lazy_rows(&base, &lazy, &RowGenOpts::default());
+        assert!(r.converged);
+        assert_eq!(r.rows_added, 0);
+        assert_eq!(r.rounds, 1);
+    }
+
+    #[test]
+    fn batch_limit_respected() {
+        let mut base = Problem::new(Sense::Max);
+        let vars: Vec<_> = (0..6).map(|j| base.add_var(format!("x{j}"), 0.0, 2.0, 1.0)).collect();
+        let lazy: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| LazyRow::new(format!("cap{i}"), vec![(v, 1.0)], Cmp::Le, 1.0))
+            .collect();
+        let mut opts = RowGenOpts::default();
+        opts.batch = 2;
+        let r = solve_with_lazy_rows(&base, &lazy, &opts);
+        assert!(r.converged);
+        assert_eq!(r.rows_added, 6);
+        assert!(r.rounds >= 4); // 3 adding rounds + final clean round
+        assert!((r.solution.objective - 6.0).abs() < 1e-6);
+    }
+}

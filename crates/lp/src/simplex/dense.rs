@@ -1,0 +1,195 @@
+//! Dense explicit-inverse basis backend.
+//!
+//! Maintains `B⁻¹` as a column-major dense matrix, updated by elementary row
+//! operations at each pivot (product-form update applied eagerly). Simple,
+//! numerically transparent, and fast for basis sizes up to a few thousand
+//! rows; the sparse backend takes over beyond that.
+
+use super::BasisBackend;
+
+pub struct DenseInverse {
+    m: usize,
+    /// Column-major `B⁻¹`: entry `(i, k)` at `binv[k * m + i]`.
+    binv: Vec<f64>,
+}
+
+impl DenseInverse {
+    pub fn new() -> Self {
+        DenseInverse { m: 0, binv: Vec::new() }
+    }
+}
+
+impl Default for DenseInverse {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BasisBackend for DenseInverse {
+    fn reset_identity(&mut self, m: usize) {
+        self.m = m;
+        self.binv.clear();
+        self.binv.resize(m * m, 0.0);
+        for i in 0..m {
+            self.binv[i * m + i] = 1.0;
+        }
+    }
+
+    fn refactor(&mut self, m: usize, basis_cols: &[&[(usize, f64)]]) -> Result<(), ()> {
+        // Build the dense basis matrix and invert by Gauss-Jordan with
+        // partial pivoting. O(m^3); called only on numerical alarms.
+        self.m = m;
+        let mut a = vec![0.0f64; m * m]; // column-major basis matrix
+        for (pos, col) in basis_cols.iter().enumerate() {
+            for &(row, val) in *col {
+                a[pos * m + row] = val;
+            }
+        }
+        let mut inv = vec![0.0f64; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        // Gauss-Jordan over columns of `a` (column-major access by row is
+        // strided; acceptable for the rare refactor path).
+        for piv in 0..m {
+            // Find pivot row.
+            let mut best = piv;
+            let mut best_abs = a[piv * m + piv].abs();
+            for r in (piv + 1)..m {
+                let v = a[piv * m + r].abs();
+                if v > best_abs {
+                    best_abs = v;
+                    best = r;
+                }
+            }
+            if best_abs < 1e-12 {
+                return Err(()); // singular basis
+            }
+            if best != piv {
+                for k in 0..m {
+                    a.swap(k * m + piv, k * m + best);
+                    inv.swap(k * m + piv, k * m + best);
+                }
+            }
+            let d = a[piv * m + piv];
+            for k in 0..m {
+                a[k * m + piv] /= d;
+                inv[k * m + piv] /= d;
+            }
+            for r in 0..m {
+                if r == piv {
+                    continue;
+                }
+                let f = a[piv * m + r];
+                if f == 0.0 {
+                    continue;
+                }
+                for k in 0..m {
+                    a[k * m + r] -= f * a[k * m + piv];
+                    inv[k * m + r] -= f * inv[k * m + piv];
+                }
+            }
+        }
+        self.binv = inv;
+        Ok(())
+    }
+
+    fn ftran(&self, col: &[(usize, f64)], out: &mut [f64]) {
+        let m = self.m;
+        out[..m].fill(0.0);
+        for &(k, ak) in col {
+            let base = k * m;
+            let c = &self.binv[base..base + m];
+            for i in 0..m {
+                out[i] += c[i] * ak;
+            }
+        }
+    }
+
+    fn btran(&self, c: &[f64], out: &mut [f64]) {
+        let m = self.m;
+        for k in 0..m {
+            let base = k * m;
+            let col = &self.binv[base..base + m];
+            let mut acc = 0.0;
+            for i in 0..m {
+                acc += c[i] * col[i];
+            }
+            out[k] = acc;
+        }
+    }
+
+    fn update(&mut self, pivot_row: usize, y: &[f64]) {
+        let m = self.m;
+        let yr = y[pivot_row];
+        debug_assert!(yr.abs() > 1e-13, "pivot too small in dense update");
+        for k in 0..m {
+            let base = k * m;
+            let v = self.binv[base + pivot_row] / yr;
+            if v == 0.0 {
+                continue;
+            }
+            let col = &mut self.binv[base..base + m];
+            for i in 0..m {
+                col[i] -= y[i] * v;
+            }
+            col[pivot_row] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::BasisBackend;
+
+    #[test]
+    fn identity_ftran_btran_roundtrip() {
+        let mut b = DenseInverse::new();
+        b.reset_identity(3);
+        let col = vec![(0, 2.0), (2, -1.0)];
+        let mut y = vec![0.0; 3];
+        b.ftran(&col, &mut y);
+        assert_eq!(y, vec![2.0, 0.0, -1.0]);
+        let mut pi = vec![0.0; 3];
+        b.btran(&[1.0, 2.0, 3.0], &mut pi);
+        assert_eq!(pi, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn update_matches_refactor() {
+        // Start from identity, pivot column [1, 2, 0]^T into row 1, and
+        // compare against a from-scratch inversion of the same basis.
+        let mut b = DenseInverse::new();
+        b.reset_identity(3);
+        let entering = vec![(0, 1.0), (1, 2.0)];
+        let mut y = vec![0.0; 3];
+        b.ftran(&entering, &mut y);
+        b.update(1, &y);
+
+        let mut fresh = DenseInverse::new();
+        let c0: Vec<(usize, f64)> = vec![(0, 1.0)];
+        let c1: Vec<(usize, f64)> = vec![(0, 1.0), (1, 2.0)];
+        let c2: Vec<(usize, f64)> = vec![(2, 1.0)];
+        let basis_cols: Vec<&[(usize, f64)]> = vec![&c0, &c1, &c2];
+        fresh.refactor(3, &basis_cols).unwrap();
+
+        let probe = vec![(0, 0.3), (1, -1.7), (2, 0.9)];
+        let mut y1 = vec![0.0; 3];
+        let mut y2 = vec![0.0; 3];
+        b.ftran(&probe, &mut y1);
+        fresh.ftran(&probe, &mut y2);
+        for (a, c) in y1.iter().zip(&y2) {
+            assert!((a - c).abs() < 1e-12, "{y1:?} vs {y2:?}");
+        }
+    }
+
+    #[test]
+    fn refactor_detects_singularity() {
+        let mut b = DenseInverse::new();
+        let c0: Vec<(usize, f64)> = vec![(0, 1.0)];
+        let c1: Vec<(usize, f64)> = vec![(0, 2.0)]; // rank 1 in 2x2
+        let cols: Vec<&[(usize, f64)]> = vec![&c0, &c1];
+        assert!(b.refactor(2, &cols).is_err());
+    }
+}

@@ -1,0 +1,939 @@
+//! Bounded-variable two-phase revised simplex.
+//!
+//! The driver is generic over a [`BasisBackend`] that maintains the basis
+//! factorization: [`dense::DenseInverse`] keeps an explicit dense `B⁻¹`
+//! (best for up to a few thousand rows); [`sparse::SparseFactors`] keeps a
+//! sparse LU with eta updates for large structured problems such as the
+//! NIPS relaxations.
+//!
+//! Design notes:
+//! - **Standard form.** Every row gets a slack with bounds encoding the
+//!   comparison (`≤` → `[0, ∞)`, `≥` → `(-∞, 0]`, `=` → `[0, 0]`).
+//! - **Crash basis.** Rows whose initial residual fits in the slack's
+//!   bounds start with the slack basic; only the remaining rows receive
+//!   phase-1 artificials, keeping phase 1 short.
+//! - **Bounded ratio test** with bound flips, tie-breaking on pivot
+//!   magnitude, and Bland's rule engaged after a run of degenerate pivots
+//!   (anti-cycling).
+//! - **Self-checking.** Basic values are recomputed periodically; a
+//!   residual alarm triggers refactorization.
+
+pub mod dense;
+pub mod sparse;
+
+use crate::model::{Cmp, Problem, Sense};
+use crate::solution::{Solution, Status};
+
+/// Abstraction over the basis factorization.
+pub trait BasisBackend {
+    /// Reset to the identity basis of size `m`.
+    fn reset_identity(&mut self, m: usize);
+    /// Rebuild the factorization from the given basis columns (sparse, in
+    /// basis-position order). `Err` means the matrix is singular.
+    fn refactor(&mut self, m: usize, basis_cols: &[&[(usize, f64)]]) -> Result<(), ()>;
+    /// `out = B⁻¹ a` for a sparse column `a`.
+    fn ftran(&self, col: &[(usize, f64)], out: &mut [f64]);
+    /// `out = B⁻ᵀ c` for a dense vector `c`.
+    fn btran(&self, c: &[f64], out: &mut [f64]);
+    /// Rank-one replace: basis position `pivot_row` is replaced by the
+    /// entering column whose FTRAN image is `y`.
+    fn update(&mut self, pivot_row: usize, y: &[f64]);
+    /// Sparse FTRAN: `out` must be all zeros on entry; on return `touched`
+    /// lists (a superset of) the indices of `out`'s nonzeros. The default
+    /// delegates to the dense [`Self::ftran`] and scans.
+    fn ftran_sparse(&self, col: &[(usize, f64)], out: &mut [f64], touched: &mut Vec<usize>) {
+        self.ftran(col, out);
+        touched.clear();
+        for (i, &v) in out.iter().enumerate() {
+            if v != 0.0 {
+                touched.push(i);
+            }
+        }
+    }
+    /// [`Self::update`] with the nonzero support of `y` known.
+    fn update_sparse(&mut self, pivot_row: usize, y: &[f64], _touched: &[usize]) {
+        self.update(pivot_row, y);
+    }
+    /// Backend suggests a refactorization would be worthwhile (e.g. the
+    /// eta file grew past its budget).
+    fn hint_refactor(&self) -> bool {
+        false
+    }
+}
+
+/// Solver options.
+#[derive(Debug, Clone)]
+pub struct SolverOpts {
+    /// Hard iteration cap (per phase). `None` derives one from problem size.
+    pub max_iters: Option<usize>,
+    /// Feasibility tolerance.
+    pub tol_feas: f64,
+    /// Reduced-cost (optimality) tolerance.
+    pub tol_dj: f64,
+    /// Use the dense backend when the row count is at most this.
+    pub dense_row_limit: usize,
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    pub bland_trigger: usize,
+    /// Recompute basic values every this many iterations.
+    pub refresh_every: usize,
+}
+
+impl Default for SolverOpts {
+    fn default() -> Self {
+        SolverOpts {
+            max_iters: None,
+            tol_feas: 1e-7,
+            tol_dj: 1e-9,
+            dense_row_limit: 1500,
+            bland_trigger: 80,
+            refresh_every: 500,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum VState {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+    FreeZero,
+}
+
+struct Core<'a, B: BasisBackend> {
+    m: usize,
+    ncols: usize,
+    n_struct: usize,
+    cols: Vec<Vec<(usize, f64)>>,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    cost: Vec<f64>,
+    state: Vec<VState>,
+    basis: Vec<usize>,
+    xb: Vec<f64>,
+    rhs: Vec<f64>,
+    backend: &'a mut B,
+    opts: &'a SolverOpts,
+    iterations: usize,
+    // scratch
+    y: Vec<f64>,
+    y_touched: Vec<usize>,
+    pi: Vec<f64>,
+    cb: Vec<f64>,
+    degen_run: usize,
+    bland: bool,
+    /// Partial-pricing cursor (section index).
+    price_section: usize,
+    trace: bool,
+}
+
+enum PhaseEnd {
+    Optimal,
+    Unbounded,
+    IterLimit,
+}
+
+impl<'a, B: BasisBackend> Core<'a, B> {
+    fn var_value(&self, j: usize) -> f64 {
+        match self.state[j] {
+            VState::Basic(r) => self.xb[r],
+            VState::AtLower => self.lb[j],
+            VState::AtUpper => self.ub[j],
+            VState::FreeZero => 0.0,
+        }
+    }
+
+    /// Recompute all basic values from nonbasic values (error flush), and
+    /// refactorize on residual alarm.
+    fn refresh(&mut self) {
+        let mut v = self.rhs.clone();
+        for j in 0..self.ncols {
+            let xj = match self.state[j] {
+                VState::Basic(_) => continue,
+                VState::AtLower => self.lb[j],
+                VState::AtUpper => self.ub[j],
+                VState::FreeZero => 0.0,
+            };
+            if xj != 0.0 {
+                for &(row, a) in &self.cols[j] {
+                    v[row] -= a * xj;
+                }
+            }
+        }
+        // xb = B^{-1} v
+        let vcol: Vec<(usize, f64)> =
+            v.iter().enumerate().filter(|(_, x)| **x != 0.0).map(|(i, x)| (i, *x)).collect();
+        let mut newxb = vec![0.0; self.m];
+        self.backend.ftran(&vcol, &mut newxb);
+        // Residual alarm: || B newxb - v || should be tiny.
+        let mut resid = vec![0.0; self.m];
+        for (pos, &bj) in self.basis.iter().enumerate() {
+            let xv = newxb[pos];
+            if xv != 0.0 {
+                for &(row, a) in &self.cols[bj] {
+                    resid[row] += a * xv;
+                }
+            }
+        }
+        let mut worst = 0.0f64;
+        for i in 0..self.m {
+            worst = worst.max((resid[i] - v[i]).abs());
+        }
+        if worst > 1e-6 || self.backend.hint_refactor() {
+            let basis_cols: Vec<&[(usize, f64)]> =
+                self.basis.iter().map(|&j| self.cols[j].as_slice()).collect();
+            if self.backend.refactor(self.m, &basis_cols).is_ok() {
+                self.backend.ftran(&vcol, &mut newxb);
+            }
+        }
+        self.xb = newxb;
+    }
+
+    /// Price nonbasic columns and choose an entering variable, using
+    /// rotating-section partial pricing: scan sections of columns until
+    /// one yields an improving candidate (Dantzig within the section);
+    /// declare optimality only after a full rotation finds nothing. Bland
+    /// mode falls back to a full smallest-index scan (anti-cycling needs
+    /// it).
+    fn price(&mut self, banned: &[usize]) -> Option<(usize, f64)> {
+        for (pos, &j) in self.basis.iter().enumerate() {
+            self.cb[pos] = self.cost[j];
+        }
+        let (pi, cb) = (&mut self.pi, &self.cb);
+        self.backend.btran(cb, pi);
+
+        const SECTION: usize = 16 * 1024;
+        let nsec = self.ncols.div_ceil(SECTION).max(1);
+        let sections: Vec<usize> = if self.bland {
+            (0..nsec).collect() // full scan in index order
+        } else {
+            (0..nsec).map(|o| (self.price_section + o) % nsec).collect()
+        };
+        for s in sections {
+            let lo = s * SECTION;
+            let hi = ((s + 1) * SECTION).min(self.ncols);
+            let mut best: Option<(usize, f64, f64)> = None; // (var, dj, score)
+            for j in lo..hi {
+                if matches!(self.state[j], VState::Basic(_)) {
+                    continue;
+                }
+                if self.lb[j] == self.ub[j] {
+                    continue; // fixed: can never move
+                }
+                if !banned.is_empty() && banned.contains(&j) {
+                    continue;
+                }
+                let mut dj = self.cost[j];
+                for &(row, a) in &self.cols[j] {
+                    dj -= self.pi[row] * a;
+                }
+                let improving = match self.state[j] {
+                    VState::AtLower => dj < -self.opts.tol_dj,
+                    VState::AtUpper => dj > self.opts.tol_dj,
+                    VState::FreeZero => dj.abs() > self.opts.tol_dj,
+                    VState::Basic(_) => unreachable!(),
+                };
+                if !improving {
+                    continue;
+                }
+                if self.bland {
+                    return Some((j, dj));
+                }
+                let score = dj.abs();
+                if best.map_or(true, |(_, _, s)| score > s) {
+                    best = Some((j, dj, score));
+                }
+            }
+            if let Some((j, dj, _)) = best {
+                self.price_section = s;
+                return Some((j, dj));
+            }
+        }
+        None
+    }
+
+    /// One simplex phase with the current `cost` vector.
+    fn iterate(&mut self, max_iters: usize, allow_unbounded: bool) -> PhaseEnd {
+        let mut banned: Vec<usize> = Vec::new();
+        let mut local_iters = 0usize;
+        loop {
+            if local_iters >= max_iters {
+                return PhaseEnd::IterLimit;
+            }
+            let Some((q, dj)) = self.price(&banned) else {
+                return PhaseEnd::Optimal;
+            };
+            let dir = match self.state[q] {
+                VState::AtLower => 1.0,
+                VState::AtUpper => -1.0,
+                VState::FreeZero => {
+                    if dj < 0.0 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                }
+                VState::Basic(_) => unreachable!(),
+            };
+            // Zero the previous iteration's support, then sparse FTRAN.
+            for &i in &self.y_touched {
+                self.y[i] = 0.0;
+            }
+            let mut touched = std::mem::take(&mut self.y_touched);
+            self.backend.ftran_sparse(&self.cols[q], &mut self.y, &mut touched);
+            self.y_touched = touched;
+
+            // Ratio test (over the FTRAN support only).
+            let gap = self.ub[q] - self.lb[q]; // inf for free/one-sided vars
+            let mut best_t = if gap.is_finite() { gap } else { f64::INFINITY };
+            let mut leaving: Option<(usize, VState)> = None; // (row, state var takes)
+            let mut best_pivot_abs = 0.0f64;
+            for ti_idx in 0..self.y_touched.len() {
+                let i = self.y_touched[ti_idx];
+                let yi = self.y[i];
+                if yi.abs() <= 1e-11 {
+                    continue;
+                }
+                let bi = self.basis[i];
+                let delta = -dir * yi; // d x_B[i] / d t
+                let (ti, hits) = if delta > 0.0 {
+                    if self.ub[bi].is_finite() {
+                        (((self.ub[bi] - self.xb[i]) / delta).max(0.0), VState::AtUpper)
+                    } else {
+                        continue;
+                    }
+                } else {
+                    if self.lb[bi].is_finite() {
+                        (((self.xb[i] - self.lb[bi]) / -delta).max(0.0), VState::AtLower)
+                    } else {
+                        continue;
+                    }
+                };
+                let better = if self.bland {
+                    // Bland: among blocking rows (ti <= best_t), smallest var index.
+                    ti < best_t - 1e-12
+                        || (ti <= best_t + 1e-12
+                            && leaving.map_or(true, |(r, _)| bi < self.basis[r]))
+                } else {
+                    ti < best_t - 1e-9
+                        || (ti <= best_t + 1e-9 && yi.abs() > best_pivot_abs)
+                };
+                if better {
+                    best_t = best_t.min(ti);
+                    leaving = Some((i, hits));
+                    best_pivot_abs = yi.abs();
+                }
+            }
+
+            if best_t.is_infinite() {
+                return if allow_unbounded {
+                    PhaseEnd::Unbounded
+                } else {
+                    // Phase 1 objective is bounded below by 0; this signals
+                    // numerical trouble. Treat as iteration failure.
+                    PhaseEnd::IterLimit
+                };
+            }
+
+            // Reject numerically bad pivots and retry pricing without q.
+            if let Some((r, _)) = leaving {
+                if self.y[r].abs() < 1e-9 && banned.len() < 16 {
+                    banned.push(q);
+                    continue;
+                }
+            }
+            banned.clear();
+
+            let t = best_t;
+            // Move basics (support only).
+            if t != 0.0 {
+                for idx in 0..self.y_touched.len() {
+                    let i = self.y_touched[idx];
+                    let yi = self.y[i];
+                    if yi != 0.0 {
+                        self.xb[i] -= dir * t * yi;
+                    }
+                }
+            }
+
+            match leaving {
+                None => {
+                    // Bound flip: q jumps to its other bound.
+                    self.state[q] = match self.state[q] {
+                        VState::AtLower => VState::AtUpper,
+                        VState::AtUpper => VState::AtLower,
+                        s => s, // free vars have infinite gap; unreachable
+                    };
+                }
+                Some((r, hit)) if t < gap - 1e-12 || !gap.is_finite() => {
+                    let old = self.basis[r];
+                    self.state[old] = if self.lb[old] == self.ub[old] {
+                        VState::AtLower
+                    } else {
+                        hit
+                    };
+                    let start = match self.state[q] {
+                        VState::AtLower => self.lb[q],
+                        VState::AtUpper => self.ub[q],
+                        VState::FreeZero => 0.0,
+                        VState::Basic(_) => unreachable!(),
+                    };
+                    self.xb[r] = start + dir * t;
+                    self.basis[r] = q;
+                    self.state[q] = VState::Basic(r);
+                    self.backend.update_sparse(r, &self.y, &self.y_touched);
+                }
+                Some(_) => {
+                    // t == gap exactly: prefer the bound flip (no basis change).
+                    self.state[q] = match self.state[q] {
+                        VState::AtLower => VState::AtUpper,
+                        VState::AtUpper => VState::AtLower,
+                        s => s,
+                    };
+                }
+            }
+
+            self.iterations += 1;
+            local_iters += 1;
+            if t <= 1e-10 {
+                self.degen_run += 1;
+                if self.degen_run >= self.opts.bland_trigger {
+                    self.bland = true;
+                }
+            } else {
+                self.degen_run = 0;
+                self.bland = false;
+            }
+            // Refresh basic values periodically, and refactor eagerly when
+            // the backend's update file has grown past its budget (critical
+            // for the sparse PFI backend: FTRAN/BTRAN cost scales with the
+            // eta file length).
+            if self.iterations % self.opts.refresh_every == 0 || self.backend.hint_refactor() {
+                self.refresh();
+            }
+            if self.trace && self.iterations % 1000 == 0 {
+                eprintln!(
+                    "[nwdp-lp] iter {} m {} ncols {} (degen_run {} bland {})",
+                    self.iterations, self.m, self.ncols, self.degen_run, self.bland
+                );
+            }
+        }
+    }
+}
+
+/// A reusable starting basis, produced by an optimal solve and consumed by
+/// a later solve of the *same problem with extra rows* (the row-generation
+/// loop). Structural variables keep their states; each old row's slack
+/// keeps its state; new rows start with their slack (or a phase-1
+/// artificial) basic — the extended basis matrix is block-triangular, so
+/// it is always nonsingular and phase 1 only has to repair the new rows.
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    n: usize,
+    m: usize,
+    /// `0` AtLower, `1` AtUpper, `2` FreeZero, `3` Basic; indexed
+    /// structural-then-slack.
+    states: Vec<u8>,
+    /// Variable values at save time (same indexing).
+    values: Vec<f64>,
+}
+
+/// Solve `p` with the given backend.
+pub fn solve_with_backend<B: BasisBackend>(
+    p: &Problem,
+    opts: &SolverOpts,
+    backend: &mut B,
+) -> Solution {
+    solve_warm_with_backend(p, opts, backend, None).0
+}
+
+/// [`solve_with_backend`] with warm-start support. Returns the solution
+/// plus a [`WarmStart`] snapshot when the solve ended `Optimal`.
+pub fn solve_warm_with_backend<B: BasisBackend>(
+    p: &Problem,
+    opts: &SolverOpts,
+    backend: &mut B,
+    warm: Option<&WarmStart>,
+) -> (Solution, Option<WarmStart>) {
+    if warm.is_some() {
+        if let Some(result) = try_solve(p, opts, backend, warm) {
+            return result;
+        }
+        // The warm basis failed validation; redo cold.
+    }
+    try_solve(p, opts, backend, None).expect("cold solves always complete")
+}
+
+/// Returns `None` only when a warm start was supplied and rejected after
+/// numerical validation (the caller then retries cold).
+fn try_solve<B: BasisBackend>(
+    p: &Problem,
+    opts: &SolverOpts,
+    backend: &mut B,
+    warm: Option<&WarmStart>,
+) -> Option<(Solution, Option<WarmStart>)> {
+    let m = p.num_cons();
+    let n = p.num_vars();
+
+    // ---- Standardize: structural | slack | artificial columns. ----
+    let mut cols: Vec<Vec<(usize, f64)>> = p.cols.clone();
+    let mut lb: Vec<f64> = p.vars.iter().map(|v| v.lb).collect();
+    let mut ub: Vec<f64> = p.vars.iter().map(|v| v.ub).collect();
+    let sign = match p.sense {
+        Sense::Min => 1.0,
+        Sense::Max => -1.0,
+    };
+    let mut obj2: Vec<f64> = p.vars.iter().map(|v| sign * v.obj).collect();
+
+    // Row equilibration: scale every row so its largest structural
+    // coefficient has magnitude ~1. Deployment LPs mix O(1) rule-count
+    // rows with O(1e6) volume rows; without scaling the factorization
+    // conditioning degrades enough to silently lose primal feasibility.
+    // Scales are a deterministic function of the row's contents, so warm
+    // starts across row-generation rounds stay consistent. Duals are
+    // un-scaled on the way out.
+    let mut row_scale = vec![1.0f64; m];
+    for col in cols.iter() {
+        for &(row, a) in col {
+            let aa = a.abs();
+            if aa > row_scale[row] {
+                row_scale[row] = aa;
+            }
+        }
+    }
+    for s in row_scale.iter_mut() {
+        // row_scale currently holds max |a| (>= 1.0 floor): divide by it.
+        *s = 1.0 / *s;
+    }
+    for col in cols.iter_mut() {
+        for e in col.iter_mut() {
+            e.1 *= row_scale[e.0];
+        }
+    }
+    let rhs: Vec<f64> =
+        p.cons.iter().enumerate().map(|(i, c)| c.rhs * row_scale[i]).collect();
+
+    for (i, con) in p.cons.iter().enumerate() {
+        cols.push(vec![(i, 1.0)]);
+        let (slo, shi) = match con.cmp {
+            Cmp::Le => (0.0, f64::INFINITY),
+            Cmp::Ge => (f64::NEG_INFINITY, 0.0),
+            Cmp::Eq => (0.0, 0.0),
+        };
+        lb.push(slo);
+        ub.push(shi);
+        obj2.push(0.0);
+    }
+
+    // A usable warm start must describe this problem minus some new rows.
+    let warm = warm.filter(|w| w.n == n && w.m <= m);
+    let m_old = warm.map_or(0, |w| w.m);
+
+    // Initial nonbasic states for structural + slack vars.
+    let mut state: Vec<VState> = (0..n + m)
+        .map(|j| {
+            if let Some(w) = warm {
+                // Structural vars and old-row slacks restore their state;
+                // Basic is resolved to a position later.
+                let widx = if j < n {
+                    Some(j)
+                } else if j - n < w.m {
+                    Some(n + (j - n))
+                } else {
+                    None
+                };
+                if let Some(wi) = widx {
+                    return match w.states[wi] {
+                        0 => VState::AtLower,
+                        1 => VState::AtUpper,
+                        2 => VState::FreeZero,
+                        _ => VState::Basic(usize::MAX), // placeholder
+                    };
+                }
+            }
+            if lb[j].is_finite() {
+                VState::AtLower
+            } else if ub[j].is_finite() {
+                VState::AtUpper
+            } else {
+                VState::FreeZero
+            }
+        })
+        .collect();
+
+    // Residuals at the starting point (nonbasic at bounds; with a warm
+    // start, basic vars at their saved values).
+    let mut resid = rhs.clone();
+    for j in 0..n {
+        let xj = match state[j] {
+            VState::AtLower => lb[j],
+            VState::AtUpper => ub[j],
+            VState::FreeZero => 0.0,
+            VState::Basic(_) => warm.map_or(0.0, |w| w.values[j]),
+        };
+        if xj != 0.0 {
+            for &(row, a) in &cols[j] {
+                resid[row] -= a * xj;
+            }
+        }
+    }
+    // Old-row slacks contribute too (each touches only its own row).
+    if let Some(w) = warm {
+        for i in 0..w.m {
+            let sj = n + i;
+            let xj = match state[sj] {
+                VState::AtLower => lb[sj],
+                VState::AtUpper => ub[sj],
+                VState::FreeZero => 0.0,
+                VState::Basic(_) => w.values[sj],
+            };
+            resid[i] -= xj;
+        }
+    }
+
+    // ---- Build the starting basis. ----
+    let mut basis = vec![usize::MAX; m];
+    let mut xb = vec![0.0; m];
+    let mut phase1_cost = vec![0.0; n + m];
+    let mut n_art = 0usize;
+    let mut warm_ok = true;
+
+    if let Some(w) = warm {
+        // Positions: old-row slacks that were basic sit on their own row;
+        // structural basics fill the remaining old positions; new rows get
+        // their slack or an artificial.
+        let mut free_pos: Vec<usize> = Vec::new();
+        for i in 0..w.m {
+            let sj = n + i;
+            if matches!(state[sj], VState::Basic(_)) {
+                basis[i] = sj;
+                state[sj] = VState::Basic(i);
+            } else {
+                free_pos.push(i);
+            }
+        }
+        let struct_basics: Vec<usize> =
+            (0..n).filter(|&j| matches!(state[j], VState::Basic(_))).collect();
+        if struct_basics.len() != free_pos.len() {
+            warm_ok = false; // inconsistent snapshot; fall back
+        } else {
+            for (&j, &pos) in struct_basics.iter().zip(&free_pos) {
+                basis[pos] = j;
+                state[j] = VState::Basic(pos);
+            }
+            // New rows: slack basic when the residual fits, else artificial.
+            for i in w.m..m {
+                let sj = n + i;
+                let v = resid[i];
+                let fits = v >= lb[sj] - opts.tol_feas && v <= ub[sj] + opts.tol_feas;
+                if fits {
+                    basis[i] = sj;
+                    xb[i] = v;
+                    state[sj] = VState::Basic(i);
+                } else {
+                    state[sj] =
+                        if lb[sj] == 0.0 { VState::AtLower } else { VState::AtUpper };
+                    let aj = cols.len();
+                    cols.push(vec![(i, 1.0)]);
+                    if v > 0.0 {
+                        lb.push(0.0);
+                        ub.push(f64::INFINITY);
+                        phase1_cost.push(1.0);
+                    } else {
+                        lb.push(f64::NEG_INFINITY);
+                        ub.push(0.0);
+                        phase1_cost.push(-1.0);
+                    }
+                    obj2.push(0.0);
+                    basis[i] = aj;
+                    xb[i] = v;
+                    state.push(VState::Basic(i));
+                    n_art += 1;
+                }
+            }
+            // Factorize the warm basis; block-triangular, so this succeeds
+            // unless the snapshot was corrupt.
+            let basis_cols: Vec<&[(usize, f64)]> =
+                basis.iter().map(|&j| cols[j].as_slice()).collect();
+            if backend.refactor(m, &basis_cols).is_err() {
+                warm_ok = false;
+            }
+        }
+        if !warm_ok {
+            // Reset to the cold path below.
+            cols.truncate(n + m);
+            lb.truncate(n + m);
+            ub.truncate(n + m);
+            obj2.truncate(n + m);
+            state.truncate(n + m);
+            phase1_cost = vec![0.0; n + m];
+            basis = vec![usize::MAX; m];
+            xb = vec![0.0; m];
+            n_art = 0;
+            for j in 0..n + m {
+                state[j] = if lb[j].is_finite() {
+                    VState::AtLower
+                } else if ub[j].is_finite() {
+                    VState::AtUpper
+                } else {
+                    VState::FreeZero
+                };
+            }
+            resid = rhs.clone();
+            for j in 0..n {
+                let xj = match state[j] {
+                    VState::AtLower => lb[j],
+                    VState::AtUpper => ub[j],
+                    _ => 0.0,
+                };
+                if xj != 0.0 {
+                    for &(row, a) in &cols[j] {
+                        resid[row] -= a * xj;
+                    }
+                }
+            }
+        }
+    }
+
+    let use_warm = warm.is_some() && warm_ok;
+    if !use_warm {
+        // Cold crash: slack basic where its bounds admit the residual;
+        // else artificial.
+        for i in 0..m {
+            let sj = n + i;
+            let v = resid[i];
+            let fits = v >= lb[sj] - opts.tol_feas && v <= ub[sj] + opts.tol_feas;
+            if fits {
+                basis[i] = sj;
+                xb[i] = v;
+                state[sj] = VState::Basic(i);
+            } else {
+                // slack stays nonbasic at 0 (both slack kinds have 0 as a bound)
+                state[sj] = if lb[sj] == 0.0 { VState::AtLower } else { VState::AtUpper };
+                let aj = cols.len();
+                cols.push(vec![(i, 1.0)]);
+                if v > 0.0 {
+                    lb.push(0.0);
+                    ub.push(f64::INFINITY);
+                    phase1_cost.push(1.0);
+                } else {
+                    lb.push(f64::NEG_INFINITY);
+                    ub.push(0.0);
+                    phase1_cost.push(-1.0);
+                }
+                obj2.push(0.0);
+                basis[i] = aj;
+                xb[i] = v;
+                state.push(VState::Basic(i));
+                n_art += 1;
+            }
+        }
+        backend.reset_identity(m);
+    }
+    let ncols = cols.len();
+    phase1_cost.resize(ncols, 0.0);
+    let max_iters = opts.max_iters.unwrap_or(200 * (m + n) + 20_000);
+    let _ = m_old;
+
+    let mut core = Core {
+        m,
+        ncols,
+        n_struct: n,
+        cols,
+        lb,
+        ub,
+        cost: phase1_cost,
+        state,
+        basis,
+        xb,
+        rhs,
+        backend,
+        opts,
+        iterations: 0,
+        y: vec![0.0; m],
+        y_touched: Vec::new(),
+        pi: vec![0.0; m],
+        cb: vec![0.0; m],
+        degen_run: 0,
+        bland: false,
+        price_section: 0,
+        trace: std::env::var_os("NWDP_LP_TRACE").is_some(),
+    };
+
+    let fail = |core: &Core<B>, status: Status| Solution {
+        status,
+        objective: f64::NAN,
+        x: (0..core.n_struct).map(|j| core.var_value(j)).collect(),
+        duals: vec![0.0; core.m],
+        iterations: core.iterations,
+    };
+
+    if use_warm {
+        // Compute exact basic values under the warm factorization.
+        core.refresh();
+        // Sanity: old basics must still be feasible (they were optimal for
+        // the old rows, which are untouched). A violation means the
+        // snapshot didn't match; phase 1 would misbehave, so bail to a
+        // cold solve.
+        let mut worst = 0.0f64;
+        let mut worst_pos = usize::MAX;
+        for pos in 0..core.m {
+            let j = core.basis[pos];
+            if j >= n + m {
+                continue; // artificials repair themselves in phase 1
+            }
+            let v = (core.lb[j] - core.xb[pos]).max(core.xb[pos] - core.ub[j]);
+            if v > worst {
+                worst = v;
+                worst_pos = pos;
+            }
+        }
+        if std::env::var_os("NWDP_LP_TRACE").is_some() {
+            // How many old basics drifted from their snapshot values?
+            let mut drifted = 0;
+            let mut maxdrift = 0.0f64;
+            if let Some(w) = warm {
+                for pos in 0..core.m {
+                    let j = core.basis[pos];
+                    if j < n + w.m {
+                        let dv = (core.xb[pos] - w.values[j]).abs();
+                        if dv > 1e-7 {
+                            drifted += 1;
+                            maxdrift = maxdrift.max(dv);
+                        }
+                    }
+                }
+            }
+            eprintln!("[nwdp-lp] warm diag: {drifted} basics drifted, max {maxdrift:.3e}");
+        }
+        let broken = worst > 1e-6;
+        if broken {
+            if std::env::var_os("NWDP_LP_TRACE").is_some() {
+                let j = core.basis[worst_pos];
+                eprintln!(
+                    "[nwdp-lp] warm start rejected (m {m}, m_old {m_old}): pos {worst_pos} var {j} (n {n}) xb {} bounds [{}, {}]",
+                    core.xb[worst_pos], core.lb[j], core.ub[j]
+                );
+            }
+            return None;
+        }
+        if std::env::var_os("NWDP_LP_TRACE").is_some() {
+            eprintln!("[nwdp-lp] warm start accepted: m {m} (old {m_old}), {n_art} artificials");
+        }
+    }
+
+    // ---- Phase 1 ----
+    if n_art > 0 {
+        match core.iterate(max_iters, false) {
+            PhaseEnd::Optimal => {}
+            PhaseEnd::Unbounded | PhaseEnd::IterLimit => {
+                return Some((fail(&core, Status::IterLimit), None))
+            }
+        }
+        let infeas: f64 = (n + m..ncols).map(|j| core.var_value(j).abs()).sum();
+        if infeas > opts.tol_feas * 10.0 {
+            return Some((fail(&core, Status::Infeasible), None));
+        }
+        // Freeze artificials at zero.
+        for j in n + m..ncols {
+            core.lb[j] = 0.0;
+            core.ub[j] = 0.0;
+            if !matches!(core.state[j], VState::Basic(_)) {
+                core.state[j] = VState::AtLower;
+            }
+        }
+    }
+
+    // ---- Phase 2 ----
+    core.cost = obj2;
+    core.refresh();
+    let status = match core.iterate(max_iters, true) {
+        PhaseEnd::Optimal => Status::Optimal,
+        PhaseEnd::Unbounded => Status::Unbounded,
+        PhaseEnd::IterLimit => Status::IterLimit,
+    };
+    core.refresh();
+
+    let x: Vec<f64> = (0..n).map(|j| core.var_value(j)).collect();
+    if status != Status::Optimal {
+        let mut s = fail(&core, status);
+        s.x = x;
+        return Some((s, None));
+    }
+    // Never report an infeasible point as Optimal: numerical trouble is
+    // surfaced as IterLimit instead of a silently wrong answer.
+    if p.max_violation(&x) > opts.tol_feas.max(1e-6) * 100.0 {
+        let mut s = fail(&core, Status::IterLimit);
+        s.x = x;
+        return Some((s, None));
+    }
+
+    // Duals from the final basis.
+    for (pos, &bj) in core.basis.iter().enumerate() {
+        core.cb[pos] = core.cost[bj];
+    }
+    let mut pi = vec![0.0; m];
+    core.backend.btran(&core.cb, &mut pi);
+    for (i, d) in pi.iter_mut().enumerate() {
+        // Dual of the original row = dual of the scaled row x scale.
+        *d *= row_scale[i];
+        if p.sense == Sense::Max {
+            *d = -*d;
+        }
+    }
+
+    // ---- Snapshot for future warm starts. ----
+    let mut wstates = vec![0u8; n + m];
+    let mut wvalues = vec![0.0f64; n + m];
+    for j in 0..n + m {
+        wstates[j] = match core.state[j] {
+            VState::Basic(_) => 3,
+            VState::AtLower => 0,
+            VState::AtUpper => 1,
+            VState::FreeZero => 2,
+        };
+        wvalues[j] = core.var_value(j);
+    }
+    // A basic artificial (degenerate, at zero) is replaced by the slack of
+    // its row — an identical column, so the basis stays nonsingular.
+    for pos in 0..m {
+        let j = core.basis[pos];
+        if j >= n + m {
+            let row = core.cols[j][0].0;
+            wstates[n + row] = 3;
+            wvalues[n + row] = core.xb[pos];
+        }
+    }
+    let snapshot = WarmStart { n, m, states: wstates, values: wvalues };
+
+    Some((
+        Solution {
+            status,
+            objective: p.objective_value(&x),
+            x,
+            duals: pi,
+            iterations: core.iterations,
+        },
+        Some(snapshot),
+    ))
+}
+
+/// Solve `p` as a pure LP with automatically chosen backend (integer
+/// markers are ignored; use [`crate::milp`] to enforce integrality).
+pub fn solve(p: &Problem, opts: &SolverOpts) -> Solution {
+    solve_warm(p, opts, None).0
+}
+
+/// [`solve`] with warm-start support (see [`WarmStart`]).
+pub fn solve_warm(
+    p: &Problem,
+    opts: &SolverOpts,
+    warm: Option<&WarmStart>,
+) -> (Solution, Option<WarmStart>) {
+    if p.num_cons() <= opts.dense_row_limit {
+        let mut b = dense::DenseInverse::new();
+        solve_warm_with_backend(p, opts, &mut b, warm)
+    } else {
+        let mut b = sparse::SparseFactors::new();
+        solve_warm_with_backend(p, opts, &mut b, warm)
+    }
+}

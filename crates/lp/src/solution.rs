@@ -1,0 +1,46 @@
+//! Solver results.
+
+use crate::model::{ConId, VarId};
+
+/// Termination status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// An optimal basic solution was found.
+    Optimal,
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The iteration limit was hit before convergence.
+    IterLimit,
+}
+
+/// Result of solving a [`crate::Problem`].
+#[derive(Debug, Clone)]
+pub struct Solution {
+    pub status: Status,
+    /// Objective value in the problem's own sense (meaningful only when
+    /// `status == Optimal`).
+    pub objective: f64,
+    /// Primal values for the structural variables, indexed by `VarId`.
+    pub x: Vec<f64>,
+    /// Dual values (simplex multipliers) per constraint row, in the
+    /// problem's own sense convention.
+    pub duals: Vec<f64>,
+    /// Simplex iterations performed.
+    pub iterations: usize,
+}
+
+impl Solution {
+    pub fn value(&self, v: VarId) -> f64 {
+        self.x[v.index()]
+    }
+
+    pub fn dual(&self, c: ConId) -> f64 {
+        self.duals[c.index()]
+    }
+
+    pub fn is_optimal(&self) -> bool {
+        self.status == Status::Optimal
+    }
+}

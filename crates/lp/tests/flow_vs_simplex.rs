@@ -1,0 +1,111 @@
+//! Cross-validation: the min-cost-flow fast path must agree with the
+//! simplex on random transportation instances (the structure of the NIPS
+//! inner sampling LP with rule placement fixed).
+
+use nwdp_lp::flow::MinCostFlow;
+use nwdp_lp::{solve, Cmp, Problem, Sense, SolverOpts, Status};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random transportation instance: `nc` commodities with integer supplies,
+/// `nn` nodes with integer capacities, profit per (commodity, node) edge on
+/// a random subset of edges.
+fn random_instance(
+    rng: &mut StdRng,
+    nc: usize,
+    nn: usize,
+) -> (Vec<i64>, Vec<i64>, Vec<Vec<Option<f64>>>) {
+    let supplies: Vec<i64> = (0..nc).map(|_| rng.random_range(1..20)).collect();
+    let caps: Vec<i64> = (0..nn).map(|_| rng.random_range(1..25)).collect();
+    let profit: Vec<Vec<Option<f64>>> = (0..nc)
+        .map(|_| {
+            (0..nn)
+                .map(|_| {
+                    if rng.random_bool(0.6) {
+                        // Integer-ish profits keep ties deterministic enough.
+                        Some(rng.random_range(0..8) as f64 - 1.0)
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    (supplies, caps, profit)
+}
+
+fn solve_by_flow(supplies: &[i64], caps: &[i64], profit: &[Vec<Option<f64>>]) -> f64 {
+    let mut g = MinCostFlow::new();
+    let s = g.add_node();
+    let t = g.add_node();
+    let com: Vec<usize> = (0..supplies.len()).map(|_| g.add_node()).collect();
+    let nod: Vec<usize> = (0..caps.len()).map(|_| g.add_node()).collect();
+    for (k, &sup) in supplies.iter().enumerate() {
+        g.add_arc(s, com[k], sup, 0.0);
+    }
+    for (j, &cap) in caps.iter().enumerate() {
+        g.add_arc(nod[j], t, cap, 0.0);
+    }
+    for (k, row) in profit.iter().enumerate() {
+        for (j, p) in row.iter().enumerate() {
+            if let Some(w) = p {
+                g.add_arc(com[k], nod[j], supplies[k], -w);
+            }
+        }
+    }
+    let (_, cost) = g.solve_profitable(s, t);
+    -cost
+}
+
+fn solve_by_lp(supplies: &[i64], caps: &[i64], profit: &[Vec<Option<f64>>]) -> f64 {
+    let mut p = Problem::new(Sense::Max);
+    let mut vars = vec![vec![None; caps.len()]; supplies.len()];
+    for (k, row) in profit.iter().enumerate() {
+        for (j, pr) in row.iter().enumerate() {
+            if let Some(w) = pr {
+                vars[k][j] =
+                    Some(p.add_var(format!("x{k}_{j}"), 0.0, f64::INFINITY, *w));
+            }
+        }
+    }
+    for (k, &sup) in supplies.iter().enumerate() {
+        let terms: Vec<_> = vars[k].iter().flatten().map(|&v| (v, 1.0)).collect();
+        if !terms.is_empty() {
+            p.add_con(format!("sup{k}"), &terms, Cmp::Le, sup as f64);
+        }
+    }
+    for (j, &cap) in caps.iter().enumerate() {
+        let terms: Vec<_> = vars.iter().filter_map(|row| row[j]).map(|v| (v, 1.0)).collect();
+        if !terms.is_empty() {
+            p.add_con(format!("cap{j}"), &terms, Cmp::Le, cap as f64);
+        }
+    }
+    let s = solve(&p, &SolverOpts::default());
+    assert_eq!(s.status, Status::Optimal);
+    s.objective
+}
+
+#[test]
+fn flow_matches_simplex_on_random_transportation() {
+    let mut rng = StdRng::seed_from_u64(0xF10F10);
+    for trial in 0..50 {
+        let nc = rng.random_range(1..8);
+        let nn = rng.random_range(1..6);
+        let (sup, caps, profit) = random_instance(&mut rng, nc, nn);
+        let f = solve_by_flow(&sup, &caps, &profit);
+        let l = solve_by_lp(&sup, &caps, &profit);
+        assert!(
+            (f - l).abs() < 1e-6 * (1.0 + l.abs()),
+            "trial {trial}: flow {f} vs simplex {l}"
+        );
+    }
+}
+
+#[test]
+fn flow_matches_simplex_large_instance() {
+    let mut rng = StdRng::seed_from_u64(7777);
+    let (sup, caps, profit) = random_instance(&mut rng, 40, 12);
+    let f = solve_by_flow(&sup, &caps, &profit);
+    let l = solve_by_lp(&sup, &caps, &profit);
+    assert!((f - l).abs() < 1e-6 * (1.0 + l.abs()), "flow {f} vs simplex {l}");
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the LP solver: every optimal solve must pass
+//! the independent KKT certificate; MILP incumbents must be feasible,
+//! integral, and within the proven bound.
+
+use nwdp_lp::milp::{solve_milp, MilpOpts};
+use nwdp_lp::{solve, verify_kkt, Cmp, KktTol, Problem, Sense, SolverOpts, Status};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct LpSpec {
+    maximize: bool,
+    nv: usize,
+    // per-var: (lb in [-4,0], width in [1,6], obj in [-3,3], start frac)
+    vars: Vec<(f64, f64, f64, f64)>,
+    // per-con: (vars (by index mod nv), coefs, cmp sel, slack)
+    cons: Vec<(Vec<usize>, Vec<i8>, u8, f64)>,
+}
+
+fn lp_strategy() -> impl Strategy<Value = LpSpec> {
+    (1usize..8)
+        .prop_flat_map(|nv| {
+            (
+                any::<bool>(),
+                Just(nv),
+                proptest::collection::vec(
+                    (-4.0f64..0.0, 1.0f64..6.0, -3.0f64..3.0, 0.0f64..1.0),
+                    nv,
+                ),
+                proptest::collection::vec(
+                    (
+                        proptest::collection::vec(0usize..64, 1..4),
+                        proptest::collection::vec(-2i8..=2, 1..4),
+                        0u8..3,
+                        0.0f64..2.0,
+                    ),
+                    0..10,
+                ),
+            )
+        })
+        .prop_map(|(maximize, nv, vars, cons)| LpSpec { maximize, nv, vars, cons })
+}
+
+fn build(spec: &LpSpec) -> (Problem, Vec<f64>) {
+    let sense = if spec.maximize { Sense::Max } else { Sense::Min };
+    let mut p = Problem::new(sense);
+    let mut point = Vec::new();
+    let mut ids = Vec::new();
+    for (j, &(lb, w, obj, frac)) in spec.vars.iter().enumerate() {
+        let ub = lb + w;
+        ids.push(p.add_var(format!("v{j}"), lb, ub, obj));
+        point.push(lb + frac * w); // interior feasible point
+    }
+    for (i, (vidx, coefs, cmpsel, slack)) in spec.cons.iter().enumerate() {
+        let n = vidx.len().min(coefs.len());
+        let mut terms = Vec::new();
+        let mut act = 0.0;
+        for t in 0..n {
+            let j = vidx[t] % spec.nv;
+            let c = coefs[t] as f64;
+            terms.push((ids[j], c));
+            act += c * point[j];
+        }
+        let (cmp, rhs) = match cmpsel {
+            0 => (Cmp::Le, act + slack),
+            1 => (Cmp::Ge, act - slack),
+            _ => (Cmp::Eq, act),
+        };
+        p.add_con(format!("c{i}"), &terms, cmp, rhs);
+    }
+    (p, point)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Bounded vars + feasible-by-construction rows ⇒ the solver must
+    /// return Optimal, and the result must pass the KKT certificate.
+    #[test]
+    fn solver_output_is_kkt_certified(spec in lp_strategy()) {
+        let (p, _point) = build(&spec);
+        let s = solve(&p, &SolverOpts::default());
+        prop_assert_eq!(s.status, Status::Optimal);
+        if let Err(e) = verify_kkt(&p, &s, KktTol::default()) {
+            return Err(TestCaseError::fail(format!("KKT: {e}")));
+        }
+        // The optimum can be no worse than the known feasible point.
+        let ref_obj = p.objective_value(&_point);
+        let slack = 1e-6 * (1.0 + ref_obj.abs());
+        if spec.maximize {
+            prop_assert!(s.objective >= ref_obj - slack);
+        } else {
+            prop_assert!(s.objective <= ref_obj + slack);
+        }
+    }
+
+    /// MILP incumbents are integral, feasible, and no better than the bound.
+    #[test]
+    fn milp_incumbent_is_sound(spec in lp_strategy()) {
+        let (mut p, _) = build(&spec);
+        // Make the first variable integer (bounds already span >= 1 unit).
+        if p.num_vars() > 0 {
+            let v = p.var_id(0);
+            let (lb, ub) = p.var_bounds(v);
+            p.set_bounds(v, lb.ceil(), ub.floor().max(lb.ceil()));
+            p.mark_integer(v);
+        }
+        let r = solve_milp(&p, &MilpOpts::default());
+        if let Some(inc) = r.incumbent {
+            prop_assert!(p.max_violation(&inc.x) < 1e-6);
+            for v in p.integer_vars() {
+                let x = inc.x[v.index()];
+                prop_assert!((x - x.round()).abs() < 1e-6);
+            }
+            if r.proved {
+                let gap = 1e-6 * (1.0 + r.bound.abs());
+                match p.sense() {
+                    Sense::Max => prop_assert!(inc.objective <= r.bound + gap),
+                    Sense::Min => prop_assert!(inc.objective >= r.bound - gap),
+                }
+            }
+        }
+    }
+}

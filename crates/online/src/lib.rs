@@ -1,0 +1,14 @@
+//! # nwdp-online — online adaptation for NIPS deployment (paper §3.5)
+//!
+//! Static deployments assume known match rates; a real adversary varies
+//! them. This crate implements the paper's Follow-the-Perturbed-Leader
+//! treatment (Kalai–Vempala): [`fpl::run_fpl`] plays the repeated
+//! deployment game against an [`adversary::Adversary`], re-solving the
+//! sampling LP each epoch on perturbed history, and reports the Fig 11
+//! normalized-regret trajectory.
+
+pub mod adversary;
+pub mod fpl;
+
+pub use adversary::{Adversary, Reactive, Shifting, StochasticUniform};
+pub use fpl::{run_fpl, FplConfig, OnlineRun};

@@ -1,0 +1,155 @@
+//! Built-in reference topologies.
+//!
+//! - [`internet2`]: the 11-PoP Abilene/Internet2 backbone used for the
+//!   paper's NIDS network-wide evaluation (§2.4) and as the Fig 10/11 base.
+//!   Node order matters for Fig 8: the paper numbers nodes 1..11 and
+//!   observes that node 11 — New York — is the edge-deployment hotspot, so
+//!   New York is the last node here as well. Populations are ~2010 metro
+//!   estimates (millions); link weights are approximate great-circle
+//!   distances in km.
+//! - [`geant`]: a 22-PoP approximation of the GÉANT European research
+//!   backbone with major-city populations.
+
+use crate::graph::Topology;
+
+/// The Abilene / Internet2 backbone (11 PoPs, 14 links).
+pub fn internet2() -> Topology {
+    let mut t = Topology::new("Internet2");
+    let sea = t.add_node("Seattle", 3.4);
+    let sun = t.add_node("Sunnyvale", 1.8);
+    let la = t.add_node("LosAngeles", 12.9);
+    let den = t.add_node("Denver", 2.5);
+    let kc = t.add_node("KansasCity", 2.0);
+    let hou = t.add_node("Houston", 5.9);
+    let chi = t.add_node("Chicago", 9.5);
+    let ind = t.add_node("Indianapolis", 1.7);
+    let atl = t.add_node("Atlanta", 5.3);
+    let was = t.add_node("Washington", 5.6);
+    let nyc = t.add_node("NewYork", 19.0);
+
+    t.add_link(sea, sun, 1100.0);
+    t.add_link(sea, den, 1650.0);
+    t.add_link(sun, la, 550.0);
+    t.add_link(sun, den, 1500.0);
+    t.add_link(la, hou, 2200.0);
+    t.add_link(den, kc, 900.0);
+    t.add_link(kc, hou, 1200.0);
+    t.add_link(kc, ind, 720.0);
+    t.add_link(hou, atl, 1130.0);
+    t.add_link(ind, chi, 265.0);
+    t.add_link(ind, atl, 690.0);
+    t.add_link(chi, nyc, 1145.0);
+    t.add_link(atl, was, 870.0);
+    t.add_link(nyc, was, 330.0);
+    t
+}
+
+/// A 22-PoP approximation of the GÉANT European backbone.
+///
+/// Structure follows the published GÉANT PoP map at coarse granularity
+/// (ring-of-rings with a dense western core); populations are metro
+/// estimates in millions.
+pub fn geant() -> Topology {
+    let mut t = Topology::new("Geant");
+    let lon = t.add_node("London", 13.0);
+    let par = t.add_node("Paris", 11.8);
+    let ams = t.add_node("Amsterdam", 2.4);
+    let bru = t.add_node("Brussels", 2.0);
+    let lux = t.add_node("Luxembourg", 0.5);
+    let fra = t.add_node("Frankfurt", 5.5);
+    let gen = t.add_node("Geneva", 0.9);
+    let mil = t.add_node("Milan", 7.4);
+    let mad = t.add_node("Madrid", 6.0);
+    let lis = t.add_node("Lisbon", 2.8);
+    let dub = t.add_node("Dublin", 1.8);
+    let cop = t.add_node("Copenhagen", 1.9);
+    let sto = t.add_node("Stockholm", 2.1);
+    let hel = t.add_node("Helsinki", 1.4);
+    let ber = t.add_node("Berlin", 4.3);
+    let pra = t.add_node("Prague", 1.9);
+    let vie = t.add_node("Vienna", 2.4);
+    let bud = t.add_node("Budapest", 2.5);
+    let zag = t.add_node("Zagreb", 1.1);
+    let ath = t.add_node("Athens", 3.8);
+    let buc = t.add_node("Bucharest", 2.1);
+    let war = t.add_node("Warsaw", 3.1);
+
+    t.add_link(dub, lon, 460.0);
+    t.add_link(lon, par, 340.0);
+    t.add_link(lon, ams, 360.0);
+    t.add_link(par, bru, 260.0);
+    t.add_link(par, gen, 410.0);
+    t.add_link(par, mad, 1050.0);
+    t.add_link(ams, bru, 170.0);
+    t.add_link(ams, fra, 360.0);
+    t.add_link(ams, cop, 620.0);
+    t.add_link(bru, lux, 190.0);
+    t.add_link(lux, fra, 190.0);
+    t.add_link(fra, gen, 460.0);
+    t.add_link(fra, ber, 420.0);
+    t.add_link(fra, pra, 410.0);
+    t.add_link(gen, mil, 250.0);
+    t.add_link(mil, vie, 620.0);
+    t.add_link(mil, zag, 540.0);
+    t.add_link(mad, lis, 500.0);
+    t.add_link(mad, mil, 1190.0);
+    t.add_link(cop, sto, 520.0);
+    t.add_link(sto, hel, 400.0);
+    t.add_link(hel, war, 910.0);
+    t.add_link(ber, cop, 360.0);
+    t.add_link(ber, war, 520.0);
+    t.add_link(pra, vie, 250.0);
+    t.add_link(vie, bud, 220.0);
+    t.add_link(bud, zag, 300.0);
+    t.add_link(bud, buc, 640.0);
+    t.add_link(zag, ath, 1080.0);
+    t.add_link(ath, buc, 740.0);
+    t.add_link(war, pra, 520.0);
+    t.add_link(lis, lon, 1580.0);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::PathDb;
+
+    #[test]
+    fn internet2_shape() {
+        let t = internet2();
+        assert_eq!(t.num_nodes(), 11);
+        assert_eq!(t.num_links(), 14);
+        assert!(t.is_connected());
+        // New York must be the last node (the paper's "node 11").
+        assert_eq!(t.find("NewYork").unwrap().index(), 10);
+        // New York carries the largest population weight (gravity hotspot).
+        let nyc = t.find("NewYork").unwrap();
+        for n in t.nodes() {
+            assert!(t.population(n) <= t.population(nyc));
+        }
+    }
+
+    #[test]
+    fn internet2_routes_sane() {
+        let t = internet2();
+        let db = PathDb::shortest_paths(&t);
+        let sea = t.find("Seattle").unwrap();
+        let nyc = t.find("NewYork").unwrap();
+        let p = db.path(sea, nyc);
+        // Cross-country path traverses several PoPs.
+        assert!(p.hops() >= 4 && p.hops() <= 7, "hops = {}", p.hops());
+        assert_eq!(p.nodes.first(), Some(&sea));
+        assert_eq!(p.nodes.last(), Some(&nyc));
+    }
+
+    #[test]
+    fn geant_shape() {
+        let t = geant();
+        assert_eq!(t.num_nodes(), 22);
+        assert!(t.is_connected());
+        assert!(t.num_links() >= 30);
+        let db = PathDb::shortest_paths(&t);
+        assert_eq!(db.all_pairs().count(), 22 * 21);
+        assert!(db.mean_hops() > 2.0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Synthetic topology generators.
+//!
+//! Deterministic (seeded) generators for experiment scaffolding: the
+//! classic Waxman random-geometric model (used to synthesize Rocketfuel-like
+//! ISP backbones and the 50-node optimization-time instances), plus simple
+//! regular shapes for unit tests.
+
+use crate::graph::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Waxman random topology: `n` nodes placed uniformly in the unit square;
+/// link probability `alpha * exp(-d / (beta * L))` with `L` the diameter.
+/// A random spanning tree is added first so the result is always connected.
+/// Node populations are log-normal-ish (heavy-tailed, like city sizes).
+pub fn waxman(name: impl Into<String>, n: usize, alpha: f64, beta: f64, seed: u64) -> Topology {
+    assert!(n >= 2, "need at least two nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Topology::new(name);
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
+        .collect();
+    for (i, _) in pts.iter().enumerate() {
+        // Heavy-tailed population: exp of a normal-ish sum.
+        let z: f64 = (0..6).map(|_| rng.random_range(-0.5..0.5)).sum();
+        t.add_node(format!("n{i}"), (z * 1.6).exp());
+    }
+    let dist = |i: usize, j: usize| -> f64 {
+        let dx = pts[i].0 - pts[j].0;
+        let dy = pts[i].1 - pts[j].1;
+        (dx * dx + dy * dy).sqrt().max(1e-6)
+    };
+    let l = 2f64.sqrt();
+    // Random spanning tree: connect each node to a random earlier node.
+    for i in 1..n {
+        let j = rng.random_range(0..i);
+        t.add_link(NodeId(i), NodeId(j), dist(i, j) * 1000.0);
+    }
+    // Waxman extra links.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if t.neighbors(NodeId(i)).iter().any(|&(v, _)| v == NodeId(j)) {
+                continue;
+            }
+            let p = alpha * (-dist(i, j) / (beta * l)).exp();
+            if rng.random_bool(p.clamp(0.0, 1.0)) {
+                t.add_link(NodeId(i), NodeId(j), dist(i, j) * 1000.0);
+            }
+        }
+    }
+    t
+}
+
+/// A cycle of `n` nodes with unit weights.
+pub fn ring(n: usize) -> Topology {
+    assert!(n >= 3);
+    let mut t = Topology::new(format!("ring{n}"));
+    let ids: Vec<_> = (0..n).map(|i| t.add_node(format!("r{i}"), 1.0)).collect();
+    for i in 0..n {
+        t.add_link(ids[i], ids[(i + 1) % n], 1.0);
+    }
+    t
+}
+
+/// A star: hub node 0 with `n - 1` leaves.
+pub fn star(n: usize) -> Topology {
+    assert!(n >= 2);
+    let mut t = Topology::new(format!("star{n}"));
+    let hub = t.add_node("hub", 1.0);
+    for i in 1..n {
+        let leaf = t.add_node(format!("leaf{i}"), 1.0);
+        t.add_link(hub, leaf, 1.0);
+    }
+    t
+}
+
+/// A line of `n` nodes.
+pub fn line(n: usize) -> Topology {
+    assert!(n >= 2);
+    let mut t = Topology::new(format!("line{n}"));
+    let ids: Vec<_> = (0..n).map(|i| t.add_node(format!("l{i}"), 1.0)).collect();
+    for w in ids.windows(2) {
+        t.add_link(w[0], w[1], 1.0);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::PathDb;
+
+    #[test]
+    fn waxman_connected_and_deterministic() {
+        let a = waxman("w", 30, 0.4, 0.25, 42);
+        let b = waxman("w", 30, 0.4, 0.25, 42);
+        assert!(a.is_connected());
+        assert_eq!(a.num_links(), b.num_links());
+        for (la, lb) in a.links().iter().zip(b.links()) {
+            assert_eq!(la.a, lb.a);
+            assert_eq!(la.b, lb.b);
+        }
+        // Different seed ⇒ (almost surely) different graph.
+        let c = waxman("w", 30, 0.4, 0.25, 43);
+        assert!(
+            a.num_links() != c.num_links()
+                || a.links().iter().zip(c.links()).any(|(x, y)| x.a != y.a || x.b != y.b)
+        );
+    }
+
+    #[test]
+    fn waxman_density_grows_with_alpha() {
+        let sparse = waxman("s", 40, 0.1, 0.2, 7);
+        let dense = waxman("d", 40, 0.9, 0.6, 7);
+        assert!(dense.num_links() > sparse.num_links());
+    }
+
+    #[test]
+    fn regular_shapes() {
+        assert_eq!(ring(5).num_links(), 5);
+        assert_eq!(star(6).num_links(), 5);
+        assert_eq!(line(4).num_links(), 3);
+        let db = PathDb::shortest_paths(&ring(6));
+        // Antipodal nodes on a 6-ring: 4 nodes on the path (3 hops).
+        assert_eq!(db.path(crate::graph::NodeId(0), crate::graph::NodeId(3)).hops(), 4);
+    }
+}

@@ -1,0 +1,168 @@
+//! Network topology model.
+//!
+//! A [`Topology`] is an undirected weighted graph of PoPs/routers. Each
+//! node carries a city name and a population weight (used by the gravity
+//! traffic-matrix model, §2.4/§3.4 of the paper); each link carries a
+//! routing weight (fiber distance or configured metric).
+
+/// Index of a node within its topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub name: String,
+    /// Population weight for gravity traffic matrices (arbitrary units).
+    pub population: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct Link {
+    pub a: NodeId,
+    pub b: NodeId,
+    /// Routing weight (e.g. fiber distance in km).
+    pub weight: f64,
+}
+
+/// An undirected weighted network topology.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    pub name: String,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    /// adjacency[u] = (neighbor, link weight)
+    adj: Vec<Vec<(NodeId, f64)>>,
+}
+
+impl Topology {
+    pub fn new(name: impl Into<String>) -> Self {
+        Topology { name: name.into(), nodes: Vec::new(), links: Vec::new(), adj: Vec::new() }
+    }
+
+    pub fn add_node(&mut self, name: impl Into<String>, population: f64) -> NodeId {
+        assert!(population >= 0.0, "negative population");
+        self.nodes.push(Node { name: name.into(), population });
+        self.adj.push(Vec::new());
+        NodeId(self.nodes.len() - 1)
+    }
+
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, weight: f64) {
+        assert!(a != b, "self links not allowed");
+        assert!(weight > 0.0, "link weight must be positive");
+        assert!(a.0 < self.nodes.len() && b.0 < self.nodes.len(), "unknown node");
+        assert!(
+            !self.adj[a.0].iter().any(|&(n, _)| n == b),
+            "duplicate link {} - {}",
+            self.nodes[a.0].name,
+            self.nodes[b.0].name
+        );
+        self.links.push(Link { a, b, weight });
+        self.adj[a.0].push((b, weight));
+        self.adj[b.0].push((a, weight));
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    pub fn neighbors(&self, id: NodeId) -> &[(NodeId, f64)] {
+        &self.adj[id.0]
+    }
+
+    pub fn population(&self, id: NodeId) -> f64 {
+        self.nodes[id.0].population
+    }
+
+    pub fn total_population(&self) -> f64 {
+        self.nodes.iter().map(|n| n.population).sum()
+    }
+
+    /// Find a node by name (exact match).
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
+    }
+
+    /// Is the graph connected? (Traffic/routing models require it.)
+    pub fn is_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &(v, _) in &self.adj[u] {
+                if !seen[v.0] {
+                    seen[v.0] = true;
+                    count += 1;
+                    stack.push(v.0);
+                }
+            }
+        }
+        count == self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut t = Topology::new("tri");
+        let a = t.add_node("a", 1.0);
+        let b = t.add_node("b", 2.0);
+        let c = t.add_node("c", 3.0);
+        t.add_link(a, b, 1.0);
+        t.add_link(b, c, 2.0);
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.num_links(), 2);
+        assert_eq!(t.neighbors(b).len(), 2);
+        assert_eq!(t.total_population(), 6.0);
+        assert_eq!(t.find("c"), Some(c));
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let mut t = Topology::new("split");
+        let a = t.add_node("a", 1.0);
+        let b = t.add_node("b", 1.0);
+        t.add_node("island", 1.0);
+        t.add_link(a, b, 1.0);
+        assert!(!t.is_connected());
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_link_panics() {
+        let mut t = Topology::new("dup");
+        let a = t.add_node("a", 1.0);
+        let b = t.add_node("b", 1.0);
+        t.add_link(a, b, 1.0);
+        t.add_link(b, a, 2.0);
+    }
+}

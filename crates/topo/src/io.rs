@@ -1,0 +1,190 @@
+//! Plain-text topology serialization.
+//!
+//! A minimal line-oriented format so users can load their own networks
+//! (e.g. real Rocketfuel exports) without extra dependencies:
+//!
+//! ```text
+//! # comment
+//! topology MyNet
+//! node Seattle 3.4
+//! node Denver 2.5
+//! link Seattle Denver 1650
+//! ```
+
+use crate::graph::Topology;
+
+/// Errors from [`from_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// `(line number, message)`
+    Syntax(usize, String),
+    UnknownNode(usize, String),
+    DuplicateNode(usize, String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Syntax(l, m) => write!(f, "line {l}: {m}"),
+            ParseError::UnknownNode(l, n) => write!(f, "line {l}: unknown node '{n}'"),
+            ParseError::DuplicateNode(l, n) => write!(f, "line {l}: duplicate node '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialize a topology to the text format.
+pub fn to_text(topo: &Topology) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("topology {}\n", topo.name));
+    for n in topo.nodes() {
+        let node = topo.node(n);
+        out.push_str(&format!("node {} {}\n", node.name, node.population));
+    }
+    for l in topo.links() {
+        out.push_str(&format!(
+            "link {} {} {}\n",
+            topo.node(l.a).name,
+            topo.node(l.b).name,
+            l.weight
+        ));
+    }
+    out
+}
+
+/// Parse the text format into a topology.
+pub fn from_text(text: &str) -> Result<Topology, ParseError> {
+    let mut topo = Topology::new("unnamed");
+    let mut seen = std::collections::HashMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("topology") => {
+                let name = parts.collect::<Vec<_>>().join(" ");
+                if name.is_empty() {
+                    return Err(ParseError::Syntax(lineno, "topology needs a name".into()));
+                }
+                topo.name = name;
+            }
+            Some("node") => {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| ParseError::Syntax(lineno, "node needs a name".into()))?;
+                let pop: f64 = parts
+                    .next()
+                    .ok_or_else(|| ParseError::Syntax(lineno, "node needs a population".into()))?
+                    .parse()
+                    .map_err(|_| ParseError::Syntax(lineno, "bad population".into()))?;
+                if pop < 0.0 || !pop.is_finite() {
+                    return Err(ParseError::Syntax(lineno, "population must be finite ≥ 0".into()));
+                }
+                if seen.contains_key(name) {
+                    return Err(ParseError::DuplicateNode(lineno, name.to_string()));
+                }
+                let id = topo.add_node(name, pop);
+                seen.insert(name.to_string(), id);
+            }
+            Some("link") => {
+                let a = parts
+                    .next()
+                    .ok_or_else(|| ParseError::Syntax(lineno, "link needs two nodes".into()))?;
+                let b = parts
+                    .next()
+                    .ok_or_else(|| ParseError::Syntax(lineno, "link needs two nodes".into()))?;
+                let w: f64 = parts
+                    .next()
+                    .ok_or_else(|| ParseError::Syntax(lineno, "link needs a weight".into()))?
+                    .parse()
+                    .map_err(|_| ParseError::Syntax(lineno, "bad weight".into()))?;
+                if !(w > 0.0) || !w.is_finite() {
+                    return Err(ParseError::Syntax(lineno, "weight must be finite > 0".into()));
+                }
+                let &ia = seen
+                    .get(a)
+                    .ok_or_else(|| ParseError::UnknownNode(lineno, a.to_string()))?;
+                let &ib = seen
+                    .get(b)
+                    .ok_or_else(|| ParseError::UnknownNode(lineno, b.to_string()))?;
+                if ia == ib {
+                    return Err(ParseError::Syntax(lineno, "self links not allowed".into()));
+                }
+                topo.add_link(ia, ib, w);
+            }
+            Some(other) => {
+                return Err(ParseError::Syntax(lineno, format!("unknown directive '{other}'")))
+            }
+            None => unreachable!("empty lines filtered"),
+        }
+    }
+    Ok(topo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::internet2;
+
+    #[test]
+    fn round_trip_internet2() {
+        let orig = internet2();
+        let text = to_text(&orig);
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.name, orig.name);
+        assert_eq!(back.num_nodes(), orig.num_nodes());
+        assert_eq!(back.num_links(), orig.num_links());
+        for n in orig.nodes() {
+            assert_eq!(back.node(n).name, orig.node(n).name);
+            assert_eq!(back.population(n), orig.population(n));
+        }
+        for (a, b) in back.links().iter().zip(orig.links()) {
+            assert_eq!(a.a, b.a);
+            assert_eq!(a.b, b.b);
+            assert_eq!(a.weight, b.weight);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let t = from_text("# hi\n\ntopology T\nnode a 1\nnode b 2\n# mid\nlink a b 3\n").unwrap();
+        assert_eq!(t.name, "T");
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(t.num_links(), 1);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            from_text("node a 1\nlink a ghost 1\n"),
+            Err(ParseError::UnknownNode(2, _))
+        ));
+        assert!(matches!(
+            from_text("node a 1\nnode a 2\n"),
+            Err(ParseError::DuplicateNode(2, _))
+        ));
+        assert!(matches!(from_text("frob x\n"), Err(ParseError::Syntax(1, _))));
+        assert!(matches!(from_text("node a -3\n"), Err(ParseError::Syntax(1, _))));
+        assert!(matches!(
+            from_text("node a 1\nnode b 1\nlink a b -2\n"),
+            Err(ParseError::Syntax(3, _))
+        ));
+        assert!(matches!(
+            from_text("node a 1\nlink a a 1\n"),
+            Err(ParseError::Syntax(2, _))
+        ));
+    }
+
+    #[test]
+    fn parsed_topology_is_usable() {
+        let t = from_text("topology ring\nnode a 1\nnode b 1\nnode c 1\nlink a b 1\nlink b c 1\nlink c a 1\n")
+            .unwrap();
+        assert!(t.is_connected());
+        let db = crate::routing::PathDb::shortest_paths(&t);
+        assert_eq!(db.all_pairs().count(), 6);
+    }
+}

@@ -1,0 +1,21 @@
+//! # nwdp-topo — topology & routing substrate
+//!
+//! Network topologies, deterministic shortest-path routing, and the path
+//! database the optimization layers consume. Includes the Internet2 and
+//! GÉANT reference backbones used by the paper's evaluations, seeded
+//! Rocketfuel-like ISP stand-ins (AS 1221 / 1239 / 3257), and synthetic
+//! generators (Waxman, ring, star, line) for tests and scaling studies.
+
+pub mod builtin;
+pub mod generate;
+pub mod graph;
+pub mod io;
+pub mod rocketfuel;
+pub mod routing;
+
+pub use builtin::{geant, internet2};
+pub use io::{from_text, to_text};
+pub use generate::{line, ring, star, waxman};
+pub use graph::{Link, Node, NodeId, Topology};
+pub use rocketfuel::{as1221, as1239, as3257};
+pub use routing::{Path, PathDb};

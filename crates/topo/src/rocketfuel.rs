@@ -1,0 +1,71 @@
+//! Rocketfuel-like tier-1 ISP topologies.
+//!
+//! The paper's NIPS evaluation (§3.4) uses tier-1 ISP topologies inferred
+//! by Rocketfuel (Spring et al., SIGCOMM 2002): AS 1221 (Telstra), AS 1239
+//! (Sprint), and AS 3257 (Tiscali). The raw inferred maps are not
+//! distributable here, so we synthesize PoP-level stand-ins with the
+//! published PoP counts and backbone-like degree structure (sparse
+//! geographic mesh with a denser core), via a seeded Waxman process. The
+//! substitution is documented in `DESIGN.md`: Fig 10 depends on topology
+//! scale and path-length distribution, not on exact link identity — the
+//! Rocketfuel maps are themselves noisy inferences.
+
+use crate::generate::waxman;
+use crate::graph::Topology;
+
+/// AS 1221 (Telstra, Australia) PoP-level stand-in: 44 PoPs.
+pub fn as1221() -> Topology {
+    let mut t = waxman("AS1221", 44, 0.22, 0.18, 0x1221);
+    t.name = "AS1221".to_string();
+    t
+}
+
+/// AS 1239 (Sprint, US) PoP-level stand-in: 52 PoPs.
+pub fn as1239() -> Topology {
+    let mut t = waxman("AS1239", 52, 0.25, 0.18, 0x1239);
+    t.name = "AS1239".to_string();
+    t
+}
+
+/// AS 3257 (Tiscali, Europe) PoP-level stand-in: 41 PoPs.
+pub fn as3257() -> Topology {
+    let mut t = waxman("AS3257", 41, 0.22, 0.18, 0x3257);
+    t.name = "AS3257".to_string();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::PathDb;
+
+    #[test]
+    fn sizes_match_published_pop_counts() {
+        assert_eq!(as1221().num_nodes(), 44);
+        assert_eq!(as1239().num_nodes(), 52);
+        assert_eq!(as3257().num_nodes(), 41);
+    }
+
+    #[test]
+    fn backbone_like_properties() {
+        for t in [as1221(), as1239(), as3257()] {
+            assert!(t.is_connected(), "{} disconnected", t.name);
+            let n = t.num_nodes() as f64;
+            let avg_degree = 2.0 * t.num_links() as f64 / n;
+            assert!(
+                (2.0..8.0).contains(&avg_degree),
+                "{}: avg degree {avg_degree} outside backbone range",
+                t.name
+            );
+            let db = PathDb::shortest_paths(&t);
+            assert!(db.mean_hops() >= 2.5, "{}: paths too short", t.name);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = as1239();
+        let b = as1239();
+        assert_eq!(a.num_links(), b.num_links());
+    }
+}

@@ -1,0 +1,132 @@
+//! Deterministic fault injection for packet streams.
+//!
+//! Real capture points drop, duplicate, and reorder packets. The injector
+//! transforms a session's packet sequence deterministically per session id,
+//! so every node observing the same session sees the *same* degraded
+//! stream — which is what end-to-end loss looks like, and what the
+//! coordinated-equals-standalone equivalence property must survive.
+
+use crate::session::{Packet, Session};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Fault injection configuration (probabilities per packet).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultInjector {
+    pub drop_p: f64,
+    pub dup_p: f64,
+    /// Probability that a packet is swapped with its successor.
+    pub reorder_p: f64,
+    pub seed: u64,
+}
+
+impl FaultInjector {
+    pub fn new(drop_p: f64, dup_p: f64, reorder_p: f64, seed: u64) -> Self {
+        for p in [drop_p, dup_p, reorder_p] {
+            assert!((0.0..=1.0).contains(&p), "probability out of range");
+        }
+        FaultInjector { drop_p, dup_p, reorder_p, seed }
+    }
+
+    /// No faults (identity transform).
+    pub fn none() -> Self {
+        FaultInjector { drop_p: 0.0, dup_p: 0.0, reorder_p: 0.0, seed: 0 }
+    }
+
+    /// Apply the faults to a session's packets. Deterministic in
+    /// `(self.seed, session.id)`.
+    pub fn apply<'a>(&self, session: &Session, packets: Vec<Packet<'a>>) -> Vec<Packet<'a>> {
+        if self.drop_p == 0.0 && self.dup_p == 0.0 && self.reorder_p == 0.0 {
+            return packets;
+        }
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ session.id.wrapping_mul(0x9e3779b97f4a7c15));
+        let mut out: Vec<Packet<'a>> = Vec::with_capacity(packets.len() + 2);
+        for pkt in packets {
+            if rng.random_bool(self.drop_p) {
+                continue;
+            }
+            out.push(pkt);
+            if rng.random_bool(self.dup_p) {
+                out.push(pkt);
+            }
+        }
+        // Adjacent swaps.
+        if self.reorder_p > 0.0 && out.len() >= 2 {
+            for i in 0..out.len() - 1 {
+                if rng.random_bool(self.reorder_p) {
+                    out.swap(i, i + 1);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::AppProtocol;
+    use crate::session::SessionKind;
+    use nwdp_hash::FiveTuple;
+    use nwdp_topo::NodeId;
+
+    fn session(id: u64) -> Session {
+        Session {
+            id,
+            tuple: FiveTuple::new(0x0a000001, 0x0a010001, 40000, 80, 6),
+            kind: SessionKind::Normal(AppProtocol::Http),
+            src_node: NodeId(0),
+            dst_node: NodeId(1),
+            exchanges: 2,
+        }
+    }
+
+    #[test]
+    fn identity_when_disabled() {
+        let s = session(1);
+        let pkts = s.packets();
+        let out = FaultInjector::none().apply(&s, s.packets());
+        assert_eq!(out.len(), pkts.len());
+    }
+
+    #[test]
+    fn deterministic_per_session() {
+        let s = session(7);
+        let f = FaultInjector::new(0.2, 0.1, 0.1, 99);
+        let a = f.apply(&s, s.packets());
+        let b = f.apply(&s, s.packets());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tuple, y.tuple);
+            assert_eq!(x.size, y.size);
+        }
+        // Different sessions get different fault patterns (almost surely
+        // over many sessions).
+        let lens: std::collections::HashSet<usize> =
+            (0..64).map(|i| f.apply(&session(i), session(i).packets()).len()).collect();
+        assert!(lens.len() > 1, "faults should vary across sessions");
+    }
+
+    #[test]
+    fn drop_rate_roughly_respected() {
+        let f = FaultInjector::new(0.3, 0.0, 0.0, 5);
+        let mut kept = 0usize;
+        let mut total = 0usize;
+        for i in 0..500 {
+            let s = session(i);
+            total += s.packets().len();
+            kept += f.apply(&s, s.packets()).len();
+        }
+        let rate = 1.0 - kept as f64 / total as f64;
+        assert!((rate - 0.3).abs() < 0.05, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn duplicates_increase_count() {
+        let f = FaultInjector::new(0.0, 0.5, 0.0, 5);
+        let s = session(3);
+        let out = f.apply(&s, s.packets());
+        assert!(out.len() > s.packets().len());
+    }
+}

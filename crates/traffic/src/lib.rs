@@ -1,0 +1,26 @@
+//! # nwdp-traffic — workload substrate
+//!
+//! Reproduces the paper's custom traffic generator and measurement inputs:
+//! gravity-model traffic matrices from city populations ([`matrix`]), the
+//! published Internet2 volume baseline with linear scaling ([`volume`]),
+//! application traffic profiles ([`profile`]), template-based session and
+//! packet synthesis with anomaly injection ([`session`], [`generator`]),
+//! and NIPS match-rate scenarios ([`matchrate`]).
+//!
+//! Everything is seeded and bit-reproducible.
+
+pub mod faults;
+pub mod generator;
+pub mod matchrate;
+pub mod matrix;
+pub mod profile;
+pub mod session;
+pub mod volume;
+
+pub use faults::FaultInjector;
+pub use generator::{generate_trace, host_ip, node_of_ip, AnomalyConfig, NetTrace, TraceConfig};
+pub use matchrate::{Distribution, MatchRates};
+pub use matrix::TrafficMatrix;
+pub use profile::{AppProtocol, TrafficProfile};
+pub use session::{Packet, Session, SessionKind};
+pub use volume::VolumeModel;

@@ -1,0 +1,89 @@
+//! Aggregate volume model.
+//!
+//! §3.4 of the paper: "we start with a baseline of 8 million flows and 40
+//! million packets (per 5 minute interval) for Internet2 based on publicly
+//! available estimates. For the other networks we scale the total volume
+//! linearly as a function of network size."
+
+use crate::matrix::TrafficMatrix;
+use nwdp_topo::{NodeId, Topology};
+
+/// Internet2 baseline: flows per 5-minute measurement interval.
+pub const INTERNET2_FLOWS: f64 = 8_000_000.0;
+/// Internet2 baseline: packets per 5-minute measurement interval.
+pub const INTERNET2_PKTS: f64 = 40_000_000.0;
+/// Reference size for linear scaling (Internet2 PoP count).
+pub const INTERNET2_NODES: f64 = 11.0;
+
+/// Total flow/packet volume per measurement interval.
+#[derive(Debug, Clone, Copy)]
+pub struct VolumeModel {
+    pub flows: f64,
+    pub pkts: f64,
+    pub interval_secs: f64,
+}
+
+impl VolumeModel {
+    /// The Internet2 published baseline.
+    pub fn internet2_baseline() -> Self {
+        VolumeModel { flows: INTERNET2_FLOWS, pkts: INTERNET2_PKTS, interval_secs: 300.0 }
+    }
+
+    /// Baseline scaled linearly with topology size (paper §3.4).
+    pub fn scaled_for(topo: &Topology) -> Self {
+        let scale = topo.num_nodes() as f64 / INTERNET2_NODES;
+        VolumeModel {
+            flows: INTERNET2_FLOWS * scale,
+            pkts: INTERNET2_PKTS * scale,
+            interval_secs: 300.0,
+        }
+    }
+
+    /// Mean packets per flow implied by the model.
+    pub fn pkts_per_flow(&self) -> f64 {
+        self.pkts / self.flows
+    }
+
+    /// Flow volume on the (s, d) ingress–egress pair under `tm`.
+    pub fn pair_flows(&self, tm: &TrafficMatrix, s: NodeId, d: NodeId) -> f64 {
+        self.flows * tm.frac(s, d)
+    }
+
+    /// Packet volume on the (s, d) ingress–egress pair under `tm`.
+    pub fn pair_pkts(&self, tm: &TrafficMatrix, s: NodeId, d: NodeId) -> f64 {
+        self.pkts * tm.frac(s, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwdp_topo::{geant, internet2};
+
+    #[test]
+    fn baseline_constants() {
+        let v = VolumeModel::internet2_baseline();
+        assert_eq!(v.flows, 8e6);
+        assert_eq!(v.pkts, 4e7);
+        assert!((v.pkts_per_flow() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_scaling() {
+        let v = VolumeModel::scaled_for(&geant());
+        assert!((v.flows - 8e6 * 22.0 / 11.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn pair_volumes_sum_to_total() {
+        let t = internet2();
+        let tm = crate::matrix::TrafficMatrix::gravity(&t);
+        let v = VolumeModel::internet2_baseline();
+        let sum: f64 = t
+            .nodes()
+            .flat_map(|s| t.nodes().map(move |d| (s, d)))
+            .map(|(s, d)| v.pair_flows(&tm, s, d))
+            .sum();
+        assert!((sum - v.flows).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,54 @@
+//! Online NIPS adaptation against changing attack profiles (paper §3.5):
+//! Follow-the-Perturbed-Leader vs the best static deployment in hindsight,
+//! under three adversary models — stochastic, shifting, and reactive.
+//!
+//! Run with: `cargo run --release --example online_adaptation [epochs]`
+
+use nwdp::online::{Adversary, Reactive, Shifting, StochasticUniform};
+use nwdp::prelude::*;
+
+fn main() {
+    let epochs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
+
+    let topo = nwdp::topo::internet2();
+    let paths = PathDb::shortest_paths(&topo);
+    let tm = TrafficMatrix::gravity(&topo);
+    let vol = VolumeModel::internet2_baseline();
+    let n_rules = 15;
+    let rates = MatchRates::zeros(n_rules, paths.all_pairs().count());
+    let mut inst = NipsInstance::evaluation_setup(&topo, &paths, &tm, &vol, n_rules, 1.0, rates);
+    inst.cam_cap = vec![f64::INFINITY; inst.num_nodes]; // §3.5: no TCAM constraints
+
+    println!("online NIPS adaptation on {}: {n_rules} rules, {epochs} epochs\n", topo.name);
+
+    let mut advs: Vec<(&str, Box<dyn Adversary>)> = vec![
+        ("stochastic U[0,0.01]", Box::new(StochasticUniform::new(n_rules, inst.paths.len(), 0.01, 1))),
+        ("shifting (rotates hot rules)", Box::new(Shifting::new(n_rules, inst.paths.len(), 0.01, 12, 3, 2))),
+        ("reactive (targets gaps)", Box::new(Reactive::new(n_rules, inst.paths.len(), 0.01, 3))),
+    ];
+
+    for (name, adv) in advs.iter_mut() {
+        let cfg = FplConfig { epochs, seed: 99, ..Default::default() };
+        let run = run_fpl(&inst, adv.as_mut(), &cfg);
+        let total: f64 = run.fpl_value.iter().sum();
+        let static_total = *run.static_prefix_value.last().unwrap();
+        println!("adversary: {name}");
+        println!("  ε = {:.3e}", run.epsilon);
+        println!("  FPL total dropped-footprint: {total:.3e}");
+        println!("  best static in hindsight:    {static_total:.3e}");
+        let sampled: Vec<String> = run
+            .normalized_regret
+            .iter()
+            .step_by((epochs / 8).max(1))
+            .map(|r| format!("{r:+.3}"))
+            .collect();
+        println!("  normalized regret over time: {}", sampled.join(" → "));
+        println!(
+            "  final regret: {:+.3}  (paper Fig 11: ≤ 0.15 for the stochastic case)\n",
+            run.normalized_regret.last().unwrap()
+        );
+    }
+}

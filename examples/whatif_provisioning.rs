@@ -1,0 +1,56 @@
+//! What-if provisioning (paper §5): where should an administrator add
+//! hardware? Re-solves the deployment optimizations with per-node upgrades
+//! and ranks the sites by marginal benefit — for NIDS capacity (CPU+memory
+//! doubling) and NIPS TCAM slots.
+//!
+//! Run with: `cargo run --release --example whatif_provisioning`
+
+use nwdp::core::provision::{nids_upgrade_plan, nips_tcam_plan};
+use nwdp::prelude::*;
+
+fn main() {
+    let topo = nwdp::topo::internet2();
+    let paths = PathDb::shortest_paths(&topo);
+    let tm = TrafficMatrix::gravity(&topo);
+    let vol = VolumeModel::internet2_baseline();
+
+    // --- NIDS: which site should get 2x hardware? ---
+    let dep = build_units(&topo, &paths, &tm, &vol, &AnalysisClass::standard_set());
+    let cfg = NidsLpConfig::homogeneous(dep.num_nodes, NodeCaps { cpu: 2e8, mem: 4e9 });
+    let plan = nids_upgrade_plan(&dep, &cfg, 2.0).expect("LP solves");
+    println!("NIDS: baseline bottleneck load = {:.1}% of capacity", plan.base_max_load * 100.0);
+    println!("marginal benefit of doubling one site's hardware:");
+    let mut ranked: Vec<(usize, f64)> = plan.gain.iter().cloned().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (j, g) in ranked.iter().take(5) {
+        println!(
+            "  {:>14}: bottleneck −{:.2} pp",
+            topo.node(NodeId(*j)).name,
+            g * 100.0
+        );
+    }
+    println!(
+        "→ upgrade {} first\n",
+        topo.node(NodeId(plan.best_node)).name
+    );
+
+    // --- NIPS: where do extra TCAM slots buy the most drop capacity? ---
+    let n_rules = 25;
+    let rates = MatchRates::uniform_001(n_rules, paths.all_pairs().count(), 11);
+    let inst = NipsInstance::evaluation_setup(&topo, &paths, &tm, &vol, n_rules, 0.12, rates);
+    let opts = RowGenOpts::default();
+    let relax = solve_relaxation(&inst, &opts).expect("relaxation solves");
+    let tplan = nips_tcam_plan(&inst, &relax, 2.0, &opts);
+    println!("NIPS: baseline OptLP = {:.3e}", tplan.base_objective);
+    println!("marginal benefit of +2 TCAM slots per site:");
+    let mut ranked: Vec<(usize, f64)> = tplan.gain.iter().cloned().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (j, g) in ranked.iter().take(5) {
+        println!(
+            "  {:>14}: +{:.2}% drop footprint",
+            topo.node(NodeId(*j)).name,
+            100.0 * g / tplan.base_objective
+        );
+    }
+    println!("→ add TCAM at {} first", topo.node(NodeId(tplan.best_node)).name);
+}

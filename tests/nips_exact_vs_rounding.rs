@@ -1,0 +1,65 @@
+//! On instances small enough for branch-and-bound, compare the rounding
+//! pipeline against the *true integer optimum* (not just the LP bound):
+//! the greedy variant should recover most of OptNIPS, and never exceed it.
+
+use nwdp::core::nips::{round_best_of, solve_exact, solve_relaxation, RoundingOpts, Strategy};
+use nwdp::lp::milp::MilpOpts;
+use nwdp::prelude::*;
+
+fn small_instance(seed: u64, cap_frac: f64) -> NipsInstance {
+    let topo = nwdp::topo::line(4);
+    let paths = PathDb::shortest_paths(&topo);
+    let tm = TrafficMatrix::uniform(&topo);
+    let vol = VolumeModel::internet2_baseline();
+    let n_rules = 4;
+    let rates = MatchRates::uniform_001(n_rules, paths.all_pairs().count(), seed);
+    NipsInstance::evaluation_setup(&topo, &paths, &tm, &vol, n_rules, cap_frac, rates)
+}
+
+#[test]
+fn rounding_tracks_integer_optimum_on_small_instances() {
+    let mut ratios = Vec::new();
+    for seed in 1..=4u64 {
+        let inst = small_instance(seed, 0.25);
+        let (res, decoded) = solve_exact(&inst, &MilpOpts::default());
+        assert!(res.proved, "seed {seed}: B&B must prove optimality");
+        let (e, d) = decoded.expect("incumbent");
+        inst.check_feasible(&e, &d, 1e-6).unwrap();
+        let opt_ip = res.incumbent.as_ref().unwrap().objective;
+
+        let relax = solve_relaxation(&inst, &RowGenOpts::default()).unwrap();
+        assert!(relax.objective >= opt_ip - 1e-6, "LP must upper-bound IP");
+
+        let sol = round_best_of(
+            &inst,
+            &relax,
+            &RoundingOpts {
+                strategy: Strategy::GreedyLpResolve,
+                iterations: 8,
+                seed,
+                ..Default::default()
+            },
+        );
+        assert!(
+            sol.objective <= opt_ip * (1.0 + 1e-6),
+            "seed {seed}: rounding cannot beat the integer optimum"
+        );
+        ratios.push(sol.objective / opt_ip);
+    }
+    let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(
+        mean > 0.85,
+        "greedy rounding should recover most of OptNIPS: ratios {ratios:?}"
+    );
+}
+
+#[test]
+fn milp_bound_sandwiches_everything() {
+    let inst = small_instance(9, 0.5);
+    let (res, _) = solve_exact(&inst, &MilpOpts::default());
+    let relax = solve_relaxation(&inst, &RowGenOpts::default()).unwrap();
+    let opt_ip = res.incumbent.as_ref().unwrap().objective;
+    // bound (from B&B root) and OptLP both upper-bound OptNIPS.
+    assert!(res.bound >= opt_ip - 1e-6);
+    assert!(relax.objective >= opt_ip - 1e-6);
+}

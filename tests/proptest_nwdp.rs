@@ -1,0 +1,101 @@
+//! Cross-crate property tests on the system's core invariants.
+
+use nwdp::prelude::*;
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+
+/// Random fractional assignments over random unit shapes must always
+/// compile into manifests that partition the hash space exactly.
+fn arb_unit_split() -> impl proptest::strategy::Strategy<Value = Vec<f64>> {
+    // 1..=5 positive shares, normalized to 1.
+    proptest::collection::vec(0.01f64..1.0, 1..=5).prop_map(|mut v| {
+        let s: f64 = v.iter().sum();
+        for x in v.iter_mut() {
+            *x /= s;
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn manifests_partition_unit_interval(splits in proptest::collection::vec(arb_unit_split(), 1..6)) {
+        // Build a synthetic deployment: a line topology long enough for
+        // the widest split AND with at least one path-unit per split
+        // (a line of n nodes yields n(n-1) >= n path units).
+        let max_nodes = splits.iter().map(|s| s.len()).max().unwrap();
+        let topo = nwdp::topo::line(max_nodes.max(splits.len()).max(2));
+        let paths = PathDb::shortest_paths(&topo);
+        let tm = TrafficMatrix::uniform(&topo);
+        let vol = VolumeModel::internet2_baseline();
+        let classes = vec![AnalysisClass::standard_set().remove(0)];
+        let dep0 = build_units(&topo, &paths, &tm, &vol, &classes);
+
+        // Handcraft units: reuse the first `splits.len()` units, assigning
+        // the generated fractional splits over the first nodes.
+        let mut dep = dep0.clone();
+        dep.units.truncate(splits.len());
+        let d: Vec<Vec<(NodeId, f64)>> = splits
+            .iter()
+            .zip(&mut dep.units)
+            .map(|(split, unit)| {
+                unit.nodes = (0..split.len()).map(NodeId).collect();
+                split.iter().enumerate().map(|(j, &f)| (NodeId(j), f)).collect()
+            })
+            .collect();
+        let manifest = nwdp::core::nids::generate_manifests(&dep, &d);
+        // Every probe point is covered exactly once.
+        let (lo, hi) = manifest.verify_coverage(&dep, 97);
+        prop_assert_eq!((lo, hi), (1, 1));
+        // Shares match the requested fractions.
+        for (u, split) in splits.iter().enumerate() {
+            for (j, &f) in split.iter().enumerate() {
+                let got = manifest.share(u, NodeId(j));
+                prop_assert!((got - f).abs() < 1e-9, "unit {} node {}: {} vs {}", u, j, got, f);
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_hash_consistent_across_directions(
+        src in 1u32..0xffff, dst in 1u32..0xffff,
+        sp in 1024u16..65000, dp in 1u16..1024, key in any::<u64>()
+    ) {
+        let t = FiveTuple::new(0x0a000000 | (src & 0xffff), 0x0a010000 | (dst & 0xffff), sp, dp, 6);
+        let h = KeyedHasher::with_key(key);
+        prop_assert_eq!(
+            h.unit_hash(&t, FlowKeyKind::BiSession),
+            h.unit_hash(&t.reversed(), FlowKeyKind::BiSession)
+        );
+        let u = h.unit_hash(&t, FlowKeyKind::UniFlow);
+        prop_assert!((0.0..1.0).contains(&u));
+    }
+
+    #[test]
+    fn rounding_always_feasible(cap_frac in 0.05f64..0.5, seed in 0u64..500) {
+        let topo = nwdp::topo::line(4);
+        let paths = PathDb::shortest_paths(&topo);
+        let tm = TrafficMatrix::uniform(&topo);
+        let vol = VolumeModel::internet2_baseline();
+        let n_rules = 5;
+        let rates = MatchRates::uniform_001(n_rules, paths.all_pairs().count(), seed);
+        let inst = NipsInstance::evaluation_setup(&topo, &paths, &tm, &vol, n_rules, cap_frac, rates);
+        let relax = solve_relaxation(&inst, &RowGenOpts::default()).unwrap();
+        for strategy in [
+            nwdp::core::nips::Strategy::ScaledFig9,
+            nwdp::core::nips::Strategy::LpResolve,
+            nwdp::core::nips::Strategy::GreedyLpResolve,
+        ] {
+            let sol = round_best_of(
+                &inst,
+                &relax,
+                &RoundingOpts { strategy, iterations: 1, seed, ..Default::default() },
+            );
+            prop_assert!(inst.check_feasible(&sol.e, &sol.d, 1e-6).is_ok(),
+                "{:?} produced infeasible solution", strategy);
+            prop_assert!(sol.objective <= relax.objective * (1.0 + 1e-6));
+        }
+    }
+}
