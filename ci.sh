@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus lint checks. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== fmt =="
+cargo fmt --check
+
+echo "== clippy =="
+cargo clippy --all-targets -- -D warnings
+
+echo "CI OK"

@@ -40,13 +40,9 @@ fn bench_engine_pipeline(c: &mut Criterion) {
                         Placement::Unmodified => None,
                         _ => Some(CoordContext::new(&solo, &manifest)),
                     };
-                    let mut engine = Engine::new(
-                        NodeId(0),
-                        placement,
-                        &names,
-                        coord,
-                        KeyedHasher::unkeyed(),
-                    );
+                    let mut engine =
+                        Engine::new(NodeId(0), placement, &names, coord, KeyedHasher::unkeyed())
+                            .expect("benchmark modules are registered");
                     for s in &trace.sessions {
                         engine.process_session(s);
                     }
@@ -71,9 +67,7 @@ fn bench_signature_matching(c: &mut Criterion) {
     let mut g = c.benchmark_group("aho_corasick_1460B");
     g.throughput(Throughput::Bytes(1460));
     g.bench_function("clean_payload", |b| b.iter(|| ac.is_match(black_box(&clean))));
-    g.bench_function("matching_payload", |b| {
-        b.iter(|| ac.scan(black_box(&dirty), |_, _| {}))
-    });
+    g.bench_function("matching_payload", |b| b.iter(|| ac.scan(black_box(&dirty), |_, _| {})));
     g.finish();
 }
 

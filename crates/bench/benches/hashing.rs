@@ -10,9 +10,7 @@ fn bench_lookup3(c: &mut Criterion) {
     let mut g = c.benchmark_group("lookup3");
     let data: Vec<u8> = (0..1500u32).map(|i| (i % 251) as u8).collect();
     g.throughput(Throughput::Bytes(1500));
-    g.bench_function("hashlittle_1500B", |b| {
-        b.iter(|| lookup3::hashlittle(black_box(&data), 0))
-    });
+    g.bench_function("hashlittle_1500B", |b| b.iter(|| lookup3::hashlittle(black_box(&data), 0)));
     let words = [0x0a000001u32, 0xc0a80107, 0x9c408050, 6];
     g.bench_function("hashword_5tuple", |b| {
         b.iter(|| lookup3::hashword(black_box(&words), black_box(0xdead)))

@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nwdp_core::nids::{solve_nids_lp, NidsLpConfig, NodeCaps};
 use nwdp_core::{build_units, AnalysisClass};
 use nwdp_lp::simplex::dense::DenseInverse;
-use nwdp_lp::simplex::sparse::SparseFactors;
 use nwdp_lp::simplex::solve_with_backend;
+use nwdp_lp::simplex::sparse::SparseFactors;
 use nwdp_lp::{Cmp, Problem, Sense, SolverOpts};
 use nwdp_topo::{waxman, PathDb};
 use nwdp_traffic::{TrafficMatrix, VolumeModel};
@@ -62,7 +62,7 @@ fn bench_nids_lp(c: &mut Criterion) {
     let mut g = c.benchmark_group("nids_lp_solve");
     g.sample_size(10);
     g.measurement_time(std::time::Duration::from_secs(15));
-    for &n in &[11usize] {
+    for &n in &[11usize, 25] {
         let topo = if n == 11 {
             nwdp_topo::internet2()
         } else {

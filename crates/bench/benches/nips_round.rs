@@ -4,7 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nwdp_core::nips::{
-    round_once, solve_inner_flow, solve_relaxation, NipsInstance, RoundingOpts, Strategy,
+    round_best_of, round_once, solve_inner_flow, solve_relaxation, NipsInstance, RoundingOpts,
+    Strategy,
 };
 use nwdp_lp::rowgen::RowGenOpts;
 use nwdp_topo::{internet2, PathDb};
@@ -65,5 +66,24 @@ fn bench_inner_flow(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_relaxation, bench_rounding, bench_inner_flow);
+fn bench_round_best_of(c: &mut Criterion) {
+    // The tentpole fan-out: independent rounding trials on scoped threads
+    // (set NWDP_THREADS=1 for the serial baseline).
+    let inst = instance(15);
+    let relax = solve_relaxation(&inst, &RowGenOpts::default()).unwrap();
+    let opts = RoundingOpts {
+        strategy: Strategy::GreedyLpResolve,
+        iterations: 8,
+        seed: 7,
+        ..Default::default()
+    };
+    let mut g = c.benchmark_group("nips_round_best_of");
+    g.sample_size(10);
+    g.bench_function("greedy_lp_resolve_x8", |b| {
+        b.iter(|| black_box(round_best_of(&inst, &relax, &opts)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_relaxation, bench_rounding, bench_inner_flow, bench_round_best_of);
 criterion_main!(benches);

@@ -30,11 +30,7 @@ fn main() {
             .map(|s| s.to_string())
             .collect();
     }
-    println!(
-        "repro: scale = {:?}, experiments = {wanted:?}, output = {}",
-        scale,
-        out.display()
-    );
+    println!("repro: scale = {:?}, experiments = {wanted:?}, output = {}", scale, out.display());
 
     for w in &wanted {
         let started = std::time::Instant::now();
@@ -71,7 +67,11 @@ fn main() {
                 );
             }
             "ext" => {
-                emit(&nwdp_bench::extensions::fine_grained_ablation(scale), &out, "ext_fine_grained");
+                emit(
+                    &nwdp_bench::extensions::fine_grained_ablation(scale),
+                    &out,
+                    "ext_fine_grained",
+                );
                 emit(&nwdp_bench::extensions::redundancy_cost(scale), &out, "ext_redundancy_cost");
                 emit(&nwdp_bench::extensions::adversary_comparison(scale), &out, "ext_adversaries");
             }

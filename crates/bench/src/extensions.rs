@@ -26,19 +26,18 @@ pub fn fine_grained_ablation(scale: Scale) -> Table {
     let h = KeyedHasher::with_key(0xF1FE);
 
     let run = |fine: bool| -> Vec<(u64, u64)> {
-        (0..ctx.topo.num_nodes())
-            .map(|j| {
-                let node = NodeId(j);
-                let coord = CoordContext::new(&dep, &manifest);
-                let mut e = Engine::new(node, Placement::EventEngine, &names, Some(coord), h);
-                e.set_fine_grained(fine);
-                for s in trace.onpath_sessions(&ctx.paths, node) {
-                    e.process_session(s);
-                }
-                let st = e.stats();
-                (st.cpu_cycles, st.mem_peak)
-            })
-            .collect()
+        nwdp_core::parallel::par_map_n(ctx.topo.num_nodes(), |j| {
+            let node = NodeId(j);
+            let coord = CoordContext::new(&dep, &manifest);
+            let mut e = Engine::new(node, Placement::EventEngine, &names, Some(coord), h)
+                .expect("standard analysis classes are registered");
+            e.set_fine_grained(fine);
+            for s in trace.onpath_sessions(&ctx.paths, node) {
+                e.process_session(s);
+            }
+            let st = e.stats();
+            (st.cpu_cycles, st.mem_peak)
+        })
     };
     let base = run(false);
     let fine = run(true);
@@ -69,13 +68,8 @@ pub fn redundancy_cost(_scale: Scale) -> Table {
         .into_iter()
         .filter(|c| c.scope == ClassScope::PerPath)
         .collect();
-    let dep: NidsDeployment = nwdp_core::build_units(
-        &ctx.topo,
-        &ctx.paths,
-        &ctx.tm,
-        &ctx.vol,
-        &classes,
-    );
+    let dep: NidsDeployment =
+        nwdp_core::build_units(&ctx.topo, &ctx.paths, &ctx.tm, &ctx.vol, &classes);
     let mut t = Table::new(
         "Extension (§2.5): the load price of r-redundant coverage",
         &["redundancy r", "optimal max load (frac of capacity)", "vs r=1"],
@@ -87,11 +81,7 @@ pub fn redundancy_cost(_scale: Scale) -> Table {
         match solve_nids_lp(&dep, &cfg) {
             Ok(a) => {
                 let b = *base.get_or_insert(a.max_load);
-                t.row(vec![
-                    format!("{r}"),
-                    f3(a.max_load),
-                    format!("{:.2}x", a.max_load / b),
-                ]);
+                t.row(vec![format!("{r}"), f3(a.max_load), format!("{:.2}x", a.max_load / b)]);
             }
             Err(e) => t.row(vec![format!("{r}"), format!("{e}"), "-".into()]),
         }
@@ -122,7 +112,8 @@ pub fn adversary_comparison(scale: Scale) -> Table {
         &["adversary", "epochs", "total FPL value", "best static value", "final norm. regret"],
     );
     for (name, adv) in advs.iter_mut() {
-        let run = run_fpl(&inst, adv.as_mut(), &FplConfig { epochs, seed: 42, ..Default::default() });
+        let run =
+            run_fpl(&inst, adv.as_mut(), &FplConfig { epochs, seed: 42, ..Default::default() });
         let total: f64 = run.fpl_value.iter().sum();
         let static_total = *run.static_prefix_value.last().unwrap();
         t.row(vec![

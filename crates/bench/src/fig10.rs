@@ -59,8 +59,7 @@ pub fn run_config(topo: &Topology, cap_frac: f64, scale: Scale, base_seed: u64) 
         let inst = NipsInstance::evaluation_setup_capped(
             topo, &paths, &tm, &vol, n_rules, cap_frac, rates, MAX_PATHS,
         );
-        let relax = solve_relaxation(&inst, &RowGenOpts::default())
-            .expect("relaxation must solve");
+        let relax = solve_relaxation(&inst, &RowGenOpts::default()).expect("relaxation must solve");
         for (strategy, out) in [
             (Strategy::ScaledFig9, &mut scaled),
             (Strategy::LpResolve, &mut resolve),
@@ -85,15 +84,22 @@ pub fn run_config(topo: &Topology, cap_frac: f64, scale: Scale, base_seed: u64) 
     }
 }
 
-/// Full Fig 10 sweep.
+/// Full Fig 10 sweep: one scoped thread per (topology, capacity)
+/// configuration, results in sweep order.
 pub fn run(scale: Scale, topos: &[Topology]) -> Vec<Fig10Point> {
-    let mut out = Vec::new();
-    for topo in topos {
-        for (ci, cap) in scale.fig10_cap_fracs().into_iter().enumerate() {
-            out.push(run_config(topo, cap, scale, 10_000 + ci as u64 * 1000));
-        }
-    }
-    out
+    let configs: Vec<(&Topology, f64, u64)> = topos
+        .iter()
+        .flat_map(|topo| {
+            scale
+                .fig10_cap_fracs()
+                .into_iter()
+                .enumerate()
+                .map(move |(ci, cap)| (topo, cap, 10_000 + ci as u64 * 1000))
+        })
+        .collect();
+    nwdp_core::parallel::par_map(&configs, |_, &(topo, cap, seed)| {
+        run_config(topo, cap, scale, seed)
+    })
 }
 
 pub fn table(points: &[Fig10Point]) -> Table {

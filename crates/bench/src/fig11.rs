@@ -69,7 +69,5 @@ pub fn table(runs: &[Fig11Run]) -> Table {
 /// Worst regret across runs at the final epoch (the paper: ≤ 15% of the
 /// best static solution).
 pub fn final_worst_regret(runs: &[Fig11Run]) -> f64 {
-    runs.iter()
-        .filter_map(|r| r.regret.last())
-        .fold(f64::NEG_INFINITY, |m, &x| m.max(x))
+    runs.iter().filter_map(|r| r.regret.last()).fold(f64::NEG_INFINITY, |m, &x| m.max(x))
 }

@@ -9,7 +9,9 @@
 use crate::output::{f4, pct, Table};
 use crate::scenario::Scale;
 use nwdp_core::{build_units, AnalysisClass};
-use nwdp_engine::{modules::capture_filter, standalone_coordination, CoordContext, Engine, Placement};
+use nwdp_engine::{
+    modules::capture_filter, standalone_coordination, CoordContext, Engine, Placement,
+};
 use nwdp_hash::KeyedHasher;
 use nwdp_topo::{line, NodeId, PathDb};
 use nwdp_traffic::{generate_trace, TraceConfig, TrafficMatrix, VolumeModel};
@@ -34,10 +36,8 @@ fn run_once(module: &str, placement: Placement, sessions: usize, seed: u64) -> (
     let paths = PathDb::shortest_paths(&topo);
     let tm = TrafficMatrix::uniform(&topo);
     let vol = VolumeModel::internet2_baseline();
-    let classes: Vec<AnalysisClass> = AnalysisClass::standard_set()
-        .into_iter()
-        .filter(|c| c.name == module)
-        .collect();
+    let classes: Vec<AnalysisClass> =
+        AnalysisClass::standard_set().into_iter().filter(|c| c.name == module).collect();
     let dep = build_units(&topo, &paths, &tm, &vol, &classes);
     let (solo, manifest) = standalone_coordination(&dep, NodeId(0));
     let names = vec![module.to_string()];
@@ -45,14 +45,11 @@ fn run_once(module: &str, placement: Placement, sessions: usize, seed: u64) -> (
     let trace = generate_trace(&topo, &tm, &TraceConfig::new(sessions, seed));
     let mut engine = match placement {
         Placement::Unmodified => Engine::new(NodeId(0), placement, &names, None, h),
-        _ => Engine::new(
-            NodeId(0),
-            placement,
-            &names,
-            Some(CoordContext::new(&solo, &manifest)),
-            h,
-        ),
-    };
+        _ => {
+            Engine::new(NodeId(0), placement, &names, Some(CoordContext::new(&solo, &manifest)), h)
+        }
+    }
+    .expect("Fig 5 modules are registered");
     for s in trace.sessions.iter().filter(|s| capture_filter(module, s)) {
         engine.process_session(s);
     }
@@ -67,35 +64,34 @@ fn stats(xs: &[f64]) -> (f64, f64, f64) {
     (mean, min, max)
 }
 
-/// Run the full Fig 5 microbenchmark.
+/// Run the full Fig 5 microbenchmark. The nine module sweeps are
+/// independent and fan out across scoped threads (results in module
+/// order, bit-identical to a serial sweep).
 pub fn run(scale: Scale) -> Vec<Overhead> {
     let sessions = scale.fig5_sessions();
-    MODULES
-        .iter()
-        .map(|module| {
-            let mut ce = Vec::new();
-            let mut cp = Vec::new();
-            let mut me = Vec::new();
-            let mut mp = Vec::new();
-            for rep in 0..scale.repeats() {
-                let seed = 1000 + rep as u64;
-                let (cu, mu) = run_once(module, Placement::Unmodified, sessions, seed);
-                let (cev, mev) = run_once(module, Placement::EventEngine, sessions, seed);
-                let (cpo, mpo) = run_once(module, Placement::PolicyEngine, sessions, seed);
-                ce.push(cev as f64 / cu as f64 - 1.0);
-                cp.push(cpo as f64 / cu as f64 - 1.0);
-                me.push(mev as f64 / mu as f64 - 1.0);
-                mp.push(mpo as f64 / mu as f64 - 1.0);
-            }
-            Overhead {
-                module: module.to_string(),
-                cpu_event: stats(&ce),
-                cpu_policy: stats(&cp),
-                mem_event: stats(&me),
-                mem_policy: stats(&mp),
-            }
-        })
-        .collect()
+    nwdp_core::parallel::par_map(&MODULES, |_, module| {
+        let mut ce = Vec::new();
+        let mut cp = Vec::new();
+        let mut me = Vec::new();
+        let mut mp = Vec::new();
+        for rep in 0..scale.repeats() {
+            let seed = 1000 + rep as u64;
+            let (cu, mu) = run_once(module, Placement::Unmodified, sessions, seed);
+            let (cev, mev) = run_once(module, Placement::EventEngine, sessions, seed);
+            let (cpo, mpo) = run_once(module, Placement::PolicyEngine, sessions, seed);
+            ce.push(cev as f64 / cu as f64 - 1.0);
+            cp.push(cpo as f64 / cu as f64 - 1.0);
+            me.push(mev as f64 / mu as f64 - 1.0);
+            mp.push(mpo as f64 / mu as f64 - 1.0);
+        }
+        Overhead {
+            module: module.to_string(),
+            cpu_event: stats(&ce),
+            cpu_policy: stats(&cp),
+            mem_event: stats(&me),
+            mem_policy: stats(&mp),
+        }
+    })
 }
 
 /// Render the Fig 5(a)/(b) tables.

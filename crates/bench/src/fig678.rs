@@ -27,54 +27,54 @@ pub struct NetwidePoint {
     pub coord_max_mem: f64,
 }
 
-fn one_run(ctx: &NidsContext, n_modules: usize, sessions: usize, seed: u64) -> (NetworkRun, NetworkRun) {
+fn one_run(
+    ctx: &NidsContext,
+    n_modules: usize,
+    sessions: usize,
+    seed: u64,
+) -> (NetworkRun, NetworkRun) {
     let dep = ctx.deployment(n_modules);
     let (_assignment, manifest) = ctx.manifests(&dep);
     let trace = ctx.trace(sessions, seed);
     let h = KeyedHasher::with_key(0xC0DE);
-    let edge = run_edge_only(&dep, &trace, h);
-    let coord =
-        run_coordinated(&dep, &manifest, &ctx.paths, &trace, Placement::EventEngine, h);
+    let edge = run_edge_only(&dep, &trace, h).expect("evaluation classes are registered");
+    let coord = run_coordinated(&dep, &manifest, &ctx.paths, &trace, Placement::EventEngine, h)
+        .expect("evaluation classes are registered");
     (edge, coord)
 }
 
-/// Fig 6: sweep the module count.
+/// Fig 6: sweep the module count (one scoped thread per sweep point).
 pub fn fig6(scale: Scale) -> Vec<NetwidePoint> {
     let ctx = NidsContext::internet2();
     let sessions = scale.netwide_sessions();
-    scale
-        .fig6_modules()
-        .into_iter()
-        .map(|m| {
-            let (edge, coord) = one_run(&ctx, m, sessions, 7000 + m as u64);
-            NetwidePoint {
-                x: m,
-                edge_max_cpu: edge.max_cpu() as f64 / CPU_UNIT,
-                coord_max_cpu: coord.max_cpu() as f64 / CPU_UNIT,
-                edge_max_mem: edge.max_mem() as f64 / MB,
-                coord_max_mem: coord.max_mem() as f64 / MB,
-            }
-        })
-        .collect()
+    let modules = scale.fig6_modules();
+    nwdp_core::parallel::par_map(&modules, |_, &m| {
+        let (edge, coord) = one_run(&ctx, m, sessions, 7000 + m as u64);
+        NetwidePoint {
+            x: m,
+            edge_max_cpu: edge.max_cpu() as f64 / CPU_UNIT,
+            coord_max_cpu: coord.max_cpu() as f64 / CPU_UNIT,
+            edge_max_mem: edge.max_mem() as f64 / MB,
+            coord_max_mem: coord.max_mem() as f64 / MB,
+        }
+    })
 }
 
-/// Fig 7: sweep the traffic volume at 21 modules.
+/// Fig 7: sweep the traffic volume at 21 modules (one scoped thread per
+/// sweep point).
 pub fn fig7(scale: Scale) -> Vec<NetwidePoint> {
     let ctx = NidsContext::internet2();
-    scale
-        .fig7_volumes()
-        .into_iter()
-        .map(|v| {
-            let (edge, coord) = one_run(&ctx, 21, v, 9000 + v as u64);
-            NetwidePoint {
-                x: v,
-                edge_max_cpu: edge.max_cpu() as f64 / CPU_UNIT,
-                coord_max_cpu: coord.max_cpu() as f64 / CPU_UNIT,
-                edge_max_mem: edge.max_mem() as f64 / MB,
-                coord_max_mem: coord.max_mem() as f64 / MB,
-            }
-        })
-        .collect()
+    let volumes = scale.fig7_volumes();
+    nwdp_core::parallel::par_map(&volumes, |_, &v| {
+        let (edge, coord) = one_run(&ctx, 21, v, 9000 + v as u64);
+        NetwidePoint {
+            x: v,
+            edge_max_cpu: edge.max_cpu() as f64 / CPU_UNIT,
+            coord_max_cpu: coord.max_cpu() as f64 / CPU_UNIT,
+            edge_max_mem: edge.max_mem() as f64 / MB,
+            coord_max_mem: coord.max_mem() as f64 / MB,
+        }
+    })
 }
 
 /// Fig 8: per-node loads at the largest configuration.

@@ -36,12 +36,8 @@ impl Table {
         }
         let mut out = String::new();
         let _ = writeln!(out, "== {} ==", self.title);
-        let header: Vec<String> = self
-            .columns
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect();
+        let header: Vec<String> =
+            self.columns.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
         let _ = writeln!(out, "{}", header.join("  "));
         let _ = writeln!(out, "{}", "-".repeat(header.join("  ").len()));
         for row in &self.rows {
@@ -62,7 +58,8 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        let _ =
+            writeln!(out, "{}", self.columns.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
             let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }

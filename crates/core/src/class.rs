@@ -106,11 +106,8 @@ impl AnalysisClass {
         let mut gen = 0usize;
         while set.len() < total {
             let base_name = dup_names[gen % dup_names.len()];
-            let base = set
-                .iter()
-                .find(|c| c.name == base_name)
-                .expect("duplicate base present")
-                .clone();
+            let base =
+                set.iter().find(|c| c.name == base_name).expect("duplicate base present").clone();
             let mut dup = base;
             gen += 1;
             dup.name = format!("{base_name}-dup{gen}");
@@ -156,8 +153,10 @@ mod tests {
         // Duplicates come only from the four designated modules.
         for c in set.iter().skip(9) {
             assert!(
-                c.name.starts_with("HTTP") || c.name.starts_with("IRC")
-                    || c.name.starts_with("Login") || c.name.starts_with("TFTP"),
+                c.name.starts_with("HTTP")
+                    || c.name.starts_with("IRC")
+                    || c.name.starts_with("Login")
+                    || c.name.starts_with("TFTP"),
                 "unexpected duplicate {}",
                 c.name
             );

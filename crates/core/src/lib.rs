@@ -26,6 +26,7 @@ pub mod class;
 pub mod migration;
 pub mod nids;
 pub mod nips;
+pub mod parallel;
 pub mod provision;
 pub mod units;
 

@@ -84,12 +84,8 @@ pub fn plan_transition(
         new_dep.classes.len(),
         "transitions assume an unchanged class list"
     );
-    let old_index: HashMap<(usize, UnitKey), usize> = old_dep
-        .units
-        .iter()
-        .enumerate()
-        .map(|(u, unit)| ((unit.class, unit.key), u))
-        .collect();
+    let old_index: HashMap<(usize, UnitKey), usize> =
+        old_dep.units.iter().enumerate().map(|(u, unit)| ((unit.class, unit.key), u)).collect();
 
     let mut units = Vec::new();
     let mut matched = 0usize;
@@ -102,15 +98,8 @@ pub fn plan_transition(
         };
         matched += 1;
         let old_unit = &old_dep.units[ou];
-        let moved = moved_fraction(
-            old_manifest,
-            ou,
-            &old_unit.nodes,
-            new_manifest,
-            nu,
-            &unit.nodes,
-            grid,
-        );
+        let moved =
+            moved_fraction(old_manifest, ou, &old_unit.nodes, new_manifest, nu, &unit.nodes, grid);
         moved_total += moved;
         if moved == 0.0 {
             continue;

@@ -97,8 +97,7 @@ pub fn solve_nids_lp(
         let mut vars = Vec::with_capacity(unit.nodes.len());
         for &j in &unit.nodes {
             let v = p.add_var(format!("d_{u}_{}", j.index()), 0.0, 1.0, 0.0);
-            cpu_terms[j.index()]
-                .push((v, class.cpu_per_pkt * unit.pkts / cfg.caps[j.index()].cpu));
+            cpu_terms[j.index()].push((v, class.cpu_per_pkt * unit.pkts / cfg.caps[j.index()].cpu));
             mem_terms[j.index()]
                 .push((v, class.mem_per_item * unit.items / cfg.caps[j.index()].mem));
             vars.push(v);
@@ -208,8 +207,7 @@ mod tests {
             assert!((sum - 1.0).abs() < 1e-6, "coverage violated: {sum}");
         }
         // Load definition consistency: reported loads equal recomputed.
-        let worst =
-            a.cpu_load.iter().chain(&a.mem_load).fold(0.0f64, |m, &x| m.max(x));
+        let worst = a.cpu_load.iter().chain(&a.mem_load).fold(0.0f64, |m, &x| m.max(x));
         assert!((worst - a.max_load).abs() < 1e-5, "{} vs {}", worst, a.max_load);
     }
 

@@ -56,8 +56,7 @@ pub fn generate_manifests(dep: &NidsDeployment, d: &[Vec<(NodeId, f64)>]) -> Sam
             }
             let ranges = RangeSet::wrapped(range, range + frac);
             range += frac;
-            let entry =
-                ManifestEntry { class: unit.class, unit: u, key: unit.key, ranges };
+            let entry = ManifestEntry { class: unit.class, unit: u, key: unit.key, ranges };
             index.insert((u, j.index()), per_node[j.index()].len());
             per_node[j.index()].push(entry);
         }
@@ -73,9 +72,7 @@ impl SamplingManifest {
 
     /// The hash range `HashRange(i, k, j)` for unit `u` at `node`, if any.
     pub fn range(&self, unit: usize, node: NodeId) -> Option<&RangeSet> {
-        self.index
-            .get(&(unit, node.index()))
-            .map(|&pos| &self.per_node[node.index()][pos].ranges)
+        self.index.get(&(unit, node.index())).map(|&pos| &self.per_node[node.index()][pos].ranges)
     }
 
     /// Fig 3 line 5: should `node` run the unit's class on a packet whose

@@ -77,15 +77,12 @@ pub fn node_manifest_from_text(text: &str) -> Result<NodeManifest, ManifestParse
         let tok: Vec<&str> = line.split_whitespace().collect();
         match tok.as_slice() {
             ["manifest", "node", n] => {
-                let idx: usize =
-                    n.parse().map_err(|_| err(lineno, "bad node index"))?;
+                let idx: usize = n.parse().map_err(|_| err(lineno, "bad node index"))?;
                 node = Some(NodeId(idx));
             }
             ["range", "unit", unit, "class", class, "key", rest @ ..] => {
-                let unit: usize =
-                    unit.parse().map_err(|_| err(lineno, "bad unit index"))?;
-                let class: usize =
-                    class.parse().map_err(|_| err(lineno, "bad class index"))?;
+                let unit: usize = unit.parse().map_err(|_| err(lineno, "bad unit index"))?;
+                let class: usize = class.parse().map_err(|_| err(lineno, "bad class index"))?;
                 let (key, lo_s, hi_s) = match rest {
                     ["path", s, d, lo, hi] => (
                         UnitKey::Path(
@@ -103,9 +100,7 @@ pub fn node_manifest_from_text(text: &str) -> Result<NodeManifest, ManifestParse
                         hi,
                     ),
                     ["egress", n, lo, hi] => (
-                        UnitKey::Egress(NodeId(
-                            n.parse().map_err(|_| err(lineno, "bad egress"))?,
-                        )),
+                        UnitKey::Egress(NodeId(n.parse().map_err(|_| err(lineno, "bad egress"))?)),
                         lo,
                         hi,
                     ),

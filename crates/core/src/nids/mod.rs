@@ -5,6 +5,9 @@ pub mod lp;
 pub mod manifest;
 pub mod manifest_io;
 
-pub use lp::{edge_only_loads, loads_from_assignment, solve_nids_lp, NidsAssignment, NidsError, NidsLpConfig, NodeCaps};
+pub use lp::{
+    edge_only_loads, loads_from_assignment, solve_nids_lp, NidsAssignment, NidsError, NidsLpConfig,
+    NodeCaps,
+};
 pub use manifest::{generate_manifests, ManifestEntry, SamplingManifest};
 pub use manifest_io::{node_manifest_from_text, node_manifest_to_text, NodeManifest};

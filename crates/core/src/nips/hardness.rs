@@ -13,7 +13,7 @@
 //!   so no LP-rounding scheme can be lossless (this is the phenomenon that
 //!   forces the `O(1/log N)` guarantee rather than exactness).
 
-use super::model::{DistanceModel, NipsInstance, NipsRule, NipsPath, SolutionD};
+use super::model::{DistanceModel, NipsInstance, NipsPath, NipsRule, SolutionD};
 use nwdp_lp::milp::{solve_milp, MilpOpts, MilpResult};
 use nwdp_lp::{Cmp, Problem, Sense, VarId};
 use nwdp_topo::NodeId;
@@ -23,7 +23,12 @@ use nwdp_traffic::MatchRates;
 ///
 /// Returns the problem plus the variable handles `(e_vars[i][j],
 /// d_vars[(i,k,pos)])` needed to decode a solution.
-pub fn to_milp(inst: &NipsInstance) -> (Problem, Vec<Vec<VarId>>, Vec<(usize, usize, usize, VarId)>) {
+/// Variable handles for `e_ij`, indexed `[rule][node]`.
+pub type EVarGrid = Vec<Vec<VarId>>;
+/// Variable handles for `d`, as `(rule, path, pos, var)`.
+pub type DVarList = Vec<(usize, usize, usize, VarId)>;
+
+pub fn to_milp(inst: &NipsInstance) -> (Problem, EVarGrid, DVarList) {
     let mut p = Problem::new(Sense::Max);
     let nr = inst.rules.len();
     let nn = inst.num_nodes;
@@ -33,7 +38,7 @@ pub fn to_milp(inst: &NipsInstance) -> (Problem, Vec<Vec<VarId>>, Vec<(usize, us
     let mut d = Vec::new();
     let mut mem_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); nn];
     let mut cpu_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); nn];
-    for i in 0..nr {
+    for (i, ei) in e.iter().enumerate().take(nr) {
         for (k, path) in inst.paths.iter().enumerate() {
             let mut cover = Vec::new();
             for (pos, &node) in path.nodes.iter().enumerate() {
@@ -43,7 +48,7 @@ pub fn to_milp(inst: &NipsInstance) -> (Problem, Vec<Vec<VarId>>, Vec<(usize, us
                 // Eq 12: d ≤ e.
                 p.add_con(
                     format!("vub_{i}_{k}_{pos}"),
-                    &[(v, 1.0), (e[i][node.index()], -1.0)],
+                    &[(v, 1.0), (ei[node.index()], -1.0)],
                     Cmp::Le,
                     0.0,
                 );
@@ -60,24 +65,27 @@ pub fn to_milp(inst: &NipsInstance) -> (Problem, Vec<Vec<VarId>>, Vec<(usize, us
             p.add_con(format!("cam_{j}"), &cam, Cmp::Le, inst.cam_cap[j]); // Eq 8
         }
         if inst.mem_cap[j].is_finite() {
-            p.add_con(format!("mem_{j}"), &mem_terms[j], Cmp::Le, inst.mem_cap[j]); // Eq 9
+            p.add_con(format!("mem_{j}"), &mem_terms[j], Cmp::Le, inst.mem_cap[j]);
+            // Eq 9
         }
         if inst.cpu_cap[j].is_finite() {
-            p.add_con(format!("cpu_{j}"), &cpu_terms[j], Cmp::Le, inst.cpu_cap[j]); // Eq 10
+            p.add_con(format!("cpu_{j}"), &cpu_terms[j], Cmp::Le, inst.cpu_cap[j]);
+            // Eq 10
         }
     }
     (p, e, d)
 }
 
 /// Solve a small instance to proven integer optimality.
-pub fn solve_exact(inst: &NipsInstance, opts: &MilpOpts) -> (MilpResult, Option<(Vec<Vec<bool>>, SolutionD)>) {
+/// A decoded integral solution: `e[rule][node]` plus sampling fractions.
+pub type ExactSolution = (Vec<Vec<bool>>, SolutionD);
+
+pub fn solve_exact(inst: &NipsInstance, opts: &MilpOpts) -> (MilpResult, Option<ExactSolution>) {
     let (p, evars, dvars) = to_milp(inst);
     let res = solve_milp(&p, opts);
     let decoded = res.incumbent.as_ref().map(|inc| {
-        let e: Vec<Vec<bool>> = evars
-            .iter()
-            .map(|row| row.iter().map(|&v| inc.x[v.index()] > 0.5).collect())
-            .collect();
+        let e: Vec<Vec<bool>> =
+            evars.iter().map(|row| row.iter().map(|&v| inc.x[v.index()] > 0.5).collect()).collect();
         let mut d: SolutionD = SolutionD::new();
         for &(i, k, pos, v) in &dvars {
             let f = inc.x[v.index()];

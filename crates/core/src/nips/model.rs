@@ -82,7 +82,16 @@ impl NipsInstance {
         rule_cap_frac: f64,
         match_rates: MatchRates,
     ) -> Self {
-        Self::evaluation_setup_capped(topo, paths, tm, vol, n_rules, rule_cap_frac, match_rates, usize::MAX)
+        Self::evaluation_setup_capped(
+            topo,
+            paths,
+            tm,
+            vol,
+            n_rules,
+            rule_cap_frac,
+            match_rates,
+            usize::MAX,
+        )
     }
 
     /// [`Self::evaluation_setup`] restricted to the `max_paths` highest-
@@ -155,9 +164,10 @@ impl NipsInstance {
                 && (r.mem_per_item - r0.mem_per_item).abs() < 1e-12
         });
         let ratio0 = self.paths[0].pkts / self.paths[0].items.max(1e-12);
-        let paths_ok = self.paths.iter().all(|p| {
-            (p.pkts / p.items.max(1e-12) - ratio0).abs() < 1e-9 * (1.0 + ratio0)
-        });
+        let paths_ok = self
+            .paths
+            .iter()
+            .all(|p| (p.pkts / p.items.max(1e-12) - ratio0).abs() < 1e-9 * (1.0 + ratio0));
         rules_ok && paths_ok
     }
 
@@ -180,10 +190,7 @@ impl NipsInstance {
         let mut total = 0.0;
         for ((i, k), shares) in d.iter() {
             for &(pos, frac) in shares {
-                total += self.paths[*k].items
-                    * rates.rate(*i, *k)
-                    * self.distance(*k, pos)
-                    * frac;
+                total += self.paths[*k].items * rates.rate(*i, *k) * self.distance(*k, pos) * frac;
             }
         }
         total
@@ -207,10 +214,10 @@ impl NipsInstance {
         let (nr, nn) = (self.rules.len(), self.num_nodes);
         assert_eq!(e.len(), nr);
         // Eq 8: TCAM.
-        for j in 0..nn {
+        for (j, &cam_cap) in self.cam_cap.iter().enumerate().take(nn) {
             let used: f64 = (0..nr).filter(|&i| e[i][j]).map(|i| self.rules[i].cam_req).sum();
-            if used > self.cam_cap[j] + tol {
-                return Err(format!("node {j}: TCAM {used} > {}", self.cam_cap[j]));
+            if used > cam_cap + tol {
+                return Err(format!("node {j}: TCAM {used} > {cam_cap}"));
             }
         }
         let mut mem = vec![0.0; nn];

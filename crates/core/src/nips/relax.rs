@@ -30,12 +30,7 @@ impl Layout {
             path_off.push(acc);
             acc += p.nodes.len();
         }
-        Layout {
-            n_rules: inst.rules.len(),
-            n_nodes: inst.num_nodes,
-            path_off,
-            total_pos: acc,
-        }
+        Layout { n_rules: inst.rules.len(), n_nodes: inst.num_nodes, path_off, total_pos: acc }
     }
 
     /// Flat index of `e_ij` among the e-variables.
@@ -121,12 +116,7 @@ pub fn solve_relaxation(
     for i in 0..layout.n_rules {
         for (k, path) in inst.paths.iter().enumerate() {
             for pos in 0..path.nodes.len() {
-                dvars.push(p.add_var(
-                    format!("d_{i}_{k}_{pos}"),
-                    0.0,
-                    1.0,
-                    inst.weight(i, k, pos),
-                ));
+                dvars.push(p.add_var(format!("d_{i}_{k}_{pos}"), 0.0, 1.0, inst.weight(i, k, pos)));
             }
         }
     }
@@ -137,9 +127,8 @@ pub fn solve_relaxation(
         if !inst.cam_cap[j].is_finite() {
             continue;
         }
-        let cam: Vec<_> = (0..layout.n_rules)
-            .map(|i| (evars[layout.e(i, j)], inst.rules[i].cam_req))
-            .collect();
+        let cam: Vec<_> =
+            (0..layout.n_rules).map(|i| (evars[layout.e(i, j)], inst.rules[i].cam_req)).collect();
         p.add_con(format!("cam_{j}"), &cam, Cmp::Le, inst.cam_cap[j]);
     }
     let mut mem_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); layout.n_nodes];
@@ -166,14 +155,16 @@ pub fn solve_relaxation(
     let mut lazy = Vec::with_capacity(layout.n_rules * inst.paths.len() + layout.num_d());
     for i in 0..layout.n_rules {
         for (k, path) in inst.paths.iter().enumerate() {
-            let cover: Vec<_> = (0..path.nodes.len())
-                .map(|pos| (dvars[layout.d(i, k, pos)], 1.0))
-                .collect();
+            let cover: Vec<_> =
+                (0..path.nodes.len()).map(|pos| (dvars[layout.d(i, k, pos)], 1.0)).collect();
             lazy.push(LazyRow::new(format!("cov_{i}_{k}"), cover, Cmp::Le, 1.0));
             for (pos, &node) in path.nodes.iter().enumerate() {
                 lazy.push(LazyRow::new(
                     format!("vub_{i}_{k}_{pos}"),
-                    vec![(dvars[layout.d(i, k, pos)], 1.0), (evars[layout.e(i, node.index())], -1.0)],
+                    vec![
+                        (dvars[layout.d(i, k, pos)], 1.0),
+                        (evars[layout.e(i, node.index())], -1.0),
+                    ],
                     Cmp::Le,
                     0.0,
                 ));
@@ -223,8 +214,7 @@ mod tests {
         assert!(sol.objective <= inst.drop_everything_bound() + 1e-6);
         // e respects TCAM fractionally.
         for j in 0..inst.num_nodes {
-            let used: f64 =
-                (0..inst.rules.len()).map(|i| sol.e[sol.layout.e(i, j)]).sum();
+            let used: f64 = (0..inst.rules.len()).map(|i| sol.e[sol.layout.e(i, j)]).sum();
             assert!(used <= inst.cam_cap[j] + 1e-6, "node {j}: {used}");
         }
         // d ≤ e everywhere (the lazy VUB rows must have been enforced).
@@ -256,11 +246,7 @@ mod tests {
         inst.cpu_cap = vec![f64::INFINITY; inst.num_nodes];
         let sol = solve_relaxation(&inst, &RowGenOpts::default()).unwrap();
         let bound = inst.drop_everything_bound();
-        assert!(
-            (sol.objective - bound).abs() < 1e-6 * bound,
-            "{} vs {bound}",
-            sol.objective
-        );
+        assert!((sol.objective - bound).abs() < 1e-6 * bound, "{} vs {bound}", sol.objective);
     }
 
     #[test]

@@ -76,15 +76,22 @@ pub struct NipsSolution {
 
 /// Run the full pipeline: `iterations` independent rounding runs, keep the
 /// best. Requires the relaxation solution (Fig 9 steps 1–2 output).
+///
+/// The trials are independent (§3.4) and fan out across scoped threads
+/// (see [`crate::parallel`]); each trial derives its own seed from the
+/// trial index and the winner is selected in trial order, so the result
+/// is bit-identical to a serial run for any `NWDP_THREADS`.
 pub fn round_best_of(
     inst: &NipsInstance,
     relax: &RelaxSolution,
     opts: &RoundingOpts,
 ) -> NipsSolution {
-    let mut best: Option<NipsSolution> = None;
-    for it in 0..opts.iterations.max(1) {
+    let trials = crate::parallel::par_map_n(opts.iterations.max(1), |it| {
         let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(it as u64 * 7919));
-        let sol = round_once(inst, relax, opts, &mut rng);
+        round_once(inst, relax, opts, &mut rng)
+    });
+    let mut best: Option<NipsSolution> = None;
+    for sol in trials {
         if best.as_ref().is_none_or(|b| sol.objective > b.objective) {
             best = Some(sol);
         }
@@ -117,15 +124,13 @@ pub fn round_once(
     // Fig 9 lines 4–9: randomized trial with violation check.
     let mut ehat = vec![vec![false; nn]; nr];
     for trial in 0..opts.max_tries {
-        for i in 0..nr {
-            for j in 0..nn {
+        for (i, row) in ehat.iter_mut().enumerate().take(nr) {
+            for (j, cell) in row.iter_mut().enumerate().take(nn) {
                 let p = (relax.e[lay.e(i, j)] / opts.alpha).clamp(0.0, 1.0);
-                ehat[i][j] = rng.random_bool(p);
+                *cell = rng.random_bool(p);
             }
         }
-        if trial + 1 == opts.max_tries
-            || !violates_budget(inst, lay, &ehat, &eps, budget)
-        {
+        if trial + 1 == opts.max_tries || !violates_budget(inst, lay, &ehat, &eps, budget) {
             break;
         }
     }
@@ -133,17 +138,17 @@ pub fn round_once(
     // Fig 9 line 10: enforce the TCAM constraint by disabling rules. We
     // drop the enabled rule with the smallest potential contribution at
     // the node ("arbitrarily" per the paper).
-    enforce_tcam(inst, &mut ehat, /*node_gain=*/&node_gains(inst, lay));
+    enforce_tcam(inst, &mut ehat, /*node_gain=*/ &node_gains(inst, lay));
 
     match opts.strategy {
         Strategy::ScaledFig9 => {
             // Fig 9 lines 11–12: scale epsilon down by the budget.
             let mut d: SolutionD = SolutionD::new();
-            for i in 0..nr {
+            for (i, ehat_i) in ehat.iter().enumerate().take(nr) {
                 for (k, path) in inst.paths.iter().enumerate() {
                     let mut shares = Vec::new();
                     for (pos, &node) in path.nodes.iter().enumerate() {
-                        if ehat[i][node.index()] {
+                        if ehat_i[node.index()] {
                             let v = eps(i, k, pos, node.index()) / budget;
                             if v > 1e-12 {
                                 shares.push((pos, v));
@@ -177,12 +182,12 @@ fn violates_budget(
     let nn = lay.n_nodes;
     let mut mem = vec![0.0; nn];
     let mut cpu = vec![0.0; nn];
-    for i in 0..lay.n_rules {
+    for (i, ehat_i) in ehat.iter().enumerate().take(lay.n_rules) {
         for (k, path) in inst.paths.iter().enumerate() {
             let mut cov = 0.0;
             for (pos, &node) in path.nodes.iter().enumerate() {
                 let j = node.index();
-                if ehat[i][j] {
+                if ehat_i[j] {
                     let v = eps(i, k, pos, j);
                     mem[j] += inst.paths[k].items * inst.rules[i].mem_per_item * v;
                     cpu[j] += inst.paths[k].pkts * inst.rules[i].cpu_per_pkt * v;
@@ -201,10 +206,10 @@ fn violates_budget(
 /// rule were the only consumer at the node.
 fn node_gains(inst: &NipsInstance, lay: &super::relax::Layout) -> Vec<Vec<f64>> {
     let mut g = vec![vec![0.0; lay.n_nodes]; lay.n_rules];
-    for i in 0..lay.n_rules {
+    for (i, gi) in g.iter_mut().enumerate().take(lay.n_rules) {
         for (k, path) in inst.paths.iter().enumerate() {
             for (pos, &node) in path.nodes.iter().enumerate() {
-                g[i][node.index()] += inst.weight(i, k, pos);
+                gi[node.index()] += inst.weight(i, k, pos);
             }
         }
     }
@@ -215,10 +220,8 @@ fn node_gains(inst: &NipsInstance, lay: &super::relax::Layout) -> Vec<Vec<f64>> 
 fn enforce_tcam(inst: &NipsInstance, ehat: &mut [Vec<bool>], gains: &[Vec<f64>]) {
     for j in 0..inst.num_nodes {
         loop {
-            let used: f64 = (0..inst.rules.len())
-                .filter(|&i| ehat[i][j])
-                .map(|i| inst.rules[i].cam_req)
-                .sum();
+            let used: f64 =
+                (0..inst.rules.len()).filter(|&i| ehat[i][j]).map(|i| inst.rules[i].cam_req).sum();
             if used <= inst.cam_cap[j] + 1e-9 {
                 break;
             }
@@ -251,12 +254,7 @@ fn greedy_fill(
         gains[ib][jb].partial_cmp(&gains[ia][ja]).expect("NaN gain")
     });
     let mut used: Vec<f64> = (0..inst.num_nodes)
-        .map(|j| {
-            (0..inst.rules.len())
-                .filter(|&i| ehat[i][j])
-                .map(|i| inst.rules[i].cam_req)
-                .sum()
-        })
+        .map(|j| (0..inst.rules.len()).filter(|&i| ehat[i][j]).map(|i| inst.rules[i].cam_req).sum())
         .collect();
     for (i, j) in candidates {
         if used[j] + inst.rules[i].cam_req <= inst.cam_cap[j] + 1e-9 {
@@ -345,22 +343,22 @@ pub fn solve_inner_flow_weighted(
     let source = g.add_node();
     let sink = g.add_node();
     let node_ids: Vec<usize> = (0..inst.num_nodes).map(|_| g.add_node()).collect();
-    for j in 0..inst.num_nodes {
+    for (j, &nid) in node_ids.iter().enumerate().take(inst.num_nodes) {
         let cap_items = (inst.mem_cap[j] / r0.mem_per_item.max(1e-12))
             .min(inst.cpu_cap[j] / (r0.cpu_per_pkt * ratio).max(1e-12));
         let cap = cap_items.min(9e17).floor() as i64;
-        g.add_arc(node_ids[j], sink, cap.max(0), 0.0);
+        g.add_arc(nid, sink, cap.max(0), 0.0);
     }
     // Commodity per (rule, path) with at least one enabled on-path node
     // offering positive profit.
     let mut arcs = Vec::new();
-    for i in 0..inst.rules.len() {
+    for (i, ehat_i) in ehat.iter().enumerate().take(inst.rules.len()) {
         for (k, path) in inst.paths.iter().enumerate() {
             let enabled: Vec<usize> = path
                 .nodes
                 .iter()
                 .enumerate()
-                .filter(|&(pos, n)| ehat[i][n.index()] && weight(i, k, pos) > 0.0)
+                .filter(|&(pos, n)| ehat_i[n.index()] && weight(i, k, pos) > 0.0)
                 .map(|(pos, _)| pos)
                 .collect();
             if enabled.is_empty() {
@@ -405,17 +403,16 @@ pub fn solve_inner_simplex(inst: &NipsInstance, ehat: &[Vec<bool>]) -> SolutionD
     let mut cpu_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); inst.num_nodes];
     let mut cover: std::collections::BTreeMap<(usize, usize), Vec<(VarId, f64)>> =
         std::collections::BTreeMap::new();
-    for i in 0..inst.rules.len() {
+    for (i, ehat_i) in ehat.iter().enumerate().take(inst.rules.len()) {
         for (k, path) in inst.paths.iter().enumerate() {
             if inst.match_rates.rate(i, k) <= 0.0 {
                 continue;
             }
             for (pos, &node) in path.nodes.iter().enumerate() {
-                if !ehat[i][node.index()] {
+                if !ehat_i[node.index()] {
                     continue;
                 }
-                let v =
-                    p.add_var(format!("d_{i}_{k}_{pos}"), 0.0, 1.0, inst.weight(i, k, pos));
+                let v = p.add_var(format!("d_{i}_{k}_{pos}"), 0.0, 1.0, inst.weight(i, k, pos));
                 mem_terms[node.index()].push((v, path.items * inst.rules[i].mem_per_item));
                 cpu_terms[node.index()].push((v, path.pkts * inst.rules[i].cpu_per_pkt));
                 cover.entry((i, k)).or_default().push((v, 1.0));
@@ -511,18 +508,14 @@ mod tests {
         assert!(inst.is_proportional());
         // A deterministic placement: enable rule i on nodes with
         // (i + node) % 3 == 0.
-        let ehat: Vec<Vec<bool>> = (0..6)
-            .map(|i| (0..inst.num_nodes).map(|j| (i + j) % 3 == 0).collect())
-            .collect();
+        let ehat: Vec<Vec<bool>> =
+            (0..6).map(|i| (0..inst.num_nodes).map(|j| (i + j) % 3 == 0).collect()).collect();
         let df = solve_inner_flow(&inst, &ehat);
         let ds = solve_inner_simplex(&inst, &ehat);
         let of = inst.objective(&df);
         let os = inst.objective(&ds);
         // Flow discretizes volumes to integers; allow a small relative gap.
-        assert!(
-            (of - os).abs() <= 1e-3 * (1.0 + os.abs()),
-            "flow {of} vs simplex {os}"
-        );
+        assert!((of - os).abs() <= 1e-3 * (1.0 + os.abs()), "flow {of} vs simplex {os}");
         inst.check_feasible(&ehat, &df, 1e-6).unwrap();
         inst.check_feasible(&ehat, &ds, 1e-6).unwrap();
     }

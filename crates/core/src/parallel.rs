@@ -1,0 +1,170 @@
+//! Scoped-thread fan-out for embarrassingly parallel workloads.
+//!
+//! The paper's hot loops — the independent randomized-rounding trials of
+//! Fig 9 / §3.4, the per-node engine replays of the network-wide
+//! evaluation (§2.4), the perturbed FPL solves (§3.5) and the benchmark
+//! sweeps — all share nothing between items, so they fan out across OS
+//! threads with [`std::thread::scope`] (no external dependencies).
+//!
+//! ## Determinism contract
+//!
+//! Every helper returns results **in input order**, regardless of thread
+//! count or completion order, and callers derive any per-item RNG seed
+//! from the item index — never from a shared sequential stream. Together
+//! these make every parallel call site bit-identical to its serial
+//! fallback, which the cross-crate `parallel_equivalence` test enforces.
+//!
+//! ## Thread-count selection
+//!
+//! The worker count is, in order of precedence:
+//! 1. a scoped [`with_threads`] override (used by tests and callers that
+//!    want explicit control),
+//! 2. the `NWDP_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! `NWDP_THREADS=1` (or a single-core host) selects a true serial
+//! fallback: the closure runs on the calling thread and no worker threads
+//! are spawned.
+
+use std::cell::Cell;
+
+thread_local! {
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads a fan-out on this thread would use.
+pub fn num_threads() -> usize {
+    if let Some(n) = OVERRIDE.with(|o| o.get()) {
+        return n.max(1);
+    }
+    if let Some(v) = std::env::var_os("NWDP_THREADS") {
+        if let Some(n) = v.to_str().and_then(|s| s.trim().parse::<usize>().ok()) {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Run `f` with the thread count pinned to `n` on the current thread
+/// (nested fan-outs included). Restores the previous setting on exit,
+/// including on panic. Primarily for tests asserting parallel == serial.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|o| o.replace(Some(n.max(1)))));
+    f()
+}
+
+/// Map `f` over `0..n`, fanning out across scoped threads; results are in
+/// index order. `f` receives the item index (callers derive per-item
+/// seeds from it).
+pub fn par_map_n<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = num_threads().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    // Contiguous index blocks, one per worker; block w covers
+    // [w*q + w.min(r), ...) with the first r blocks one longer.
+    let (q, r) = (n / workers, n % workers);
+    let f = &f;
+    let mut blocks: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * q + w.min(r);
+                let hi = lo + q + usize::from(w < r);
+                s.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for h in handles {
+            blocks.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    blocks.into_iter().flatten().collect()
+}
+
+/// Map `f` over the items of a slice in parallel; results are in input
+/// order. `f` receives `(index, &item)`.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_n(items.len(), |i| f(i, &items[i]))
+}
+
+/// Map `f` over contiguous chunks of `items` (at most `chunk` elements
+/// each), fanning the chunks out across threads. Results are one `R` per
+/// chunk, in chunk order; `f` receives `(chunk_start_index, chunk)`.
+pub fn par_chunks<T, R, F>(items: &[T], chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let chunk = chunk.max(1);
+    let n_chunks = items.len().div_ceil(chunk);
+    par_map_n(n_chunks, |c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(items.len());
+        f(lo, &items[lo..hi])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_n_preserves_order() {
+        for threads in [1, 2, 3, 8, 64] {
+            let got = with_threads(threads, || par_map_n(17, |i| i * i));
+            assert_eq!(got, (0..17).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<u64> = (0..101).map(|i| i * 3 + 1).collect();
+        let serial: Vec<u64> = items.iter().enumerate().map(|(i, x)| x + i as u64).collect();
+        let par = with_threads(4, || par_map(&items, |i, x| x + i as u64));
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn par_chunks_covers_every_item_once() {
+        let items: Vec<usize> = (0..1000).collect();
+        let sums = with_threads(3, || par_chunks(&items, 64, |_, c| c.iter().sum::<usize>()));
+        assert_eq!(sums.len(), 1000usize.div_ceil(64));
+        assert_eq!(sums.iter().sum::<usize>(), items.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(par_map_n(0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_n(1, |i| i + 5), vec![5]);
+        assert_eq!(par_map(&[] as &[u8], |_, &b| b), Vec::<u8>::new());
+        assert_eq!(par_chunks(&[] as &[u8], 8, |_, c| c.len()), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn with_threads_restores_on_exit() {
+        let before = num_threads();
+        with_threads(2, || assert_eq!(num_threads(), 2));
+        assert_eq!(num_threads(), before);
+    }
+
+    #[test]
+    fn override_floor_is_one() {
+        with_threads(0, || assert_eq!(num_threads(), 1));
+    }
+}

@@ -75,9 +75,7 @@ pub fn nips_tcam_plan(
     for j in 0..inst.num_nodes {
         let mut inst2 = inst.clone();
         inst2.cam_cap[j] += extra_slots;
-        let up = solve_relaxation(&inst2, opts)
-            .map(|s| s.objective)
-            .unwrap_or(base.objective);
+        let up = solve_relaxation(&inst2, opts).map(|s| s.objective).unwrap_or(base.objective);
         gain.push((up - base.objective).max(0.0));
     }
     let best_node = gain
@@ -120,8 +118,7 @@ mod tests {
         let tm = TrafficMatrix::gravity(&t);
         let vol = VolumeModel::internet2_baseline();
         let rates = MatchRates::uniform_001(6, paths.all_pairs().count(), 2);
-        let inst =
-            NipsInstance::evaluation_setup(&t, &paths, &tm, &vol, 6, 0.17, rates);
+        let inst = NipsInstance::evaluation_setup(&t, &paths, &tm, &vol, 6, 0.17, rates);
         let opts = RowGenOpts::default();
         let base = solve_relaxation(&inst, &opts).unwrap();
         let plan = nips_tcam_plan(&inst, &base, 1.0, &opts);

@@ -73,10 +73,8 @@ pub fn build_units(
             }
             ClassScope::PerIngress => {
                 for s in topo.nodes() {
-                    let pkts: f64 =
-                        topo.nodes().map(|d| vol.pair_pkts(tm, s, d)).sum();
-                    let flows: f64 =
-                        topo.nodes().map(|d| vol.pair_flows(tm, s, d)).sum();
+                    let pkts: f64 = topo.nodes().map(|d| vol.pair_pkts(tm, s, d)).sum();
+                    let flows: f64 = topo.nodes().map(|d| vol.pair_flows(tm, s, d)).sum();
                     if pkts <= 0.0 {
                         continue;
                     }
@@ -91,10 +89,8 @@ pub fn build_units(
             }
             ClassScope::PerEgress => {
                 for d in topo.nodes() {
-                    let pkts: f64 =
-                        topo.nodes().map(|s| vol.pair_pkts(tm, s, d)).sum();
-                    let flows: f64 =
-                        topo.nodes().map(|s| vol.pair_flows(tm, s, d)).sum();
+                    let pkts: f64 = topo.nodes().map(|s| vol.pair_pkts(tm, s, d)).sum();
+                    let flows: f64 = topo.nodes().map(|s| vol.pair_flows(tm, s, d)).sum();
                     if pkts <= 0.0 {
                         continue;
                     }
@@ -149,22 +145,15 @@ mod tests {
             if class.scope != ClassScope::PerPath {
                 continue;
             }
-            let sum: f64 =
-                d.units.iter().filter(|u| u.class == ci).map(|u| u.pkts).sum();
-            assert!(
-                (sum - vol.pkts).abs() < 1e-3,
-                "{}: {sum} vs {}",
-                class.name,
-                vol.pkts
-            );
+            let sum: f64 = d.units.iter().filter(|u| u.class == ci).map(|u| u.pkts).sum();
+            assert!((sum - vol.pkts).abs() < 1e-3, "{}: {sum} vs {}", class.name, vol.pkts);
         }
         // Same for ingress-scoped classes.
         for (ci, class) in d.classes.iter().enumerate() {
             if class.scope != ClassScope::PerIngress {
                 continue;
             }
-            let sum: f64 =
-                d.units.iter().filter(|u| u.class == ci).map(|u| u.pkts).sum();
+            let sum: f64 = d.units.iter().filter(|u| u.class == ci).map(|u| u.pkts).sum();
             assert!((sum - vol.pkts).abs() < 1e-3, "{}", class.name);
         }
     }
@@ -189,14 +178,9 @@ mod tests {
     #[test]
     fn items_respect_aggregation_level() {
         let d = deployment();
-        let scan_items: f64 = d
-            .units
-            .iter()
-            .filter(|u| matches!(u.key, UnitKey::Ingress(_)))
-            .map(|u| u.items)
-            .sum();
-        let baseline_items: f64 =
-            d.units.iter().filter(|u| u.class == 0).map(|u| u.items).sum();
+        let scan_items: f64 =
+            d.units.iter().filter(|u| matches!(u.key, UnitKey::Ingress(_))).map(|u| u.items).sum();
+        let baseline_items: f64 = d.units.iter().filter(|u| u.class == 0).map(|u| u.items).sum();
         // Per-source tracking has far fewer items than per-connection.
         assert!(scan_items < baseline_items / 10.0);
     }

@@ -36,7 +36,7 @@ impl AhoCorasick {
                     s = next;
                 } else {
                     let ns = fail.len() as u32;
-                    goto_.extend(std::iter::repeat(0).take(256));
+                    goto_.extend(std::iter::repeat_n(0, 256));
                     fail.push(0);
                     output.push(Vec::new());
                     children.push(Vec::new());
@@ -50,8 +50,7 @@ impl AhoCorasick {
 
         // BFS failure links; convert goto to a full DFA (dense table).
         let mut queue = std::collections::VecDeque::new();
-        for b in 0..256usize {
-            let s = goto_[b];
+        for &s in goto_.iter().take(256) {
             if s != 0 {
                 fail[s as usize] = 0;
                 queue.push_back(s);
@@ -198,10 +197,8 @@ mod tests {
 
     #[test]
     fn real_signatures() {
-        let ac = AhoCorasick::new(&[
-            &b"msblast.exe"[..],
-            nwdp_traffic::session::templates::MALWARE_SIG,
-        ]);
+        let ac =
+            AhoCorasick::new(&[&b"msblast.exe"[..], nwdp_traffic::session::templates::MALWARE_SIG]);
         assert!(ac.is_match(nwdp_traffic::session::templates::BLASTER));
         assert!(!ac.is_match(b"GET /index.html HTTP/1.1"));
     }

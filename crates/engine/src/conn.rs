@@ -235,9 +235,6 @@ mod tests {
         let (i, _) = t.upsert(&tuple(), &h, &c, &mut m);
         let r = t.get(i);
         assert_eq!(r.hashes.bisession, h.unit_hash(&tuple(), FlowKeyKind::BiSession));
-        assert_eq!(
-            r.hashes.bisession,
-            h.unit_hash(&tuple().reversed(), FlowKeyKind::BiSession)
-        );
+        assert_eq!(r.hashes.bisession, h.unit_hash(&tuple().reversed(), FlowKeyKind::BiSession));
     }
 }

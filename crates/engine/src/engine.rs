@@ -20,7 +20,7 @@
 
 use crate::conn::ConnTable;
 use crate::cost::{CostModel, Meter};
-use crate::modules::{module_for_class, Alert, Analyzer, Granularity, Stage};
+use crate::modules::{module_for_class, Alert, Analyzer, EngineError, Granularity, Stage};
 use nwdp_core::nids::{generate_manifests, SamplingManifest};
 use nwdp_core::{ClassScope, NidsDeployment, UnitKey};
 use nwdp_hash::{FlowKeyKind, KeyedHasher};
@@ -120,23 +120,26 @@ impl<'a> Engine<'a> {
     /// Build an engine running the given classes. For coordinated
     /// placements pass the shared [`CoordContext`]; `None` with
     /// [`Placement::Unmodified`] is stock Bro (edge-only / baseline runs).
+    ///
+    /// Fails with [`EngineError::UnknownClass`] when a class name has no
+    /// registered analyzer module (instead of aborting the process).
     pub fn new(
         node: NodeId,
         placement: Placement,
         class_names: &[String],
         coord: Option<CoordContext<'a>>,
         hasher: KeyedHasher,
-    ) -> Self {
+    ) -> Result<Self, EngineError> {
         if placement == Placement::Unmodified {
             assert!(coord.is_none(), "unmodified Bro cannot consume manifests");
         } else {
             assert!(coord.is_some(), "coordinated placements need a manifest context");
         }
         let modules: Vec<Box<dyn Analyzer>> =
-            class_names.iter().map(|n| module_for_class(n)).collect();
+            class_names.iter().map(|n| module_for_class(n)).collect::<Result<_, _>>()?;
         let with_hashes = placement != Placement::Unmodified;
         let n_modules = modules.len();
-        Engine {
+        Ok(Engine {
             node,
             placement,
             costs: CostModel::default(),
@@ -148,7 +151,7 @@ impl<'a> Engine<'a> {
             base_meter: Meter::new(),
             packets: 0,
             fine_grained: false,
-        }
+        })
     }
 
     pub fn set_costs(&mut self, costs: CostModel) {
@@ -192,8 +195,7 @@ impl<'a> Engine<'a> {
 
         // --- §2.3 fast path: for traffic with no existing state, skip
         // connection creation when no module's manifest range covers it.
-        if self.coord.is_some() && self.conns.find(&tuple).is_none() {
-            let coord = self.coord.as_ref().expect("checked");
+        if let Some(coord) = self.coord.as_ref().filter(|_| self.conns.find(&tuple).is_none()) {
             // Each needed hash kind is computed once per packet.
             let mut hash_cache: [Option<f64>; 4] = [None; 4];
             let mut hashed = 0u64;
@@ -235,8 +237,7 @@ impl<'a> Engine<'a> {
         // connection, at analyzer-instantiation time. This covers all
         // modules under approach 2, and the event-only modules (e.g. the
         // Signature engine) under *both* approaches.
-        if is_new && self.coord.is_some() {
-            let coord = self.coord.as_ref().expect("coordinated");
+        if let Some(coord) = self.coord.as_ref().filter(|_| is_new) {
             let rec = self.conns.get(idx);
             let (sn, dn) = (node_of_ip(rec.orig.src_ip), node_of_ip(rec.orig.dst_ip));
             let mut enabled = vec![false; self.modules.len()];
@@ -297,7 +298,7 @@ impl<'a> Engine<'a> {
 
         // Lightweight connections skip mid-stream per-packet analysis
         // entirely (their modules only consume connection-level events).
-        if self.conns.get(idx).light && !is_new && !pkt.fin && !(pkt.syn && !pkt.ack) {
+        if self.conns.get(idx).light && !is_new && !pkt.fin && (!pkt.syn || pkt.ack) {
             return;
         }
 
@@ -316,8 +317,7 @@ impl<'a> Engine<'a> {
                     // policy predicate), charged per delivered event:
                     // every packet for per-packet modules, setup/teardown
                     // events for connection-level modules.
-                    let (sn, dn) =
-                        (node_of_ip(rec.orig.src_ip), node_of_ip(rec.orig.dst_ip));
+                    let (sn, dn) = (node_of_ip(rec.orig.src_ip), node_of_ip(rec.orig.dst_ip));
                     match coord.unit_for(m, sn, dn) {
                         None => false,
                         Some(unit) => {
@@ -443,8 +443,14 @@ mod tests {
         let tm = TrafficMatrix::uniform(&topo);
         let trace = generate_trace(&topo, &tm, &TraceConfig::new(200, 3));
         let coord = CoordContext::new(&solo, &manifest);
-        let mut bystander =
-            Engine::new(NodeId(0), Placement::EventEngine, &names, Some(coord), KeyedHasher::unkeyed());
+        let mut bystander = Engine::new(
+            NodeId(0),
+            Placement::EventEngine,
+            &names,
+            Some(coord),
+            KeyedHasher::unkeyed(),
+        )
+        .unwrap();
         for s in &trace.sessions {
             bystander.process_session(s);
         }
@@ -454,8 +460,14 @@ mod tests {
         assert!(st.packets > 0);
         // The responsible node tracks everything instead.
         let coord = CoordContext::new(&solo, &manifest);
-        let mut owner =
-            Engine::new(NodeId(1), Placement::EventEngine, &names, Some(coord), KeyedHasher::unkeyed());
+        let mut owner = Engine::new(
+            NodeId(1),
+            Placement::EventEngine,
+            &names,
+            Some(coord),
+            KeyedHasher::unkeyed(),
+        )
+        .unwrap();
         for s in &trace.sessions {
             owner.process_session(s);
         }
@@ -469,14 +481,21 @@ mod tests {
         let (solo, manifest) = standalone_coordination(&dep, NodeId(0));
         let names = vec!["HTTP".to_string()];
         let coord = CoordContext::new(&solo, &manifest);
-        let _ = Engine::new(NodeId(0), Placement::Unmodified, &names, Some(coord), KeyedHasher::unkeyed());
+        let _ = Engine::new(
+            NodeId(0),
+            Placement::Unmodified,
+            &names,
+            Some(coord),
+            KeyedHasher::unkeyed(),
+        );
     }
 
     #[test]
     #[should_panic]
     fn coordinated_engine_requires_manifests() {
         let names = vec!["HTTP".to_string()];
-        let _ = Engine::new(NodeId(0), Placement::EventEngine, &names, None, KeyedHasher::unkeyed());
+        let _ =
+            Engine::new(NodeId(0), Placement::EventEngine, &names, None, KeyedHasher::unkeyed());
     }
 
     #[test]
@@ -485,7 +504,9 @@ mod tests {
         let names: Vec<String> = dep.classes.iter().map(|c| c.name.clone()).collect();
         let tm = TrafficMatrix::uniform(&topo);
         let trace = generate_trace(&topo, &tm, &TraceConfig::new(300, 9));
-        let mut e = Engine::new(NodeId(0), Placement::Unmodified, &names, None, KeyedHasher::unkeyed());
+        let mut e =
+            Engine::new(NodeId(0), Placement::Unmodified, &names, None, KeyedHasher::unkeyed())
+                .unwrap();
         for s in &trace.sessions {
             e.process_session(s);
         }

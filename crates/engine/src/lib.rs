@@ -27,5 +27,5 @@ pub use ac::AhoCorasick;
 pub use conn::{ConnRecord, ConnTable};
 pub use cost::{CostModel, Meter};
 pub use engine::{standalone_coordination, CoordContext, Engine, Placement, RunStats};
-pub use modules::{module_for_class, Alert, Analyzer, Granularity, Stage};
+pub use modules::{module_for_class, Alert, Analyzer, EngineError, Granularity, Stage};
 pub use netwide::{run_coordinated, run_edge_only, run_standalone_reference, NetworkRun};

@@ -391,10 +391,7 @@ impl Analyzer for AppAnalyzer {
             // Policy-script processing of the raw event (interpreted).
             meter.cpu(22 * costs.interp_factor);
         }
-        let hit = pkt
-            .payload
-            .windows(self.trigger.len())
-            .any(|w| w == self.trigger);
+        let hit = pkt.payload.windows(self.trigger.len()).any(|w| w == self.trigger);
         if hit {
             // Deliver a protocol event to the policy layer.
             meter.cpu(costs.event_dispatch + 8 * costs.interp_factor);
@@ -606,7 +603,7 @@ impl Analyzer for SynFlood {
         costs: &CostModel,
         meter: &mut Meter,
     ) {
-        if !(pkt.syn && !pkt.ack) {
+        if !pkt.syn || pkt.ack {
             return;
         }
         meter.cpu(12 * costs.interp_factor);
@@ -644,12 +641,36 @@ pub fn capture_filter(class_name: &str, s: &nwdp_traffic::Session) -> bool {
     }
 }
 
+/// Errors surfaced by the engine instead of aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// An analysis-class name has no registered module implementation
+    /// (typically a typo in a deployment description or a class added to
+    /// the optimizer without a matching analyzer).
+    UnknownClass(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownClass(name) => {
+                write!(f, "no analysis module registered for class {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// Instantiate the module matching an analysis-class name. Duplicate
 /// classes ("HTTP-dup3") get fresh instances of their base module carrying
 /// the duplicate name, exactly like the paper's "fake instances".
-pub fn module_for_class(class_name: &str) -> Box<dyn Analyzer> {
+///
+/// Unknown classes are reported as [`EngineError::UnknownClass`] rather
+/// than panicking, so a bad deployment description fails gracefully.
+pub fn module_for_class(class_name: &str) -> Result<Box<dyn Analyzer>, EngineError> {
     let base = class_name.split('-').next().unwrap_or(class_name);
-    match base {
+    Ok(match base {
         "Baseline" => Box::new(Baseline::new()),
         "Scan" => Box::new(Scan::new(16)),
         "IRC" => Box::new(AppAnalyzer::irc(class_name)),
@@ -663,8 +684,8 @@ pub fn module_for_class(class_name: &str) -> Box<dyn Analyzer> {
         "FTP" => Box::new(AppAnalyzer::ftp(class_name)),
         "SMTP" => Box::new(AppAnalyzer::smtp(class_name)),
         "SSH" => Box::new(AppAnalyzer::ssh(class_name)),
-        other => panic!("no module for class {other}"),
-    }
+        _ => return Err(EngineError::UnknownClass(class_name.to_string())),
+    })
 }
 
 #[cfg(test)]
@@ -844,17 +865,21 @@ mod tests {
 
     #[test]
     fn module_factory_handles_duplicates() {
-        let m = module_for_class("HTTP-dup3");
+        let m = module_for_class("HTTP-dup3").unwrap();
         assert_eq!(m.class_name(), "HTTP-dup3");
         assert_eq!(m.stage(), Stage::EventCapable);
-        let t = module_for_class("TFTP");
+        let t = module_for_class("TFTP").unwrap();
         assert_eq!(t.stage(), Stage::PolicyOnly);
     }
 
     #[test]
-    #[should_panic]
-    fn module_factory_rejects_unknown() {
-        module_for_class("NoSuchModule");
+    fn module_factory_rejects_unknown_without_aborting() {
+        let err = match module_for_class("NoSuchModule") {
+            Ok(_) => panic!("unknown class must not resolve"),
+            Err(e) => e,
+        };
+        assert_eq!(err, EngineError::UnknownClass("NoSuchModule".to_string()));
+        assert!(err.to_string().contains("NoSuchModule"));
     }
 
     #[test]
@@ -871,7 +896,7 @@ mod tests {
             ("Blaster", Stage::PolicyOnly),
             ("SYNFlood", Stage::PolicyOnly),
         ] {
-            assert_eq!(module_for_class(name).stage(), want, "{name}");
+            assert_eq!(module_for_class(name).unwrap().stage(), want, "{name}");
         }
     }
 }

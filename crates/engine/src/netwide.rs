@@ -4,11 +4,17 @@
 //! the coordinated case, this includes both traffic originating/terminating
 //! at a node and transit traffic. For the edge-only case, these consist of
 //! traffic originating/terminating at each node."
+//!
+//! Each node's replay is an independent engine over its own slice of the
+//! trace, so the per-node fan-out runs on scoped threads (see
+//! [`nwdp_core::parallel`]). Per-node [`RunStats`] are merged back in node
+//! order after the join, which keeps the result bit-identical to a serial
+//! run for any `NWDP_THREADS` setting.
 
 use crate::engine::{CoordContext, Engine, Placement, RunStats};
-use crate::modules::Alert;
+use crate::modules::{Alert, EngineError};
 use nwdp_core::nids::SamplingManifest;
-use nwdp_core::NidsDeployment;
+use nwdp_core::{parallel, NidsDeployment};
 use nwdp_hash::KeyedHasher;
 use nwdp_topo::{NodeId, PathDb};
 use nwdp_traffic::NetTrace;
@@ -40,23 +46,37 @@ fn class_names(dep: &NidsDeployment) -> Vec<String> {
     dep.classes.iter().map(|c| c.name.clone()).collect()
 }
 
+/// Replay every node's engine over its trace slice in parallel (one
+/// independent engine per node; deterministic node-order merge).
+fn replay_nodes(
+    num_nodes: usize,
+    run_node: impl Fn(NodeId) -> Result<RunStats, EngineError> + Sync,
+) -> Result<NetworkRun, EngineError> {
+    let per_node = parallel::par_map_n(num_nodes, |j| run_node(NodeId(j)))
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut alerts = BTreeSet::new();
+    for stats in &per_node {
+        alerts.extend(stats.alerts.iter().cloned());
+    }
+    Ok(NetworkRun { per_node, alerts })
+}
+
 /// Edge-only deployment: every node independently runs stock Bro on the
 /// traffic it originates or terminates.
-pub fn run_edge_only(dep: &NidsDeployment, trace: &NetTrace, hasher: KeyedHasher) -> NetworkRun {
+pub fn run_edge_only(
+    dep: &NidsDeployment,
+    trace: &NetTrace,
+    hasher: KeyedHasher,
+) -> Result<NetworkRun, EngineError> {
     let names = class_names(dep);
-    let mut per_node = Vec::with_capacity(dep.num_nodes);
-    let mut alerts = BTreeSet::new();
-    for j in 0..dep.num_nodes {
-        let node = NodeId(j);
-        let mut engine = Engine::new(node, Placement::Unmodified, &names, None, hasher);
+    replay_nodes(dep.num_nodes, |node| {
+        let mut engine = Engine::new(node, Placement::Unmodified, &names, None, hasher)?;
         for s in trace.edge_sessions(node) {
             engine.process_session(s);
         }
-        let stats = engine.stats();
-        alerts.extend(stats.alerts.iter().cloned());
-        per_node.push(stats);
-    }
-    NetworkRun { per_node, alerts }
+        Ok(engine.stats())
+    })
 }
 
 /// Coordinated network-wide deployment: every node runs the coordinated
@@ -69,36 +89,32 @@ pub fn run_coordinated(
     trace: &NetTrace,
     placement: Placement,
     hasher: KeyedHasher,
-) -> NetworkRun {
+) -> Result<NetworkRun, EngineError> {
     assert_ne!(placement, Placement::Unmodified, "coordinated run needs a coordinated placement");
     let names = class_names(dep);
-    let mut per_node = Vec::with_capacity(dep.num_nodes);
-    let mut alerts = BTreeSet::new();
-    for j in 0..dep.num_nodes {
-        let node = NodeId(j);
+    replay_nodes(dep.num_nodes, |node| {
         let coord = CoordContext::new(dep, manifest);
-        let mut engine = Engine::new(node, placement, &names, Some(coord), hasher);
+        let mut engine = Engine::new(node, placement, &names, Some(coord), hasher)?;
         for s in trace.onpath_sessions(paths, node) {
             engine.process_session(s);
         }
-        let stats = engine.stats();
-        alerts.extend(stats.alerts.iter().cloned());
-        per_node.push(stats);
-    }
-    NetworkRun { per_node, alerts }
+        Ok(engine.stats())
+    })
 }
 
 /// A single standalone NIDS over the entire trace (the logical reference
-/// the network-wide deployment must be equivalent to).
+/// the network-wide deployment must be equivalent to). One engine, one
+/// node: the replay is inherently serial (every session flows through the
+/// same connection table).
 pub fn run_standalone_reference(
     dep: &NidsDeployment,
     trace: &NetTrace,
     hasher: KeyedHasher,
-) -> RunStats {
+) -> Result<RunStats, EngineError> {
     let names = class_names(dep);
-    let mut engine = Engine::new(NodeId(0), Placement::Unmodified, &names, None, hasher);
+    let mut engine = Engine::new(NodeId(0), Placement::Unmodified, &names, None, hasher)?;
     for s in &trace.sessions {
         engine.process_session(s);
     }
-    engine.stats()
+    Ok(engine.stats())
 }

@@ -35,9 +35,9 @@ fn coordinated_event_engine_equivalent_to_standalone() {
     let (_t, paths, dep, trace) = setup(4000, 42);
     let manifest = manifest_for(&dep);
     let h = KeyedHasher::with_key(0xA11CE);
-    let reference = run_standalone_reference(&dep, &trace, h);
+    let reference = run_standalone_reference(&dep, &trace, h).unwrap();
     let coordinated =
-        run_coordinated(&dep, &manifest, &paths, &trace, Placement::EventEngine, h);
+        run_coordinated(&dep, &manifest, &paths, &trace, Placement::EventEngine, h).unwrap();
     assert!(!reference.alerts.is_empty(), "workload must trigger alerts");
     assert_eq!(
         coordinated.alerts, reference.alerts,
@@ -50,9 +50,9 @@ fn coordinated_policy_engine_equivalent_to_standalone() {
     let (_t, paths, dep, trace) = setup(3000, 77);
     let manifest = manifest_for(&dep);
     let h = KeyedHasher::with_key(0xB0B);
-    let reference = run_standalone_reference(&dep, &trace, h);
+    let reference = run_standalone_reference(&dep, &trace, h).unwrap();
     let coordinated =
-        run_coordinated(&dep, &manifest, &paths, &trace, Placement::PolicyEngine, h);
+        run_coordinated(&dep, &manifest, &paths, &trace, Placement::PolicyEngine, h).unwrap();
     assert_eq!(coordinated.alerts, reference.alerts);
 }
 
@@ -63,11 +63,23 @@ fn equivalence_holds_under_different_hash_keys() {
     let (_t, paths, dep, trace) = setup(2500, 11);
     let manifest = manifest_for(&dep);
     let a = run_coordinated(
-        &dep, &manifest, &paths, &trace, Placement::EventEngine, KeyedHasher::with_key(1),
-    );
+        &dep,
+        &manifest,
+        &paths,
+        &trace,
+        Placement::EventEngine,
+        KeyedHasher::with_key(1),
+    )
+    .unwrap();
     let b = run_coordinated(
-        &dep, &manifest, &paths, &trace, Placement::EventEngine, KeyedHasher::with_key(999),
-    );
+        &dep,
+        &manifest,
+        &paths,
+        &trace,
+        Placement::EventEngine,
+        KeyedHasher::with_key(999),
+    )
+    .unwrap();
     assert_eq!(a.alerts, b.alerts);
 }
 
@@ -92,8 +104,9 @@ fn redundancy_two_preserves_equivalence() {
     let assignment = solve_nids_lp(&dep, &cfg).unwrap();
     let manifest = generate_manifests(&dep, &assignment.d);
     let h = KeyedHasher::with_key(3);
-    let reference = run_standalone_reference(&dep, &trace, h);
-    let coordinated = run_coordinated(&dep, &manifest, &paths, &trace, Placement::EventEngine, h);
+    let reference = run_standalone_reference(&dep, &trace, h).unwrap();
+    let coordinated =
+        run_coordinated(&dep, &manifest, &paths, &trace, Placement::EventEngine, h).unwrap();
     assert_eq!(coordinated.alerts, reference.alerts);
 }
 
@@ -101,8 +114,8 @@ fn redundancy_two_preserves_equivalence() {
 fn edge_only_can_miss_nothing_it_sees_but_duplicates_work() {
     let (_t, _paths, dep, trace) = setup(2500, 9);
     let h = KeyedHasher::unkeyed();
-    let edge = run_edge_only(&dep, &trace, h);
-    let reference = run_standalone_reference(&dep, &trace, h);
+    let edge = run_edge_only(&dep, &trace, h).unwrap();
+    let reference = run_standalone_reference(&dep, &trace, h).unwrap();
     // Every edge node sees its own traffic fully, so per-session alerts
     // (signature, blaster, app activity) are all found...
     for alert in reference.alerts.iter().filter(|a| {

@@ -4,9 +4,7 @@
 
 use nwdp_core::nids::{generate_manifests, solve_nids_lp, NidsLpConfig, NodeCaps};
 use nwdp_core::{build_units, AnalysisClass};
-use nwdp_engine::{
-    module_for_class, run_coordinated, run_standalone_reference, Placement, Stage,
-};
+use nwdp_engine::{module_for_class, run_coordinated, run_standalone_reference, Placement, Stage};
 use nwdp_hash::KeyedHasher;
 use nwdp_topo::{internet2, PathDb};
 use nwdp_traffic::{generate_trace, TraceConfig, TrafficMatrix, VolumeModel};
@@ -14,7 +12,7 @@ use nwdp_traffic::{generate_trace, TraceConfig, TrafficMatrix, VolumeModel};
 #[test]
 fn extended_modules_construct_with_expected_stages() {
     for name in ["DNS", "FTP", "SMTP", "SSH"] {
-        let m = module_for_class(name);
+        let m = module_for_class(name).unwrap();
         assert_eq!(m.class_name(), name);
         assert_eq!(m.stage(), Stage::EventCapable, "{name}");
         assert!(m.needs_all_packets());
@@ -32,7 +30,7 @@ fn extended_set_detects_its_protocols() {
     let dep = build_units(&topo, &paths, &tm, &vol, &classes);
     let trace = generate_trace(&topo, &tm, &TraceConfig::new(3000, 31));
     let h = KeyedHasher::with_key(0xE7);
-    let reference = run_standalone_reference(&dep, &trace, h);
+    let reference = run_standalone_reference(&dep, &trace, h).unwrap();
     // The mixed profile generates DNS/FTP/SMTP/SSH sessions; each new
     // analyzer must produce alerts on them.
     for kind in ["dns_query", "ftp_anonymous_login", "smtp_sender", "ssh_session"] {
@@ -55,7 +53,8 @@ fn equivalence_holds_for_extended_set() {
     let manifest = generate_manifests(&dep, &a.d);
     let trace = generate_trace(&topo, &tm, &TraceConfig::new(2500, 17));
     let h = KeyedHasher::with_key(0x55);
-    let reference = run_standalone_reference(&dep, &trace, h);
-    let coord = run_coordinated(&dep, &manifest, &paths, &trace, Placement::EventEngine, h);
+    let reference = run_standalone_reference(&dep, &trace, h).unwrap();
+    let coord =
+        run_coordinated(&dep, &manifest, &paths, &trace, Placement::EventEngine, h).unwrap();
     assert_eq!(coord.alerts, reference.alerts);
 }

@@ -25,7 +25,8 @@ fn run_network(fine_grained: bool, trace: &NetTrace) -> Vec<RunStats> {
         .map(|j| {
             let node = NodeId(j);
             let coord = CoordContext::new(&dep, &manifest);
-            let mut engine = Engine::new(node, Placement::EventEngine, &names, Some(coord), h);
+            let mut engine =
+                Engine::new(node, Placement::EventEngine, &names, Some(coord), h).unwrap();
             engine.set_fine_grained(fine_grained);
             for s in trace.onpath_sessions(&paths, node) {
                 engine.process_session(s);
@@ -54,10 +55,7 @@ fn fine_grained_preserves_detection_and_cuts_memory() {
     // Strictly less total memory, and no node worse off.
     let mem_base: u64 = base.iter().map(|s| s.mem_peak).sum();
     let mem_fine: u64 = fine.iter().map(|s| s.mem_peak).sum();
-    assert!(
-        mem_fine < mem_base,
-        "lightweight records must save memory: {mem_fine} vs {mem_base}"
-    );
+    assert!(mem_fine < mem_base, "lightweight records must save memory: {mem_fine} vs {mem_base}");
     for (b, f) in base.iter().zip(&fine) {
         assert!(f.mem_peak <= b.mem_peak, "node {:?} regressed", b.node);
     }

@@ -5,7 +5,9 @@ use nwdp_core::{build_units, AnalysisClass};
 use nwdp_engine::{standalone_coordination, CoordContext, Engine, Placement};
 use nwdp_hash::KeyedHasher;
 use nwdp_topo::{line, NodeId, PathDb};
-use nwdp_traffic::{generate_trace, AnomalyConfig, NetTrace, TraceConfig, TrafficMatrix, VolumeModel};
+use nwdp_traffic::{
+    generate_trace, AnomalyConfig, NetTrace, TraceConfig, TrafficMatrix, VolumeModel,
+};
 
 /// Bro derives a libpcap capture filter from the loaded analyzers: a
 /// module-in-isolation run only receives its own traffic. Protocol
@@ -24,18 +26,13 @@ fn capture_filter(class_name: &str, s: &nwdp_traffic::Session) -> bool {
 
 /// Run a single module in isolation over the trace under a placement.
 /// Returns (cpu_cycles, mem_peak).
-fn run_module(
-    class_name: &str,
-    placement: Placement,
-    trace: &NetTrace,
-) -> (u64, u64) {
+fn run_module(class_name: &str, placement: Placement, trace: &NetTrace) -> (u64, u64) {
     let topo = line(2);
     let paths = PathDb::shortest_paths(&topo);
     let tm = TrafficMatrix::uniform(&topo);
     let vol = VolumeModel::internet2_baseline();
     let all = AnalysisClass::standard_set();
-    let classes: Vec<AnalysisClass> =
-        all.into_iter().filter(|c| c.name == class_name).collect();
+    let classes: Vec<AnalysisClass> = all.into_iter().filter(|c| c.name == class_name).collect();
     assert_eq!(classes.len(), 1, "unknown module {class_name}");
     let dep = build_units(&topo, &paths, &tm, &vol, &classes);
     let (solo_dep, manifest) = standalone_coordination(&dep, NodeId(0));
@@ -47,7 +44,8 @@ fn run_module(
             let coord = CoordContext::new(&solo_dep, &manifest);
             Engine::new(NodeId(0), placement, &names, Some(coord), h)
         }
-    };
+    }
+    .unwrap();
     for s in trace.sessions.iter().filter(|s| capture_filter(class_name, s)) {
         engine.process_session(s);
     }

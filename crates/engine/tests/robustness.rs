@@ -28,7 +28,7 @@ fn equivalence_survives_packet_loss_duplication_and_reordering() {
     let faults = FaultInjector::new(0.15, 0.05, 0.10, 9);
 
     // Standalone reference over the faulted trace.
-    let mut reference = Engine::new(NodeId(0), Placement::Unmodified, &names, None, h);
+    let mut reference = Engine::new(NodeId(0), Placement::Unmodified, &names, None, h).unwrap();
     for s in &trace.sessions {
         reference.process_session_faulty(s, &faults);
     }
@@ -39,7 +39,7 @@ fn equivalence_survives_packet_loss_duplication_and_reordering() {
     for j in 0..topo.num_nodes() {
         let node = NodeId(j);
         let coord = CoordContext::new(&dep, &manifest);
-        let mut engine = Engine::new(node, Placement::EventEngine, &names, Some(coord), h);
+        let mut engine = Engine::new(node, Placement::EventEngine, &names, Some(coord), h).unwrap();
         for s in trace.onpath_sessions(&paths, node) {
             engine.process_session_faulty(s, &faults);
         }
@@ -56,10 +56,10 @@ fn engine_handles_pathological_streams() {
     let topo = internet2();
     let tm = TrafficMatrix::gravity(&topo);
     let trace = generate_trace(&topo, &tm, &TraceConfig::new(500, 5));
-    let names: Vec<String> =
-        AnalysisClass::standard_set().iter().map(|c| c.name.clone()).collect();
+    let names: Vec<String> = AnalysisClass::standard_set().iter().map(|c| c.name.clone()).collect();
     let mut engine =
-        Engine::new(NodeId(0), Placement::Unmodified, &names, None, KeyedHasher::unkeyed());
+        Engine::new(NodeId(0), Placement::Unmodified, &names, None, KeyedHasher::unkeyed())
+            .unwrap();
     let faults = FaultInjector::new(0.0, 1.0, 0.5, 1);
     for s in &trace.sessions {
         engine.process_session_faulty(s, &faults);
@@ -76,11 +76,11 @@ fn loss_degrades_detection_gracefully_not_catastrophically() {
     let topo = internet2();
     let tm = TrafficMatrix::gravity(&topo);
     let trace = generate_trace(&topo, &tm, &TraceConfig::new(4000, 6));
-    let names: Vec<String> =
-        AnalysisClass::standard_set().iter().map(|c| c.name.clone()).collect();
+    let names: Vec<String> = AnalysisClass::standard_set().iter().map(|c| c.name.clone()).collect();
     let run = |faults: FaultInjector| {
         let mut e =
-            Engine::new(NodeId(0), Placement::Unmodified, &names, None, KeyedHasher::unkeyed());
+            Engine::new(NodeId(0), Placement::Unmodified, &names, None, KeyedHasher::unkeyed())
+                .unwrap();
         for s in &trace.sessions {
             e.process_session_faulty(s, &faults);
         }

@@ -69,25 +69,18 @@ pub enum FlowKeyKind {
 pub fn flow_key_words(t: &FiveTuple, kind: FlowKeyKind) -> ([u32; 4], usize) {
     let ports = |a: u16, b: u16| ((a as u32) << 16) | (b as u32);
     match kind {
-        FlowKeyKind::UniFlow => (
-            [t.src_ip, t.dst_ip, ports(t.src_port, t.dst_port), t.proto as u32],
-            4,
-        ),
+        FlowKeyKind::UniFlow => {
+            ([t.src_ip, t.dst_ip, ports(t.src_port, t.dst_port), t.proto as u32], 4)
+        }
         FlowKeyKind::BiSession => {
             let c = if t.is_canonical() { *t } else { t.reversed() };
-            (
-                [c.src_ip, c.dst_ip, ports(c.src_port, c.dst_port), c.proto as u32],
-                4,
-            )
+            ([c.src_ip, c.dst_ip, ports(c.src_port, c.dst_port), c.proto as u32], 4)
         }
         FlowKeyKind::Source => ([t.src_ip, 0, 0, 0], 1),
         FlowKeyKind::Destination => ([t.dst_ip, 0, 0, 0], 1),
         FlowKeyKind::HostPair => {
-            let (a, b) = if t.src_ip <= t.dst_ip {
-                (t.src_ip, t.dst_ip)
-            } else {
-                (t.dst_ip, t.src_ip)
-            };
+            let (a, b) =
+                if t.src_ip <= t.dst_ip { (t.src_ip, t.dst_ip) } else { (t.dst_ip, t.src_ip) };
             ([a, b, 0, 0], 2)
         }
     }

@@ -70,8 +70,9 @@ mod tests {
         let h1 = KeyedHasher::with_key(1);
         let h2 = KeyedHasher::with_key(2);
         // With overwhelming probability over 64 samples at least one differs.
-        let differs = (0..64)
-            .any(|i| h1.hash32(&t(i), FlowKeyKind::UniFlow) != h2.hash32(&t(i), FlowKeyKind::UniFlow));
+        let differs = (0..64).any(|i| {
+            h1.hash32(&t(i), FlowKeyKind::UniFlow) != h2.hash32(&t(i), FlowKeyKind::UniFlow)
+        });
         assert!(differs);
     }
 
@@ -97,10 +98,13 @@ mod tests {
             buckets[(u * 16.0) as usize] += 1;
         }
         let expect = n as f64 / 16.0;
-        let chi2: f64 = buckets.iter().map(|&o| {
-            let d = o as f64 - expect;
-            d * d / expect
-        }).sum();
+        let chi2: f64 = buckets
+            .iter()
+            .map(|&o| {
+                let d = o as f64 - expect;
+                d * d / expect
+            })
+            .sum();
         assert!(chi2 < 37.7, "hash output not uniform: chi2 = {chi2}");
     }
 }

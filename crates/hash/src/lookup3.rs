@@ -63,9 +63,7 @@ fn final_mix(a: &mut u32, b: &mut u32, c: &mut u32) {
 /// `initval` is the previous hash or an arbitrary seed; different seeds
 /// produce independent hash functions over the same key.
 pub fn hashword(k: &[u32], initval: u32) -> u32 {
-    let mut a: u32 = 0xdeadbeef_u32
-        .wrapping_add((k.len() as u32) << 2)
-        .wrapping_add(initval);
+    let mut a: u32 = 0xdeadbeef_u32.wrapping_add((k.len() as u32) << 2).wrapping_add(initval);
     let mut b = a;
     let mut c = a;
 
@@ -103,9 +101,7 @@ pub fn hashword(k: &[u32], initval: u32) -> u32 {
 ///
 /// Useful to derive a 64-bit value from one pass.
 pub fn hashword2(k: &[u32], initval_c: u32, initval_b: u32) -> (u32, u32) {
-    let mut a: u32 = 0xdeadbeef_u32
-        .wrapping_add((k.len() as u32) << 2)
-        .wrapping_add(initval_c);
+    let mut a: u32 = 0xdeadbeef_u32.wrapping_add((k.len() as u32) << 2).wrapping_add(initval_c);
     let mut b = a;
     let mut c = a.wrapping_add(initval_b);
 
@@ -155,9 +151,7 @@ fn le_word(bytes: &[u8], at: usize, len: usize) -> u32 {
 /// little-endian machines).
 pub fn hashlittle(data: &[u8], initval: u32) -> u32 {
     let length = data.len();
-    let mut a: u32 = 0xdeadbeef_u32
-        .wrapping_add(length as u32)
-        .wrapping_add(initval);
+    let mut a: u32 = 0xdeadbeef_u32.wrapping_add(length as u32).wrapping_add(initval);
     let mut b = a;
     let mut c = a;
 

@@ -47,8 +47,10 @@ impl RangeSet {
 
     /// A single contiguous range `[lo, hi)` with `0 <= lo <= hi <= 1`.
     pub fn interval(lo: f64, hi: f64) -> Self {
-        assert!((0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0 + 1e-12,
-            "interval [{lo}, {hi}) outside the unit interval");
+        assert!(
+            (0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0 + 1e-12,
+            "interval [{lo}, {hi}) outside the unit interval"
+        );
         if hi <= lo {
             return Self::empty();
         }
@@ -81,8 +83,7 @@ impl RangeSet {
     /// overlap, since manifests must assign disjoint responsibilities.
     pub fn union(mut self, other: &RangeSet) -> Self {
         self.segments.extend(other.segments.iter().copied());
-        self.segments
-            .sort_by(|a, b| a.lo.partial_cmp(&b.lo).expect("NaN in range set"));
+        self.segments.sort_by(|a, b| a.lo.partial_cmp(&b.lo).expect("NaN in range set"));
         for w in self.segments.windows(2) {
             debug_assert!(
                 w[0].hi <= w[1].lo + 1e-12,

@@ -186,11 +186,7 @@ impl Problem {
     }
 
     pub fn integer_vars(&self) -> impl Iterator<Item = VarId> + '_ {
-        self.vars
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| v.integer)
-            .map(|(i, _)| VarId(i))
+        self.vars.iter().enumerate().filter(|(_, v)| v.integer).map(|(i, _)| VarId(i))
     }
 
     /// Evaluate the objective at a point (length `num_vars`).

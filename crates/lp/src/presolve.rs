@@ -82,11 +82,7 @@ impl Reduced {
 
     pub fn stats(&self) -> PresolveStats {
         PresolveStats {
-            vars_fixed: self
-                .map
-                .iter()
-                .filter(|d| matches!(d, Disposition::Fixed(_)))
-                .count(),
+            vars_fixed: self.map.iter().filter(|d| matches!(d, Disposition::Fixed(_))).count(),
             rows_dropped: self.n_orig_rows - self.rows_kept.len(),
             bounds_tightened: 0, // folded into var fixing in this pass
         }
@@ -135,10 +131,8 @@ pub fn reduce(p: &Problem) -> Reduced {
     let mut rows_kept = Vec::new();
     // Singleton rows become bound tightenings.
     for (i, terms) in row_terms.iter().enumerate() {
-        let live: Vec<&(usize, f64)> = terms
-            .iter()
-            .filter(|(j, _)| matches!(map[*j], Disposition::Keep(_)))
-            .collect();
+        let live: Vec<&(usize, f64)> =
+            terms.iter().filter(|(j, _)| matches!(map[*j], Disposition::Keep(_))).collect();
         let fixed_part: f64 = terms
             .iter()
             .filter_map(|(j, a)| match map[*j] {
@@ -235,15 +229,7 @@ pub fn reduce(p: &Problem) -> Reduced {
         q.add_con(p.cons[i].name.clone(), &terms, p.cons[i].cmp, p.cons[i].rhs - fixed_part);
     }
 
-    Reduced {
-        problem: q,
-        map,
-        rows_kept,
-        n_orig_vars: n,
-        n_orig_rows: m,
-        fixed_obj,
-        infeasible,
-    }
+    Reduced { problem: q, map, rows_kept, n_orig_vars: n, n_orig_rows: m, fixed_obj, infeasible }
 }
 
 fn obj_of(p: &Problem, v: VarId) -> f64 {
@@ -253,8 +239,8 @@ fn obj_of(p: &Problem, v: VarId) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::simplex::{solve, SolverOpts};
     use crate::model::Sense;
+    use crate::simplex::{solve, SolverOpts};
 
     #[test]
     fn fixed_vars_removed_and_restored() {
@@ -315,7 +301,8 @@ mod tests {
                 .map(|j| {
                     // A third of variables are fixed.
                     let lb = rng.random_range(0.0..1.0);
-                    let ub = if rng.random_bool(0.33) { lb } else { lb + rng.random_range(0.5..2.0) };
+                    let ub =
+                        if rng.random_bool(0.33) { lb } else { lb + rng.random_range(0.5..2.0) };
                     p.add_var(format!("v{j}"), lb, ub, rng.random_range(-2.0..2.0))
                 })
                 .collect();

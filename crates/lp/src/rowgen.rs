@@ -10,9 +10,9 @@
 //! the restricted problem is a relaxation of the full one).
 
 use crate::model::{Cmp, Problem, VarId};
-use crate::simplex::{solve_warm, SolverOpts, WarmStart};
 #[cfg(test)]
 use crate::simplex::solve;
+use crate::simplex::{solve_warm, SolverOpts, WarmStart};
 use crate::solution::{Solution, Status};
 
 /// A constraint kept out of the LP until it becomes violated.
@@ -70,16 +70,18 @@ pub struct RowGenOpts {
 
 impl Default for RowGenOpts {
     fn default() -> Self {
-        RowGenOpts { lp: SolverOpts::default(), tol: 1e-7, batch: usize::MAX, max_rounds: 60, near_margin: 0.0 }
+        RowGenOpts {
+            lp: SolverOpts::default(),
+            tol: 1e-7,
+            batch: usize::MAX,
+            max_rounds: 60,
+            near_margin: 0.0,
+        }
     }
 }
 
 /// Solve `base` plus the lazy pool to optimality by row generation.
-pub fn solve_with_lazy_rows(
-    base: &Problem,
-    lazy: &[LazyRow],
-    opts: &RowGenOpts,
-) -> RowGenResult {
+pub fn solve_with_lazy_rows(base: &Problem, lazy: &[LazyRow], opts: &RowGenOpts) -> RowGenResult {
     let mut p = base.clone();
     let mut active = vec![false; lazy.len()];
     let mut rows_added = 0usize;
@@ -182,8 +184,7 @@ mod tests {
             .enumerate()
             .map(|(i, &v)| LazyRow::new(format!("cap{i}"), vec![(v, 1.0)], Cmp::Le, 1.0))
             .collect();
-        let mut opts = RowGenOpts::default();
-        opts.batch = 2;
+        let opts = RowGenOpts { batch: 2, ..Default::default() };
         let r = solve_with_lazy_rows(&base, &lazy, &opts);
         assert!(r.converged);
         assert_eq!(r.rows_added, 6);

@@ -5,7 +5,7 @@
 //! numerically transparent, and fast for basis sizes up to a few thousand
 //! rows; the sparse backend takes over beyond that.
 
-use super::BasisBackend;
+use super::{BasisBackend, SingularBasis};
 
 pub struct DenseInverse {
     m: usize,
@@ -35,7 +35,7 @@ impl BasisBackend for DenseInverse {
         }
     }
 
-    fn refactor(&mut self, m: usize, basis_cols: &[&[(usize, f64)]]) -> Result<(), ()> {
+    fn refactor(&mut self, m: usize, basis_cols: &[&[(usize, f64)]]) -> Result<(), SingularBasis> {
         // Build the dense basis matrix and invert by Gauss-Jordan with
         // partial pivoting. O(m^3); called only on numerical alarms.
         self.m = m;
@@ -63,7 +63,7 @@ impl BasisBackend for DenseInverse {
                 }
             }
             if best_abs < 1e-12 {
-                return Err(()); // singular basis
+                return Err(SingularBasis);
             }
             if best != piv {
                 for k in 0..m {
@@ -108,14 +108,14 @@ impl BasisBackend for DenseInverse {
 
     fn btran(&self, c: &[f64], out: &mut [f64]) {
         let m = self.m;
-        for k in 0..m {
+        for (k, o) in out.iter_mut().enumerate().take(m) {
             let base = k * m;
             let col = &self.binv[base..base + m];
             let mut acc = 0.0;
             for i in 0..m {
                 acc += c[i] * col[i];
             }
-            out[k] = acc;
+            *o = acc;
         }
     }
 

@@ -24,13 +24,17 @@ pub mod sparse;
 use crate::model::{Cmp, Problem, Sense};
 use crate::solution::{Solution, Status};
 
+/// The basis matrix handed to [`BasisBackend::refactor`] was singular.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularBasis;
+
 /// Abstraction over the basis factorization.
 pub trait BasisBackend {
     /// Reset to the identity basis of size `m`.
     fn reset_identity(&mut self, m: usize);
     /// Rebuild the factorization from the given basis columns (sparse, in
     /// basis-position order). `Err` means the matrix is singular.
-    fn refactor(&mut self, m: usize, basis_cols: &[&[(usize, f64)]]) -> Result<(), ()>;
+    fn refactor(&mut self, m: usize, basis_cols: &[&[(usize, f64)]]) -> Result<(), SingularBasis>;
     /// `out = B⁻¹ a` for a sparse column `a`.
     fn ftran(&self, col: &[(usize, f64)], out: &mut [f64]);
     /// `out = B⁻ᵀ c` for a dense vector `c`.
@@ -239,7 +243,7 @@ impl<'a, B: BasisBackend> Core<'a, B> {
                     return Some((j, dj));
                 }
                 let score = dj.abs();
-                if best.map_or(true, |(_, _, s)| score > s) {
+                if best.is_none_or(|(_, _, s)| score > s) {
                     best = Some((j, dj, score));
                 }
             }
@@ -311,11 +315,9 @@ impl<'a, B: BasisBackend> Core<'a, B> {
                 let better = if self.bland {
                     // Bland: among blocking rows (ti <= best_t), smallest var index.
                     ti < best_t - 1e-12
-                        || (ti <= best_t + 1e-12
-                            && leaving.map_or(true, |(r, _)| bi < self.basis[r]))
+                        || (ti <= best_t + 1e-12 && leaving.is_none_or(|(r, _)| bi < self.basis[r]))
                 } else {
-                    ti < best_t - 1e-9
-                        || (ti <= best_t + 1e-9 && yi.abs() > best_pivot_abs)
+                    ti < best_t - 1e-9 || (ti <= best_t + 1e-9 && yi.abs() > best_pivot_abs)
                 };
                 if better {
                     best_t = best_t.min(ti);
@@ -366,11 +368,8 @@ impl<'a, B: BasisBackend> Core<'a, B> {
                 }
                 Some((r, hit)) if t < gap - 1e-12 || !gap.is_finite() => {
                     let old = self.basis[r];
-                    self.state[old] = if self.lb[old] == self.ub[old] {
-                        VState::AtLower
-                    } else {
-                        hit
-                    };
+                    self.state[old] =
+                        if self.lb[old] == self.ub[old] { VState::AtLower } else { hit };
                     let start = match self.state[q] {
                         VState::AtLower => self.lb[q],
                         VState::AtUpper => self.ub[q],
@@ -407,10 +406,12 @@ impl<'a, B: BasisBackend> Core<'a, B> {
             // the backend's update file has grown past its budget (critical
             // for the sparse PFI backend: FTRAN/BTRAN cost scales with the
             // eta file length).
-            if self.iterations % self.opts.refresh_every == 0 || self.backend.hint_refactor() {
+            if self.iterations.is_multiple_of(self.opts.refresh_every)
+                || self.backend.hint_refactor()
+            {
                 self.refresh();
             }
-            if self.trace && self.iterations % 1000 == 0 {
+            if self.trace && self.iterations.is_multiple_of(1000) {
                 eprintln!(
                     "[nwdp-lp] iter {} m {} ncols {} (degen_run {} bland {})",
                     self.iterations, self.m, self.ncols, self.degen_run, self.bland
@@ -509,8 +510,7 @@ fn try_solve<B: BasisBackend>(
             e.1 *= row_scale[e.0];
         }
     }
-    let rhs: Vec<f64> =
-        p.cons.iter().enumerate().map(|(i, c)| c.rhs * row_scale[i]).collect();
+    let rhs: Vec<f64> = p.cons.iter().enumerate().map(|(i, c)| c.rhs * row_scale[i]).collect();
 
     for (i, con) in p.cons.iter().enumerate() {
         cols.push(vec![(i, 1.0)]);
@@ -578,7 +578,7 @@ fn try_solve<B: BasisBackend>(
     }
     // Old-row slacks contribute too (each touches only its own row).
     if let Some(w) = warm {
-        for i in 0..w.m {
+        for (i, r) in resid.iter_mut().enumerate().take(w.m) {
             let sj = n + i;
             let xj = match state[sj] {
                 VState::AtLower => lb[sj],
@@ -586,7 +586,7 @@ fn try_solve<B: BasisBackend>(
                 VState::FreeZero => 0.0,
                 VState::Basic(_) => w.values[sj],
             };
-            resid[i] -= xj;
+            *r -= xj;
         }
     }
 
@@ -602,10 +602,10 @@ fn try_solve<B: BasisBackend>(
         // structural basics fill the remaining old positions; new rows get
         // their slack or an artificial.
         let mut free_pos: Vec<usize> = Vec::new();
-        for i in 0..w.m {
+        for (i, b) in basis.iter_mut().enumerate().take(w.m) {
             let sj = n + i;
             if matches!(state[sj], VState::Basic(_)) {
-                basis[i] = sj;
+                *b = sj;
                 state[sj] = VState::Basic(i);
             } else {
                 free_pos.push(i);
@@ -630,8 +630,7 @@ fn try_solve<B: BasisBackend>(
                     xb[i] = v;
                     state[sj] = VState::Basic(i);
                 } else {
-                    state[sj] =
-                        if lb[sj] == 0.0 { VState::AtLower } else { VState::AtUpper };
+                    state[sj] = if lb[sj] == 0.0 { VState::AtLower } else { VState::AtUpper };
                     let aj = cols.len();
                     cols.push(vec![(i, 1.0)]);
                     if v > 0.0 {
@@ -787,7 +786,7 @@ fn try_solve<B: BasisBackend>(
                 worst_pos = pos;
             }
         }
-        if std::env::var_os("NWDP_LP_TRACE").is_some() {
+        if core.trace {
             // How many old basics drifted from their snapshot values?
             let mut drifted = 0;
             let mut maxdrift = 0.0f64;
@@ -807,7 +806,7 @@ fn try_solve<B: BasisBackend>(
         }
         let broken = worst > 1e-6;
         if broken {
-            if std::env::var_os("NWDP_LP_TRACE").is_some() {
+            if core.trace {
                 let j = core.basis[worst_pos];
                 eprintln!(
                     "[nwdp-lp] warm start rejected (m {m}, m_old {m_old}): pos {worst_pos} var {j} (n {n}) xb {} bounds [{}, {}]",
@@ -816,7 +815,7 @@ fn try_solve<B: BasisBackend>(
             }
             return None;
         }
-        if std::env::var_os("NWDP_LP_TRACE").is_some() {
+        if core.trace {
             eprintln!("[nwdp-lp] warm start accepted: m {m} (old {m_old}), {n_art} artificials");
         }
     }

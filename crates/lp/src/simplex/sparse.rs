@@ -14,7 +14,7 @@
 //! instead of scanning the whole file — the difference between hours and
 //! seconds on the 40k-row deployment LPs.
 
-use super::BasisBackend;
+use super::{BasisBackend, SingularBasis};
 
 /// One eta transformation: identity except column `pivot_row`.
 struct Eta {
@@ -173,7 +173,7 @@ impl BasisBackend for SparseFactors {
         self.etas_post.len() > self.update_budget
     }
 
-    fn refactor(&mut self, m: usize, basis_cols: &[&[(usize, f64)]]) -> Result<(), ()> {
+    fn refactor(&mut self, m: usize, basis_cols: &[&[(usize, f64)]]) -> Result<(), SingularBasis> {
         self.m = m;
         self.etas_pre.clear();
         self.etas_post.clear();
@@ -219,7 +219,7 @@ impl BasisBackend for SparseFactors {
                 for &i in &touched {
                     y[i] = 0.0;
                 }
-                return Err(()); // singular
+                return Err(SingularBasis);
             }
             assigned_row[pr] = true;
             pos_pivot_row[pos] = pr;
@@ -439,9 +439,7 @@ mod tests {
             sp.ftran(&entering, &mut ys);
             de.ftran(&entering, &mut yd);
             // Pick the same well-conditioned pivot row for both.
-            let r = (0..m)
-                .max_by(|&a, &b| ys[a].abs().partial_cmp(&ys[b].abs()).unwrap())
-                .unwrap();
+            let r = (0..m).max_by(|&a, &b| ys[a].abs().partial_cmp(&ys[b].abs()).unwrap()).unwrap();
             sp.update(r, &ys);
             de.update(r, &yd);
 

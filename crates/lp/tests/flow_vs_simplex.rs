@@ -63,8 +63,7 @@ fn solve_by_lp(supplies: &[i64], caps: &[i64], profit: &[Vec<Option<f64>>]) -> f
     for (k, row) in profit.iter().enumerate() {
         for (j, pr) in row.iter().enumerate() {
             if let Some(w) = pr {
-                vars[k][j] =
-                    Some(p.add_var(format!("x{k}_{j}"), 0.0, f64::INFINITY, *w));
+                vars[k][j] = Some(p.add_var(format!("x{k}_{j}"), 0.0, f64::INFINITY, *w));
             }
         }
     }
@@ -94,10 +93,7 @@ fn flow_matches_simplex_on_random_transportation() {
         let (sup, caps, profit) = random_instance(&mut rng, nc, nn);
         let f = solve_by_flow(&sup, &caps, &profit);
         let l = solve_by_lp(&sup, &caps, &profit);
-        assert!(
-            (f - l).abs() < 1e-6 * (1.0 + l.abs()),
-            "trial {trial}: flow {f} vs simplex {l}"
-        );
+        assert!((f - l).abs() < 1e-6 * (1.0 + l.abs()), "trial {trial}: flow {f} vs simplex {l}");
     }
 }
 

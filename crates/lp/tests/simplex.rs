@@ -2,8 +2,8 @@
 //! randomized KKT-certified instances on both basis backends.
 
 use nwdp_lp::simplex::dense::DenseInverse;
-use nwdp_lp::simplex::sparse::SparseFactors;
 use nwdp_lp::simplex::solve_with_backend;
+use nwdp_lp::simplex::sparse::SparseFactors;
 use nwdp_lp::{solve, verify_kkt, Cmp, KktTol, Problem, Sense, SolverOpts, Status};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -168,7 +168,8 @@ fn min_max_load_structure() {
         share.push((a, b));
     }
     // node A twice as fast as node B; job weights 1, 2, 3.
-    let wa: Vec<_> = share.iter().enumerate().map(|(k, &(a, _))| (a, (k + 1) as f64 / 2.0)).collect();
+    let wa: Vec<_> =
+        share.iter().enumerate().map(|(k, &(a, _))| (a, (k + 1) as f64 / 2.0)).collect();
     let mut ta = wa.clone();
     ta.push((z, -1.0));
     p.add_con("loadA", &ta, Cmp::Le, 0.0);
@@ -191,11 +192,7 @@ fn random_feasible_lp(rng: &mut StdRng, nv: usize, nc: usize) -> Problem {
     let mut vars = Vec::with_capacity(nv);
     for j in 0..nv {
         let lb = if rng.random_bool(0.8) { rng.random_range(-5.0..0.0) } else { f64::NEG_INFINITY };
-        let ub = if rng.random_bool(0.8) {
-            rng.random_range(1.0..6.0)
-        } else {
-            f64::INFINITY
-        };
+        let ub = if rng.random_bool(0.8) { rng.random_range(1.0..6.0) } else { f64::INFINITY };
         let x0 = rng.random_range(0.0..1.0); // inside [lb, ub] by construction
         point.push(x0);
         vars.push(p.add_var(format!("v{j}"), lb, ub, rng.random_range(-3.0..3.0)));
@@ -242,7 +239,9 @@ fn randomized_lps_kkt_certified_dense() {
                 optimal += 1;
             }
             Status::Unbounded => {} // legitimately possible with free vars
-            Status::Infeasible => panic!("trial {trial}: feasible-by-construction LP reported infeasible"),
+            Status::Infeasible => {
+                panic!("trial {trial}: feasible-by-construction LP reported infeasible")
+            }
             Status::IterLimit => panic!("trial {trial}: iteration limit"),
         }
     }

@@ -11,9 +11,8 @@ fn random_growing_lp(trial: u64) -> (Problem, Vec<nwdp_lp::VarId>, StdRng) {
     let mut rng = StdRng::seed_from_u64(trial * 7 + 1);
     let nv = rng.random_range(3..12);
     let mut p = Problem::new(Sense::Max);
-    let vars: Vec<_> = (0..nv)
-        .map(|j| p.add_var(format!("x{j}"), 0.0, 1.0, rng.random_range(0.1..2.0)))
-        .collect();
+    let vars: Vec<_> =
+        (0..nv).map(|j| p.add_var(format!("x{j}"), 0.0, 1.0, rng.random_range(0.1..2.0))).collect();
     for c in 0..rng.random_range(1..4) {
         let terms: Vec<_> = vars.iter().map(|&v| (v, rng.random_range(0.2..1.5))).collect();
         p.add_con(format!("base{c}"), &terms, Cmp::Le, rng.random_range(1.0..3.0));
@@ -37,12 +36,7 @@ fn warm_matches_cold_across_row_additions() {
                 let k = rng.random_range(1..=vars.len());
                 let terms: Vec<_> =
                     (0..k).map(|t| (vars[(t * 3 + c + stage) % vars.len()], 1.0)).collect();
-                p.add_con(
-                    format!("cut{stage}_{c}"),
-                    &terms,
-                    Cmp::Le,
-                    rng.random_range(0.3..1.2),
-                );
+                p.add_con(format!("cut{stage}_{c}"), &terms, Cmp::Le, rng.random_range(0.3..1.2));
             }
             let (sw, w2) = solve_warm(&p, &opts, warm.as_ref());
             let (sc, _) = solve_warm(&p, &opts, None);

@@ -123,12 +123,16 @@ impl Adversary for Reactive {
             }
             return m;
         }
-        for i in 0..self.n_rules {
-            for k in 0..self.n_paths {
+        for (i, dropped_i) in dropped.iter().enumerate().take(self.n_rules) {
+            for (k, &drop) in dropped_i.iter().enumerate().take(self.n_paths) {
                 // More mass where less was dropped last epoch.
-                let covered = dropped[i][k].clamp(0.0, 1.0);
+                let covered = drop.clamp(0.0, 1.0);
                 let base = self.max * (1.0 - covered);
-                m.set_rate(i, k, (0.5 * base + self.rng.random_range(0.0..0.5 * base.max(1e-9))).min(self.max));
+                m.set_rate(
+                    i,
+                    k,
+                    (0.5 * base + self.rng.random_range(0.0..0.5 * base.max(1e-9))).min(self.max),
+                );
             }
         }
         m

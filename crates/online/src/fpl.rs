@@ -14,6 +14,7 @@
 
 use crate::adversary::Adversary;
 use nwdp_core::nips::{solve_inner_flow_weighted, NipsInstance, SolutionD};
+use nwdp_core::parallel;
 use nwdp_traffic::MatchRates;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -77,11 +78,7 @@ fn widx(inst: &NipsInstance, i: usize, k: usize, pos: usize) -> usize {
 ///
 /// `inst` supplies the network/volume/capacity model; its own
 /// `match_rates` are ignored (the adversary provides each epoch's truth).
-pub fn run_fpl(
-    inst: &NipsInstance,
-    adversary: &mut dyn Adversary,
-    cfg: &FplConfig,
-) -> OnlineRun {
+pub fn run_fpl(inst: &NipsInstance, adversary: &mut dyn Adversary, cfg: &FplConfig) -> OnlineRun {
     assert_eq!(adversary.n_rules(), inst.rules.len());
     assert_eq!(adversary.n_paths(), inst.paths.len());
     let nr = inst.rules.len();
@@ -92,9 +89,8 @@ pub fn run_fpl(
     // Theorem 3.1 constants: D = M·N·L, R = A = Σ T_items × maxdrop.
     let d_const = (np * inst.num_nodes * nr) as f64;
     let ra: f64 = inst.paths.iter().map(|p| p.items).sum::<f64>() * cfg.maxdrop;
-    let epsilon = cfg
-        .epsilon
-        .unwrap_or_else(|| (d_const / (ra * ra * cfg.epochs as f64).max(1e-12)).sqrt());
+    let epsilon =
+        cfg.epsilon.unwrap_or_else(|| (d_const / (ra * ra * cfg.epochs as f64).max(1e-12)).sqrt());
 
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     // Historical sum of state vectors Σ_q T_items × M_obs(q) × Dist.
@@ -113,16 +109,25 @@ pub fn run_fpl(
 
     for t in 0..cfg.epochs {
         // --- Decide with perturbed history. ---
+        // The perturbation draw stays on the sequential RNG; the two
+        // oracle solves (FPL on perturbed history, FTL on raw history)
+        // are independent of each other and run on scoped threads.
         let mut weights = hist.clone();
         for w in weights.iter_mut() {
             *w += rng.random_range(0.0..(1.0 / epsilon));
         }
-        let decision = oracle(inst, &weights, np);
-
-        let ftl_decision = if cfg.track_ftl && t > 0 {
-            Some(oracle(inst, &hist, np))
+        let (decision, ftl_decision) = if cfg.track_ftl && t > 0 {
+            let mut pair = parallel::par_map_n(2, |j| {
+                if j == 0 {
+                    oracle(inst, &weights, np)
+                } else {
+                    oracle(inst, &hist, np)
+                }
+            });
+            let ftl = pair.pop().expect("two oracle solves");
+            (pair.pop().expect("two oracle solves"), Some(ftl))
         } else {
-            None
+            (oracle(inst, &weights, np), None)
         };
 
         // --- Truth revealed. ---
@@ -158,27 +163,21 @@ pub fn run_fpl(
         hist_rates.push(truth);
 
         // --- Best static solution in hindsight for this prefix. ---
+        // Scoring the static solution against each epoch of the prefix is
+        // embarrassingly parallel; summing in input order keeps the f64
+        // total bit-identical to the serial loop.
         let static_d = oracle(inst, &hist, np);
-        let static_total: f64 = hist_rates
-            .iter()
-            .map(|m| inst.objective_with_rates(&static_d, m))
-            .sum();
+        let static_total: f64 =
+            parallel::par_map(&hist_rates, |_, m| inst.objective_with_rates(&static_d, m))
+                .into_iter()
+                .sum();
         static_prefix_value.push(static_total);
-        let regret = if static_total > 1e-12 {
-            (static_total - fpl_total) / static_total
-        } else {
-            0.0
-        };
+        let regret =
+            if static_total > 1e-12 { (static_total - fpl_total) / static_total } else { 0.0 };
         normalized_regret.push(regret);
     }
 
-    OnlineRun {
-        fpl_value,
-        static_prefix_value,
-        normalized_regret,
-        ftl_value,
-        epsilon,
-    }
+    OnlineRun { fpl_value, static_prefix_value, normalized_regret, ftl_value, epsilon }
 }
 
 #[cfg(test)]
@@ -194,8 +193,7 @@ mod tests {
         let tm = TrafficMatrix::gravity(&t);
         let vol = VolumeModel::internet2_baseline();
         let rates = MatchRates::zeros(n_rules, paths.all_pairs().count());
-        let mut inst =
-            NipsInstance::evaluation_setup(&t, &paths, &tm, &vol, n_rules, 1.0, rates);
+        let mut inst = NipsInstance::evaluation_setup(&t, &paths, &tm, &vol, n_rules, 1.0, rates);
         // §3.5 drops the TCAM constraint entirely.
         inst.cam_cap = vec![f64::INFINITY; inst.num_nodes];
         inst
@@ -277,8 +275,7 @@ mod ftl_tests {
         let tm = TrafficMatrix::gravity(&t);
         let vol = VolumeModel::internet2_baseline();
         let rates = MatchRates::zeros(4, paths.all_pairs().count());
-        let mut inst =
-            NipsInstance::evaluation_setup(&t, &paths, &tm, &vol, 4, 1.0, rates);
+        let mut inst = NipsInstance::evaluation_setup(&t, &paths, &tm, &vol, 4, 1.0, rates);
         inst.cam_cap = vec![f64::INFINITY; inst.num_nodes];
         let mut adv = Reactive::new(4, inst.paths.len(), 0.01, 6);
         let cfg = FplConfig { epochs: 20, seed: 2, track_ftl: true, ..Default::default() };

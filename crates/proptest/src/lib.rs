@@ -1,0 +1,175 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy combinators and the `proptest!` macro surface
+//! this workspace uses, backed by deterministic random sampling (no
+//! shrinking): each property runs `ProptestConfig::cases` times with
+//! inputs drawn from a fixed-seed [`rand::StdRng`], so failures are
+//! reproducible run-to-run and across machines.
+
+pub mod collection;
+pub mod strategy;
+
+use rand::rngs::StdRng;
+
+/// Per-property configuration (only the `cases` knob is used here).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Values with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        use rand::RngCore;
+        rng.next_f64()
+    }
+}
+
+/// Strategy producing any value of `T` (see [`Arbitrary`]).
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, TestCaseError};
+}
+
+/// Assert a condition inside a property, failing the case (not aborting
+/// the process) when it is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert!` on equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Define deterministic sampling-based property tests.
+///
+/// Supported form (the one used across this workspace):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0u64..10, v in proptest::collection::vec(0.0f64..1.0, 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            // Fixed seed: property inputs are reproducible run-to-run.
+            // Derive it from the test name so distinct properties explore
+            // distinct corners of the input space.
+            let mut __rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
+                0x70726f70u64 ^ stringify!($name)
+                    .bytes()
+                    .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64)),
+            );
+            for __case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut __rng);)+
+                let __dbg = format!(concat!($(stringify!($arg), " = {:?}; ",)+), $(&$arg,)+);
+                let __result: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(e) = __result {
+                    panic!(
+                        "property {} failed at case {}/{}: {}\n  inputs: {}",
+                        stringify!($name), __case + 1, config.cases, e, __dbg
+                    );
+                }
+            }
+        }
+    )*};
+}

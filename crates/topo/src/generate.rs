@@ -17,9 +17,8 @@ pub fn waxman(name: impl Into<String>, n: usize, alpha: f64, beta: f64, seed: u6
     assert!(n >= 2, "need at least two nodes");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut t = Topology::new(name);
-    let pts: Vec<(f64, f64)> = (0..n)
-        .map(|_| (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)))
-        .collect();
+    let pts: Vec<(f64, f64)> =
+        (0..n).map(|_| (rng.random_range(0.0..1.0), rng.random_range(0.0..1.0))).collect();
     for (i, _) in pts.iter().enumerate() {
         // Heavy-tailed population: exp of a normal-ish sum.
         let z: f64 = (0..6).map(|_| rng.random_range(-0.5..0.5)).sum();

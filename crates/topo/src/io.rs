@@ -102,15 +102,13 @@ pub fn from_text(text: &str) -> Result<Topology, ParseError> {
                     .ok_or_else(|| ParseError::Syntax(lineno, "link needs a weight".into()))?
                     .parse()
                     .map_err(|_| ParseError::Syntax(lineno, "bad weight".into()))?;
-                if !(w > 0.0) || !w.is_finite() {
+                if w <= 0.0 || !w.is_finite() {
                     return Err(ParseError::Syntax(lineno, "weight must be finite > 0".into()));
                 }
-                let &ia = seen
-                    .get(a)
-                    .ok_or_else(|| ParseError::UnknownNode(lineno, a.to_string()))?;
-                let &ib = seen
-                    .get(b)
-                    .ok_or_else(|| ParseError::UnknownNode(lineno, b.to_string()))?;
+                let &ia =
+                    seen.get(a).ok_or_else(|| ParseError::UnknownNode(lineno, a.to_string()))?;
+                let &ib =
+                    seen.get(b).ok_or_else(|| ParseError::UnknownNode(lineno, b.to_string()))?;
                 if ia == ib {
                     return Err(ParseError::Syntax(lineno, "self links not allowed".into()));
                 }
@@ -163,26 +161,22 @@ mod tests {
             from_text("node a 1\nlink a ghost 1\n"),
             Err(ParseError::UnknownNode(2, _))
         ));
-        assert!(matches!(
-            from_text("node a 1\nnode a 2\n"),
-            Err(ParseError::DuplicateNode(2, _))
-        ));
+        assert!(matches!(from_text("node a 1\nnode a 2\n"), Err(ParseError::DuplicateNode(2, _))));
         assert!(matches!(from_text("frob x\n"), Err(ParseError::Syntax(1, _))));
         assert!(matches!(from_text("node a -3\n"), Err(ParseError::Syntax(1, _))));
         assert!(matches!(
             from_text("node a 1\nnode b 1\nlink a b -2\n"),
             Err(ParseError::Syntax(3, _))
         ));
-        assert!(matches!(
-            from_text("node a 1\nlink a a 1\n"),
-            Err(ParseError::Syntax(2, _))
-        ));
+        assert!(matches!(from_text("node a 1\nlink a a 1\n"), Err(ParseError::Syntax(2, _))));
     }
 
     #[test]
     fn parsed_topology_is_usable() {
-        let t = from_text("topology ring\nnode a 1\nnode b 1\nnode c 1\nlink a b 1\nlink b c 1\nlink c a 1\n")
-            .unwrap();
+        let t = from_text(
+            "topology ring\nnode a 1\nnode b 1\nnode c 1\nlink a b 1\nlink b c 1\nlink c a 1\n",
+        )
+        .unwrap();
         assert!(t.is_connected());
         let db = crate::routing::PathDb::shortest_paths(&t);
         assert_eq!(db.all_pairs().count(), 6);

@@ -14,8 +14,8 @@ pub mod rocketfuel;
 pub mod routing;
 
 pub use builtin::{geant, internet2};
-pub use io::{from_text, to_text};
 pub use generate::{line, ring, star, waxman};
 pub use graph::{Link, Node, NodeId, Topology};
+pub use io::{from_text, to_text};
 pub use rocketfuel::{as1221, as1239, as3257};
 pub use routing::{Path, PathDb};

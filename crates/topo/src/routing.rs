@@ -105,9 +105,8 @@ impl PathDb {
 
     /// Average hop count over distinct-endpoint paths.
     pub fn mean_hops(&self) -> f64 {
-        let (sum, count) = self
-            .all_pairs()
-            .fold((0usize, 0usize), |(s, c), p| (s + p.hops(), c + 1));
+        let (sum, count) =
+            self.all_pairs().fold((0usize, 0usize), |(s, c), p| (s + p.hops(), c + 1));
         if count == 0 {
             0.0
         } else {
@@ -139,8 +138,8 @@ fn dijkstra(topo: &Topology, src: NodeId) -> (Vec<f64>, Vec<Option<NodeId>>) {
             let nd = du + w;
             let vi = v.index();
             let improves = nd < dist[vi] - 1e-12;
-            let tie_better = (nd - dist[vi]).abs() <= 1e-12
-                && prev[vi].is_some_and(|p| u < p.index());
+            let tie_better =
+                (nd - dist[vi]).abs() <= 1e-12 && prev[vi].is_some_and(|p| u < p.index());
             if improves || tie_better {
                 dist[vi] = nd;
                 prev[vi] = Some(NodeId(u));

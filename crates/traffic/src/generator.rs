@@ -108,11 +108,7 @@ pub fn host_ip(node: NodeId, h: u16) -> u32 {
 }
 
 /// Generate a network-wide session trace.
-pub fn generate_trace(
-    topo: &Topology,
-    tm: &TrafficMatrix,
-    cfg: &TraceConfig,
-) -> NetTrace {
+pub fn generate_trace(topo: &Topology, tm: &TrafficMatrix, cfg: &TraceConfig) -> NetTrace {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let n = topo.num_nodes();
     assert!(n >= 2, "need at least two nodes");

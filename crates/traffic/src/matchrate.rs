@@ -28,12 +28,7 @@ pub struct MatchRates {
 }
 
 impl MatchRates {
-    pub fn generate(
-        n_rules: usize,
-        n_paths: usize,
-        dist: Distribution,
-        seed: u64,
-    ) -> Self {
+    pub fn generate(n_rules: usize, n_paths: usize, dist: Distribution, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let rates = (0..n_rules * n_paths)
             .map(|_| match dist {

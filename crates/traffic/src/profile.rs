@@ -139,11 +139,7 @@ impl TrafficProfile {
     /// Sample a protocol.
     pub fn sample(&self, rng: &mut StdRng) -> AppProtocol {
         let u: f64 = rng.random_range(0.0..1.0);
-        let idx = self
-            .cumulative
-            .iter()
-            .position(|&c| u < c)
-            .unwrap_or(self.weights.len() - 1);
+        let idx = self.cumulative.iter().position(|&c| u < c).unwrap_or(self.weights.len() - 1);
         self.weights[idx].0
     }
 }

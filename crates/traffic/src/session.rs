@@ -208,7 +208,13 @@ mod tests {
     fn mk(kind: SessionKind) -> Session {
         Session {
             id: 1,
-            tuple: FiveTuple::new(0x0a000001, 0x0a010001, 40000, kind.app().server_port(), kind.app().ip_proto()),
+            tuple: FiveTuple::new(
+                0x0a000001,
+                0x0a010001,
+                40000,
+                kind.app().server_port(),
+                kind.app().ip_proto(),
+            ),
             kind,
             src_node: NodeId(0),
             dst_node: NodeId(1),
@@ -260,10 +266,7 @@ mod tests {
     #[test]
     fn blaster_carries_its_signature() {
         let s = mk(SessionKind::Blaster);
-        let hit = s
-            .packets()
-            .iter()
-            .any(|p| p.payload.windows(11).any(|w| w == b"msblast.exe"));
+        let hit = s.packets().iter().any(|p| p.payload.windows(11).any(|w| w == b"msblast.exe"));
         assert!(hit);
     }
 
@@ -271,9 +274,7 @@ mod tests {
     fn infected_payload_carries_generic_signature() {
         let s = mk(SessionKind::InfectedPayload(AppProtocol::Http));
         let hit = s.packets().iter().any(|p| {
-            p.payload
-                .windows(templates::MALWARE_SIG.len())
-                .any(|w| w == templates::MALWARE_SIG)
+            p.payload.windows(templates::MALWARE_SIG.len()).any(|w| w == templates::MALWARE_SIG)
         });
         assert!(hit);
     }

@@ -10,10 +10,7 @@
 use nwdp::prelude::*;
 
 fn main() {
-    let sessions: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20_000);
+    let sessions: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
 
     let topo = nwdp::topo::internet2();
     let paths = PathDb::shortest_paths(&topo);
@@ -32,9 +29,10 @@ fn main() {
     // One shared trace; three deployments.
     let trace = generate_trace(&topo, &tm, &TraceConfig::new(sessions, 2026));
     let hasher = KeyedHasher::with_key(0xD15C0);
-    let reference = run_standalone_reference(&dep, &trace, hasher);
-    let edge = run_edge_only(&dep, &trace, hasher);
-    let coord = run_coordinated(&dep, &manifest, &paths, &trace, Placement::EventEngine, hasher);
+    let reference = run_standalone_reference(&dep, &trace, hasher).unwrap();
+    let edge = run_edge_only(&dep, &trace, hasher).unwrap();
+    let coord =
+        run_coordinated(&dep, &manifest, &paths, &trace, Placement::EventEngine, hasher).unwrap();
 
     println!(
         "{:>14} {:>12} {:>12} {:>12} {:>12}",

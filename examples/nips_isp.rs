@@ -10,10 +10,7 @@
 use nwdp::prelude::*;
 
 fn main() {
-    let cap_frac: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.15);
+    let cap_frac: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.15);
 
     let topo = nwdp::topo::geant();
     let paths = PathDb::shortest_paths(&topo);
@@ -40,8 +37,11 @@ fn main() {
         relax.rowgen.1
     );
     let bound = inst.drop_everything_bound();
-    println!("(drop-everything bound: {:.3e}; TCAM keeps us at {:.0}% of it)\n",
-        bound, 100.0 * relax.objective / bound);
+    println!(
+        "(drop-everything bound: {:.3e}; TCAM keeps us at {:.0}% of it)\n",
+        bound,
+        100.0 * relax.objective / bound
+    );
 
     for (label, strategy) in [
         ("Fig 9 scaled      ", Strategy::ScaledFig9),

@@ -8,10 +8,7 @@ use nwdp::online::{Adversary, Reactive, Shifting, StochasticUniform};
 use nwdp::prelude::*;
 
 fn main() {
-    let epochs: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(120);
+    let epochs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120);
 
     let topo = nwdp::topo::internet2();
     let paths = PathDb::shortest_paths(&topo);
@@ -25,8 +22,14 @@ fn main() {
     println!("online NIPS adaptation on {}: {n_rules} rules, {epochs} epochs\n", topo.name);
 
     let mut advs: Vec<(&str, Box<dyn Adversary>)> = vec![
-        ("stochastic U[0,0.01]", Box::new(StochasticUniform::new(n_rules, inst.paths.len(), 0.01, 1))),
-        ("shifting (rotates hot rules)", Box::new(Shifting::new(n_rules, inst.paths.len(), 0.01, 12, 3, 2))),
+        (
+            "stochastic U[0,0.01]",
+            Box::new(StochasticUniform::new(n_rules, inst.paths.len(), 0.01, 1)),
+        ),
+        (
+            "shifting (rotates hot rules)",
+            Box::new(Shifting::new(n_rules, inst.paths.len(), 0.01, 12, 3, 2)),
+        ),
         ("reactive (targets gaps)", Box::new(Reactive::new(n_rules, inst.paths.len(), 0.01, 3))),
     ];
 

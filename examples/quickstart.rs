@@ -16,7 +16,11 @@ fn main() {
     let tm = TrafficMatrix::gravity(&topo);
     let vol = VolumeModel::internet2_baseline();
     println!("topology: {} ({} nodes, {} links)", topo.name, topo.num_nodes(), topo.num_links());
-    println!("volume:   {:.0}M flows / {:.0}M packets per 5 min\n", vol.flows / 1e6, vol.pkts / 1e6);
+    println!(
+        "volume:   {:.0}M flows / {:.0}M packets per 5 min\n",
+        vol.flows / 1e6,
+        vol.pkts / 1e6
+    );
 
     // 2. NIDS analysis classes and their coordination units.
     let classes = AnalysisClass::standard_set();
@@ -51,12 +55,9 @@ fn main() {
     println!("coverage check: every hash point covered between {lo} and {hi} times");
     println!("\nper-node responsibilities (share of total analysis work):");
     for node in topo.nodes() {
-        let share: f64 = manifest
-            .node_entries(node)
-            .iter()
-            .map(|e| e.ranges.measure())
-            .sum::<f64>()
-            / dep.units.len() as f64;
+        let share: f64 =
+            manifest.node_entries(node).iter().map(|e| e.ranges.measure()).sum::<f64>()
+                / dep.units.len() as f64;
         println!(
             "  {:>14}  cpu {:>5.1}%  mem {:>5.1}%  avg hash share {:>5.2}%",
             topo.node(node).name,

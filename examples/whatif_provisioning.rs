@@ -23,16 +23,9 @@ fn main() {
     let mut ranked: Vec<(usize, f64)> = plan.gain.iter().cloned().enumerate().collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     for (j, g) in ranked.iter().take(5) {
-        println!(
-            "  {:>14}: bottleneck −{:.2} pp",
-            topo.node(NodeId(*j)).name,
-            g * 100.0
-        );
+        println!("  {:>14}: bottleneck −{:.2} pp", topo.node(NodeId(*j)).name, g * 100.0);
     }
-    println!(
-        "→ upgrade {} first\n",
-        topo.node(NodeId(plan.best_node)).name
-    );
+    println!("→ upgrade {} first\n", topo.node(NodeId(plan.best_node)).name);
 
     // --- NIPS: where do extra TCAM slots buy the most drop capacity? ---
     let n_rules = 25;

@@ -62,15 +62,13 @@ pub mod prelude {
     };
     pub use nwdp_core::{build_units, AnalysisClass, ClassScope, NidsDeployment, UnitKey};
     pub use nwdp_engine::{
-        run_coordinated, run_edge_only, run_standalone_reference, CoordContext, Engine,
-        Placement,
+        run_coordinated, run_edge_only, run_standalone_reference, CoordContext, Engine, Placement,
     };
     pub use nwdp_hash::{FiveTuple, FlowKeyKind, KeyedHasher, RangeSet};
     pub use nwdp_lp::rowgen::RowGenOpts;
     pub use nwdp_online::{run_fpl, FplConfig, StochasticUniform};
     pub use nwdp_topo::{NodeId, Path, PathDb, Topology};
     pub use nwdp_traffic::{
-        generate_trace, AppProtocol, MatchRates, NetTrace, TraceConfig, TrafficMatrix,
-        VolumeModel,
+        generate_trace, AppProtocol, MatchRates, NetTrace, TraceConfig, TrafficMatrix, VolumeModel,
     };
 }

@@ -47,10 +47,7 @@ fn rounding_tracks_integer_optimum_on_small_instances() {
         ratios.push(sol.objective / opt_ip);
     }
     let mean: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
-    assert!(
-        mean > 0.85,
-        "greedy rounding should recover most of OptNIPS: ratios {ratios:?}"
-    );
+    assert!(mean > 0.85, "greedy rounding should recover most of OptNIPS: ratios {ratios:?}");
 }
 
 #[test]

@@ -1,0 +1,104 @@
+//! The parallel execution layer must be invisible in the results: every
+//! fan-out (rounding trials, per-node engine replay, FPL oracle solves)
+//! merges in input order with per-item derived seeds, so one thread and
+//! many threads produce bit-identical alerts, objectives, and manifests.
+
+use nwdp::core::parallel;
+use nwdp::prelude::*;
+
+/// Run `f` under a 1-thread and a 4-thread override and return both results.
+fn both<R>(f: impl Fn() -> R) -> (R, R) {
+    let serial = parallel::with_threads(1, &f);
+    let parallel_ = parallel::with_threads(4, &f);
+    (serial, parallel_)
+}
+
+#[test]
+fn nids_replay_identical_across_thread_counts() {
+    let topo = nwdp::topo::internet2();
+    let paths = PathDb::shortest_paths(&topo);
+    let tm = TrafficMatrix::gravity(&topo);
+    let vol = VolumeModel::internet2_baseline();
+    let dep = build_units(&topo, &paths, &tm, &vol, &AnalysisClass::standard_set());
+
+    let cfg = NidsLpConfig::homogeneous(dep.num_nodes, NodeCaps { cpu: 2e8, mem: 4e9 });
+    let assignment = solve_nids_lp(&dep, &cfg).unwrap();
+    let manifest = generate_manifests(&dep, &assignment.d);
+    let trace = generate_trace(&topo, &tm, &TraceConfig::new(3000, 17));
+    let h = KeyedHasher::with_key(5);
+
+    let (s, p) = both(|| {
+        run_coordinated(&dep, &manifest, &paths, &trace, Placement::EventEngine, h).unwrap()
+    });
+    assert_eq!(s.alerts, p.alerts, "coordinated alerts must not depend on thread count");
+    for (a, b) in s.per_node.iter().zip(&p.per_node) {
+        assert_eq!(a.cpu_cycles, b.cpu_cycles);
+        assert_eq!(a.mem_peak, b.mem_peak);
+        assert_eq!(a.alerts, b.alerts);
+    }
+
+    let (se, pe) = both(|| run_edge_only(&dep, &trace, h).unwrap());
+    assert_eq!(se.alerts, pe.alerts, "edge-only alerts must not depend on thread count");
+}
+
+#[test]
+fn nips_rounding_identical_across_thread_counts() {
+    let topo = nwdp::topo::internet2();
+    let paths = PathDb::shortest_paths(&topo);
+    let tm = TrafficMatrix::gravity(&topo);
+    let vol = VolumeModel::internet2_baseline();
+    let rates = MatchRates::uniform_001(6, paths.all_pairs().count(), 23);
+    let inst = NipsInstance::evaluation_setup(&topo, &paths, &tm, &vol, 6, 0.25, rates);
+    let relax = solve_relaxation(&inst, &RowGenOpts::default()).unwrap();
+    let opts = RoundingOpts {
+        strategy: Strategy::GreedyLpResolve,
+        iterations: 6,
+        seed: 41,
+        ..Default::default()
+    };
+
+    let (s, p) = both(|| round_best_of(&inst, &relax, &opts));
+    assert_eq!(s.objective.to_bits(), p.objective.to_bits(), "objective must be bit-identical");
+    assert_eq!(s.e, p.e);
+    assert_eq!(s.d, p.d);
+}
+
+#[test]
+fn manifests_identical_across_thread_counts() {
+    let topo = nwdp::topo::internet2();
+    let paths = PathDb::shortest_paths(&topo);
+    let tm = TrafficMatrix::gravity(&topo);
+    let vol = VolumeModel::internet2_baseline();
+    let dep = build_units(&topo, &paths, &tm, &vol, &AnalysisClass::standard_set());
+    let cfg = NidsLpConfig::homogeneous(dep.num_nodes, NodeCaps { cpu: 2e8, mem: 4e9 });
+
+    let (s, p) = both(|| {
+        let a = solve_nids_lp(&dep, &cfg).unwrap();
+        let manifest = generate_manifests(&dep, &a.d);
+        (0..dep.num_nodes)
+            .map(|j| nwdp::core::nids::node_manifest_to_text(&manifest, NodeId(j)))
+            .collect::<Vec<String>>()
+    });
+    assert_eq!(s, p, "serialized manifests must not depend on thread count");
+}
+
+#[test]
+fn fpl_identical_across_thread_counts() {
+    let topo = nwdp::topo::internet2();
+    let paths = PathDb::shortest_paths(&topo);
+    let tm = TrafficMatrix::gravity(&topo);
+    let vol = VolumeModel::internet2_baseline();
+    let rates = MatchRates::zeros(4, paths.all_pairs().count());
+    let mut inst = NipsInstance::evaluation_setup(&topo, &paths, &tm, &vol, 4, 1.0, rates);
+    inst.cam_cap = vec![f64::INFINITY; inst.num_nodes];
+    let cfg = FplConfig { epochs: 12, seed: 6, track_ftl: true, ..Default::default() };
+
+    let (s, p) = both(|| {
+        let mut adv = StochasticUniform::new(4, inst.paths.len(), 0.01, 19);
+        run_fpl(&inst, &mut adv, &cfg)
+    });
+    assert_eq!(s.fpl_value, p.fpl_value);
+    assert_eq!(s.ftl_value, p.ftl_value);
+    assert_eq!(s.static_prefix_value, p.static_prefix_value);
+    assert_eq!(s.normalized_regret, p.normalized_regret);
+}

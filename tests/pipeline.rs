@@ -26,12 +26,13 @@ fn nids_pipeline_end_to_end() {
     // per-connection overhead at the hotspot.
     let trace = generate_trace(&topo, &tm, &TraceConfig::new(8000, 3));
     let h = KeyedHasher::with_key(77);
-    let reference = run_standalone_reference(&dep, &trace, h);
-    let coord = run_coordinated(&dep, &manifest, &paths, &trace, Placement::EventEngine, h);
+    let reference = run_standalone_reference(&dep, &trace, h).unwrap();
+    let coord =
+        run_coordinated(&dep, &manifest, &paths, &trace, Placement::EventEngine, h).unwrap();
     assert_eq!(coord.alerts, reference.alerts);
 
     // The coordinated max engine load must beat edge-only.
-    let edge = run_edge_only(&dep, &trace, h);
+    let edge = run_edge_only(&dep, &trace, h).unwrap();
     assert!(coord.max_cpu() < edge.max_cpu());
 }
 
@@ -91,13 +92,9 @@ fn heterogeneous_hardware_respected_end_to_end() {
     // at the weak node must be tiny. Compare its absolute CPU-work share
     // against the strongest node's.
     let weak_work = a.cpu_load[weak.index()] * cfg.caps[weak.index()].cpu;
-    let max_work = (0..dep.num_nodes)
-        .map(|j| a.cpu_load[j] * cfg.caps[j].cpu)
-        .fold(0.0f64, f64::max);
-    assert!(
-        weak_work < max_work / 10.0,
-        "weak node got {weak_work} work vs max {max_work}"
-    );
+    let max_work =
+        (0..dep.num_nodes).map(|j| a.cpu_load[j] * cfg.caps[j].cpu).fold(0.0f64, f64::max);
+    assert!(weak_work < max_work / 10.0, "weak node got {weak_work} work vs max {max_work}");
 }
 
 #[test]
@@ -127,10 +124,7 @@ fn redundancy_survives_single_node_failure() {
                     .iter()
                     .filter(|&&n| n != dead && manifest.should_analyze(u, n, h))
                     .count();
-                assert!(
-                    survivors >= 1,
-                    "unit {u} hash {h} uncovered after losing node {dead:?}"
-                );
+                assert!(survivors >= 1, "unit {u} hash {h} uncovered after losing node {dead:?}");
             }
         }
     }
