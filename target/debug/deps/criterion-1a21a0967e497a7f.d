@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-1a21a0967e497a7f.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-1a21a0967e497a7f.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-1a21a0967e497a7f.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-2ad7b48eaf7587a8.d: crates/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-2ad7b48eaf7587a8.rmeta: crates/criterion/src/lib.rs Cargo.toml
+
+crates/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-48dd305df29e7028.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-48dd305df29e7028: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-5abfc534deff2211.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-5abfc534deff2211.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-5abfc534deff2211.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

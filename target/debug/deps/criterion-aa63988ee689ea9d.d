@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-aa63988ee689ea9d.d: crates/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-aa63988ee689ea9d: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

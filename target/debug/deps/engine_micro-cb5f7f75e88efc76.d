@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_micro-cb5f7f75e88efc76.d: crates/bench/benches/engine_micro.rs
+
+/root/repo/target/debug/deps/engine_micro-cb5f7f75e88efc76: crates/bench/benches/engine_micro.rs
+
+crates/bench/benches/engine_micro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_micro-f0529fd1118d8ce6.d: crates/bench/benches/engine_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_micro-f0529fd1118d8ce6.rmeta: crates/bench/benches/engine_micro.rs Cargo.toml
+
+crates/bench/benches/engine_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

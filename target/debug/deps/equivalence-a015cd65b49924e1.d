@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-a015cd65b49924e1.d: crates/engine/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-a015cd65b49924e1: crates/engine/tests/equivalence.rs
+
+crates/engine/tests/equivalence.rs:

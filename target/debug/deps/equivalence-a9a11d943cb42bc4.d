@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/equivalence-a9a11d943cb42bc4.d: crates/engine/tests/equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libequivalence-a9a11d943cb42bc4.rmeta: crates/engine/tests/equivalence.rs Cargo.toml
+
+crates/engine/tests/equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-ff3435af181c002d.d: crates/engine/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-ff3435af181c002d: crates/engine/tests/equivalence.rs
+
+crates/engine/tests/equivalence.rs:

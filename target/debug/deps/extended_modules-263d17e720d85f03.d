@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extended_modules-263d17e720d85f03.d: crates/engine/tests/extended_modules.rs
+
+/root/repo/target/debug/deps/extended_modules-263d17e720d85f03: crates/engine/tests/extended_modules.rs
+
+crates/engine/tests/extended_modules.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extended_modules-4eb237ea1017321e.d: crates/engine/tests/extended_modules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextended_modules-4eb237ea1017321e.rmeta: crates/engine/tests/extended_modules.rs Cargo.toml
+
+crates/engine/tests/extended_modules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extended_modules-dd2e660e42986b59.d: crates/engine/tests/extended_modules.rs
+
+/root/repo/target/debug/deps/extended_modules-dd2e660e42986b59: crates/engine/tests/extended_modules.rs
+
+crates/engine/tests/extended_modules.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fine_grained-b93484966884024f.d: crates/engine/tests/fine_grained.rs
+
+/root/repo/target/debug/deps/fine_grained-b93484966884024f: crates/engine/tests/fine_grained.rs
+
+crates/engine/tests/fine_grained.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fine_grained-f87e7f40baa8701f.d: crates/engine/tests/fine_grained.rs
+
+/root/repo/target/debug/deps/fine_grained-f87e7f40baa8701f: crates/engine/tests/fine_grained.rs
+
+crates/engine/tests/fine_grained.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fine_grained-fa6d8e97c0f72a54.d: crates/engine/tests/fine_grained.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfine_grained-fa6d8e97c0f72a54.rmeta: crates/engine/tests/fine_grained.rs Cargo.toml
+
+crates/engine/tests/fine_grained.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

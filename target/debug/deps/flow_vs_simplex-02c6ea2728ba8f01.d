@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow_vs_simplex-02c6ea2728ba8f01.d: crates/lp/tests/flow_vs_simplex.rs
+
+/root/repo/target/debug/deps/flow_vs_simplex-02c6ea2728ba8f01: crates/lp/tests/flow_vs_simplex.rs
+
+crates/lp/tests/flow_vs_simplex.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flow_vs_simplex-3be9cf6849288222.d: crates/lp/tests/flow_vs_simplex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflow_vs_simplex-3be9cf6849288222.rmeta: crates/lp/tests/flow_vs_simplex.rs Cargo.toml
+
+crates/lp/tests/flow_vs_simplex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow_vs_simplex-e9f97e6ffc7378a6.d: crates/lp/tests/flow_vs_simplex.rs
+
+/root/repo/target/debug/deps/flow_vs_simplex-e9f97e6ffc7378a6: crates/lp/tests/flow_vs_simplex.rs
+
+crates/lp/tests/flow_vs_simplex.rs:

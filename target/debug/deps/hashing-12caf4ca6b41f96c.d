@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hashing-12caf4ca6b41f96c.d: crates/bench/benches/hashing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhashing-12caf4ca6b41f96c.rmeta: crates/bench/benches/hashing.rs Cargo.toml
+
+crates/bench/benches/hashing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

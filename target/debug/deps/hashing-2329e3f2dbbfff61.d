@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hashing-2329e3f2dbbfff61.d: crates/bench/benches/hashing.rs
+
+/root/repo/target/debug/deps/hashing-2329e3f2dbbfff61: crates/bench/benches/hashing.rs
+
+crates/bench/benches/hashing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/large_sparse-0a7c96eb63c2d247.d: crates/lp/tests/large_sparse.rs
+
+/root/repo/target/debug/deps/large_sparse-0a7c96eb63c2d247: crates/lp/tests/large_sparse.rs
+
+crates/lp/tests/large_sparse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/large_sparse-57ce491caa888faa.d: crates/lp/tests/large_sparse.rs
+
+/root/repo/target/debug/deps/large_sparse-57ce491caa888faa: crates/lp/tests/large_sparse.rs
+
+crates/lp/tests/large_sparse.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/large_sparse-86486a13a95d4539.d: crates/lp/tests/large_sparse.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblarge_sparse-86486a13a95d4539.rmeta: crates/lp/tests/large_sparse.rs Cargo.toml
+
+crates/lp/tests/large_sparse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

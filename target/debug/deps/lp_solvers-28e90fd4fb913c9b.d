@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lp_solvers-28e90fd4fb913c9b.d: crates/bench/benches/lp_solvers.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblp_solvers-28e90fd4fb913c9b.rmeta: crates/bench/benches/lp_solvers.rs Cargo.toml
+
+crates/bench/benches/lp_solvers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lp_solvers-8e5658eb8ab03585.d: crates/bench/benches/lp_solvers.rs
+
+/root/repo/target/debug/deps/lp_solvers-8e5658eb8ab03585: crates/bench/benches/lp_solvers.rs
+
+crates/bench/benches/lp_solvers.rs:

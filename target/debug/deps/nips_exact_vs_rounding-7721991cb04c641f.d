@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nips_exact_vs_rounding-7721991cb04c641f.d: tests/nips_exact_vs_rounding.rs
+
+/root/repo/target/debug/deps/nips_exact_vs_rounding-7721991cb04c641f: tests/nips_exact_vs_rounding.rs
+
+tests/nips_exact_vs_rounding.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nips_exact_vs_rounding-9159a538f5f2ee32.d: tests/nips_exact_vs_rounding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnips_exact_vs_rounding-9159a538f5f2ee32.rmeta: tests/nips_exact_vs_rounding.rs Cargo.toml
+
+tests/nips_exact_vs_rounding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

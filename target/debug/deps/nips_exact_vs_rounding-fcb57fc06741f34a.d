@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nips_exact_vs_rounding-fcb57fc06741f34a.d: tests/nips_exact_vs_rounding.rs
+
+/root/repo/target/debug/deps/nips_exact_vs_rounding-fcb57fc06741f34a: tests/nips_exact_vs_rounding.rs
+
+tests/nips_exact_vs_rounding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nips_round-8c87b84d01329213.d: crates/bench/benches/nips_round.rs
+
+/root/repo/target/debug/deps/nips_round-8c87b84d01329213: crates/bench/benches/nips_round.rs
+
+crates/bench/benches/nips_round.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nips_round-8e09d15c2adb97d8.d: crates/bench/benches/nips_round.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnips_round-8e09d15c2adb97d8.rmeta: crates/bench/benches/nips_round.rs Cargo.toml
+
+crates/bench/benches/nips_round.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

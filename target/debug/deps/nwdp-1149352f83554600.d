@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nwdp-1149352f83554600.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwdp-1149352f83554600.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nwdp-15645fd86729d1ea.d: src/lib.rs
+
+/root/repo/target/debug/deps/nwdp-15645fd86729d1ea: src/lib.rs
+
+src/lib.rs:

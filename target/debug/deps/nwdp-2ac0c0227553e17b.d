@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nwdp-2ac0c0227553e17b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwdp-2ac0c0227553e17b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nwdp-7f3ee7014b5090f8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnwdp-7f3ee7014b5090f8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnwdp-7f3ee7014b5090f8.rmeta: src/lib.rs
+
+src/lib.rs:

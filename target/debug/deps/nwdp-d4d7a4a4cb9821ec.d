@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nwdp-d4d7a4a4cb9821ec.d: src/lib.rs
+
+/root/repo/target/debug/deps/nwdp-d4d7a4a4cb9821ec: src/lib.rs
+
+src/lib.rs:

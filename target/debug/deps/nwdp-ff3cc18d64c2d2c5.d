@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nwdp-ff3cc18d64c2d2c5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnwdp-ff3cc18d64c2d2c5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnwdp-ff3cc18d64c2d2c5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/nwdp_bench-6af311bb428b81dd.d: crates/bench/src/lib.rs crates/bench/src/extensions.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig5.rs crates/bench/src/fig678.rs crates/bench/src/opttime.rs crates/bench/src/output.rs crates/bench/src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwdp_bench-6af311bb428b81dd.rmeta: crates/bench/src/lib.rs crates/bench/src/extensions.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig5.rs crates/bench/src/fig678.rs crates/bench/src/opttime.rs crates/bench/src/output.rs crates/bench/src/scenario.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/extensions.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig678.rs:
+crates/bench/src/opttime.rs:
+crates/bench/src/output.rs:
+crates/bench/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

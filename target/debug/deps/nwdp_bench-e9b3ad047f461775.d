@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nwdp_bench-e9b3ad047f461775.d: crates/bench/src/lib.rs crates/bench/src/extensions.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig5.rs crates/bench/src/fig678.rs crates/bench/src/opttime.rs crates/bench/src/output.rs crates/bench/src/scenario.rs
+
+/root/repo/target/debug/deps/nwdp_bench-e9b3ad047f461775: crates/bench/src/lib.rs crates/bench/src/extensions.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig5.rs crates/bench/src/fig678.rs crates/bench/src/opttime.rs crates/bench/src/output.rs crates/bench/src/scenario.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/extensions.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig678.rs:
+crates/bench/src/opttime.rs:
+crates/bench/src/output.rs:
+crates/bench/src/scenario.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nwdp_engine-e8d6477cd79aadc8.d: crates/engine/src/lib.rs crates/engine/src/ac.rs crates/engine/src/conn.rs crates/engine/src/cost.rs crates/engine/src/engine.rs crates/engine/src/modules.rs crates/engine/src/netwide.rs
+
+/root/repo/target/debug/deps/nwdp_engine-e8d6477cd79aadc8: crates/engine/src/lib.rs crates/engine/src/ac.rs crates/engine/src/conn.rs crates/engine/src/cost.rs crates/engine/src/engine.rs crates/engine/src/modules.rs crates/engine/src/netwide.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/ac.rs:
+crates/engine/src/conn.rs:
+crates/engine/src/cost.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/modules.rs:
+crates/engine/src/netwide.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nwdp_hash-01e89f8e0075b30b.d: crates/hash/src/lib.rs crates/hash/src/key.rs crates/hash/src/keyed.rs crates/hash/src/lookup3.rs crates/hash/src/range.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwdp_hash-01e89f8e0075b30b.rmeta: crates/hash/src/lib.rs crates/hash/src/key.rs crates/hash/src/keyed.rs crates/hash/src/lookup3.rs crates/hash/src/range.rs Cargo.toml
+
+crates/hash/src/lib.rs:
+crates/hash/src/key.rs:
+crates/hash/src/keyed.rs:
+crates/hash/src/lookup3.rs:
+crates/hash/src/range.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nwdp_hash-487d28fe1894e5bd.d: crates/hash/src/lib.rs crates/hash/src/key.rs crates/hash/src/keyed.rs crates/hash/src/lookup3.rs crates/hash/src/range.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwdp_hash-487d28fe1894e5bd.rmeta: crates/hash/src/lib.rs crates/hash/src/key.rs crates/hash/src/keyed.rs crates/hash/src/lookup3.rs crates/hash/src/range.rs Cargo.toml
+
+crates/hash/src/lib.rs:
+crates/hash/src/key.rs:
+crates/hash/src/keyed.rs:
+crates/hash/src/lookup3.rs:
+crates/hash/src/range.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

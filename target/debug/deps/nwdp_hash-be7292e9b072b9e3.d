@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nwdp_hash-be7292e9b072b9e3.d: crates/hash/src/lib.rs crates/hash/src/key.rs crates/hash/src/keyed.rs crates/hash/src/lookup3.rs crates/hash/src/range.rs
+
+/root/repo/target/debug/deps/nwdp_hash-be7292e9b072b9e3: crates/hash/src/lib.rs crates/hash/src/key.rs crates/hash/src/keyed.rs crates/hash/src/lookup3.rs crates/hash/src/range.rs
+
+crates/hash/src/lib.rs:
+crates/hash/src/key.rs:
+crates/hash/src/keyed.rs:
+crates/hash/src/lookup3.rs:
+crates/hash/src/range.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nwdp_hash-de7704ec244d5f52.d: crates/hash/src/lib.rs crates/hash/src/key.rs crates/hash/src/keyed.rs crates/hash/src/lookup3.rs crates/hash/src/range.rs
+
+/root/repo/target/debug/deps/libnwdp_hash-de7704ec244d5f52.rlib: crates/hash/src/lib.rs crates/hash/src/key.rs crates/hash/src/keyed.rs crates/hash/src/lookup3.rs crates/hash/src/range.rs
+
+/root/repo/target/debug/deps/libnwdp_hash-de7704ec244d5f52.rmeta: crates/hash/src/lib.rs crates/hash/src/key.rs crates/hash/src/keyed.rs crates/hash/src/lookup3.rs crates/hash/src/range.rs
+
+crates/hash/src/lib.rs:
+crates/hash/src/key.rs:
+crates/hash/src/keyed.rs:
+crates/hash/src/lookup3.rs:
+crates/hash/src/range.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nwdp_online-439be349da7d6284.d: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs
+
+/root/repo/target/debug/deps/libnwdp_online-439be349da7d6284.rlib: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs
+
+/root/repo/target/debug/deps/libnwdp_online-439be349da7d6284.rmeta: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs
+
+crates/online/src/lib.rs:
+crates/online/src/adversary.rs:
+crates/online/src/fpl.rs:

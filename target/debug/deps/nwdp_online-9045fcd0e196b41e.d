@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nwdp_online-9045fcd0e196b41e.d: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwdp_online-9045fcd0e196b41e.rmeta: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs Cargo.toml
+
+crates/online/src/lib.rs:
+crates/online/src/adversary.rs:
+crates/online/src/fpl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nwdp_online-b79740306d4d9df3.d: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs
+
+/root/repo/target/debug/deps/nwdp_online-b79740306d4d9df3: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs
+
+crates/online/src/lib.rs:
+crates/online/src/adversary.rs:
+crates/online/src/fpl.rs:

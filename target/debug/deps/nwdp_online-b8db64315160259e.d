@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nwdp_online-b8db64315160259e.d: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs
+
+/root/repo/target/debug/deps/nwdp_online-b8db64315160259e: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs
+
+crates/online/src/lib.rs:
+crates/online/src/adversary.rs:
+crates/online/src/fpl.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nwdp_online-f959c0e5550670ab.d: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwdp_online-f959c0e5550670ab.rmeta: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs Cargo.toml
+
+crates/online/src/lib.rs:
+crates/online/src/adversary.rs:
+crates/online/src/fpl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nwdp_topo-1534ace9f44732ad.d: crates/topo/src/lib.rs crates/topo/src/builtin.rs crates/topo/src/generate.rs crates/topo/src/graph.rs crates/topo/src/io.rs crates/topo/src/rocketfuel.rs crates/topo/src/routing.rs
+
+/root/repo/target/debug/deps/nwdp_topo-1534ace9f44732ad: crates/topo/src/lib.rs crates/topo/src/builtin.rs crates/topo/src/generate.rs crates/topo/src/graph.rs crates/topo/src/io.rs crates/topo/src/rocketfuel.rs crates/topo/src/routing.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/builtin.rs:
+crates/topo/src/generate.rs:
+crates/topo/src/graph.rs:
+crates/topo/src/io.rs:
+crates/topo/src/rocketfuel.rs:
+crates/topo/src/routing.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nwdp_topo-30480163b219e1b1.d: crates/topo/src/lib.rs crates/topo/src/builtin.rs crates/topo/src/generate.rs crates/topo/src/graph.rs crates/topo/src/io.rs crates/topo/src/rocketfuel.rs crates/topo/src/routing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwdp_topo-30480163b219e1b1.rmeta: crates/topo/src/lib.rs crates/topo/src/builtin.rs crates/topo/src/generate.rs crates/topo/src/graph.rs crates/topo/src/io.rs crates/topo/src/rocketfuel.rs crates/topo/src/routing.rs Cargo.toml
+
+crates/topo/src/lib.rs:
+crates/topo/src/builtin.rs:
+crates/topo/src/generate.rs:
+crates/topo/src/graph.rs:
+crates/topo/src/io.rs:
+crates/topo/src/rocketfuel.rs:
+crates/topo/src/routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nwdp_topo-30b5adb0578e5d87.d: crates/topo/src/lib.rs crates/topo/src/builtin.rs crates/topo/src/generate.rs crates/topo/src/graph.rs crates/topo/src/io.rs crates/topo/src/rocketfuel.rs crates/topo/src/routing.rs
+
+/root/repo/target/debug/deps/libnwdp_topo-30b5adb0578e5d87.rlib: crates/topo/src/lib.rs crates/topo/src/builtin.rs crates/topo/src/generate.rs crates/topo/src/graph.rs crates/topo/src/io.rs crates/topo/src/rocketfuel.rs crates/topo/src/routing.rs
+
+/root/repo/target/debug/deps/libnwdp_topo-30b5adb0578e5d87.rmeta: crates/topo/src/lib.rs crates/topo/src/builtin.rs crates/topo/src/generate.rs crates/topo/src/graph.rs crates/topo/src/io.rs crates/topo/src/rocketfuel.rs crates/topo/src/routing.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/builtin.rs:
+crates/topo/src/generate.rs:
+crates/topo/src/graph.rs:
+crates/topo/src/io.rs:
+crates/topo/src/rocketfuel.rs:
+crates/topo/src/routing.rs:

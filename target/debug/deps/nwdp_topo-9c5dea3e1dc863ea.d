@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nwdp_topo-9c5dea3e1dc863ea.d: crates/topo/src/lib.rs crates/topo/src/builtin.rs crates/topo/src/generate.rs crates/topo/src/graph.rs crates/topo/src/io.rs crates/topo/src/rocketfuel.rs crates/topo/src/routing.rs
+
+/root/repo/target/debug/deps/nwdp_topo-9c5dea3e1dc863ea: crates/topo/src/lib.rs crates/topo/src/builtin.rs crates/topo/src/generate.rs crates/topo/src/graph.rs crates/topo/src/io.rs crates/topo/src/rocketfuel.rs crates/topo/src/routing.rs
+
+crates/topo/src/lib.rs:
+crates/topo/src/builtin.rs:
+crates/topo/src/generate.rs:
+crates/topo/src/graph.rs:
+crates/topo/src/io.rs:
+crates/topo/src/rocketfuel.rs:
+crates/topo/src/routing.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nwdp_topo-be1f09f0cd3ce796.d: crates/topo/src/lib.rs crates/topo/src/builtin.rs crates/topo/src/generate.rs crates/topo/src/graph.rs crates/topo/src/io.rs crates/topo/src/rocketfuel.rs crates/topo/src/routing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwdp_topo-be1f09f0cd3ce796.rmeta: crates/topo/src/lib.rs crates/topo/src/builtin.rs crates/topo/src/generate.rs crates/topo/src/graph.rs crates/topo/src/io.rs crates/topo/src/rocketfuel.rs crates/topo/src/routing.rs Cargo.toml
+
+crates/topo/src/lib.rs:
+crates/topo/src/builtin.rs:
+crates/topo/src/generate.rs:
+crates/topo/src/graph.rs:
+crates/topo/src/io.rs:
+crates/topo/src/rocketfuel.rs:
+crates/topo/src/routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

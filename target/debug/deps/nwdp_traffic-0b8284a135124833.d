@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nwdp_traffic-0b8284a135124833.d: crates/traffic/src/lib.rs crates/traffic/src/faults.rs crates/traffic/src/generator.rs crates/traffic/src/matchrate.rs crates/traffic/src/matrix.rs crates/traffic/src/profile.rs crates/traffic/src/session.rs crates/traffic/src/volume.rs
+
+/root/repo/target/debug/deps/libnwdp_traffic-0b8284a135124833.rlib: crates/traffic/src/lib.rs crates/traffic/src/faults.rs crates/traffic/src/generator.rs crates/traffic/src/matchrate.rs crates/traffic/src/matrix.rs crates/traffic/src/profile.rs crates/traffic/src/session.rs crates/traffic/src/volume.rs
+
+/root/repo/target/debug/deps/libnwdp_traffic-0b8284a135124833.rmeta: crates/traffic/src/lib.rs crates/traffic/src/faults.rs crates/traffic/src/generator.rs crates/traffic/src/matchrate.rs crates/traffic/src/matrix.rs crates/traffic/src/profile.rs crates/traffic/src/session.rs crates/traffic/src/volume.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/faults.rs:
+crates/traffic/src/generator.rs:
+crates/traffic/src/matchrate.rs:
+crates/traffic/src/matrix.rs:
+crates/traffic/src/profile.rs:
+crates/traffic/src/session.rs:
+crates/traffic/src/volume.rs:

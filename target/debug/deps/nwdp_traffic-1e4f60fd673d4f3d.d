@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nwdp_traffic-1e4f60fd673d4f3d.d: crates/traffic/src/lib.rs crates/traffic/src/faults.rs crates/traffic/src/generator.rs crates/traffic/src/matchrate.rs crates/traffic/src/matrix.rs crates/traffic/src/profile.rs crates/traffic/src/session.rs crates/traffic/src/volume.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwdp_traffic-1e4f60fd673d4f3d.rmeta: crates/traffic/src/lib.rs crates/traffic/src/faults.rs crates/traffic/src/generator.rs crates/traffic/src/matchrate.rs crates/traffic/src/matrix.rs crates/traffic/src/profile.rs crates/traffic/src/session.rs crates/traffic/src/volume.rs Cargo.toml
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/faults.rs:
+crates/traffic/src/generator.rs:
+crates/traffic/src/matchrate.rs:
+crates/traffic/src/matrix.rs:
+crates/traffic/src/profile.rs:
+crates/traffic/src/session.rs:
+crates/traffic/src/volume.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nwdp_traffic-94d1ee4111f476d2.d: crates/traffic/src/lib.rs crates/traffic/src/faults.rs crates/traffic/src/generator.rs crates/traffic/src/matchrate.rs crates/traffic/src/matrix.rs crates/traffic/src/profile.rs crates/traffic/src/session.rs crates/traffic/src/volume.rs
+
+/root/repo/target/debug/deps/nwdp_traffic-94d1ee4111f476d2: crates/traffic/src/lib.rs crates/traffic/src/faults.rs crates/traffic/src/generator.rs crates/traffic/src/matchrate.rs crates/traffic/src/matrix.rs crates/traffic/src/profile.rs crates/traffic/src/session.rs crates/traffic/src/volume.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/faults.rs:
+crates/traffic/src/generator.rs:
+crates/traffic/src/matchrate.rs:
+crates/traffic/src/matrix.rs:
+crates/traffic/src/profile.rs:
+crates/traffic/src/session.rs:
+crates/traffic/src/volume.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/online_fpl-64aaea30551fce3d.d: crates/bench/benches/online_fpl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libonline_fpl-64aaea30551fce3d.rmeta: crates/bench/benches/online_fpl.rs Cargo.toml
+
+crates/bench/benches/online_fpl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

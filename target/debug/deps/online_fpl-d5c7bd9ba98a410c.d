@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/online_fpl-d5c7bd9ba98a410c.d: crates/bench/benches/online_fpl.rs
+
+/root/repo/target/debug/deps/online_fpl-d5c7bd9ba98a410c: crates/bench/benches/online_fpl.rs
+
+crates/bench/benches/online_fpl.rs:

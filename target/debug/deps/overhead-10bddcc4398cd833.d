@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-10bddcc4398cd833.d: crates/engine/tests/overhead.rs
+
+/root/repo/target/debug/deps/overhead-10bddcc4398cd833: crates/engine/tests/overhead.rs
+
+crates/engine/tests/overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-7999ed64ac00db57.d: crates/engine/tests/overhead.rs
+
+/root/repo/target/debug/deps/overhead-7999ed64ac00db57: crates/engine/tests/overhead.rs
+
+crates/engine/tests/overhead.rs:

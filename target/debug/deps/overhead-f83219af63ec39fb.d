@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overhead-f83219af63ec39fb.d: crates/engine/tests/overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverhead-f83219af63ec39fb.rmeta: crates/engine/tests/overhead.rs Cargo.toml
+
+crates/engine/tests/overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

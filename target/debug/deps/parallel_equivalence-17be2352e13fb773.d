@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_equivalence-17be2352e13fb773.d: tests/parallel_equivalence.rs
+
+/root/repo/target/debug/deps/parallel_equivalence-17be2352e13fb773: tests/parallel_equivalence.rs
+
+tests/parallel_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_equivalence-34b7d0d16bfb4e56.d: tests/parallel_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_equivalence-34b7d0d16bfb4e56.rmeta: tests/parallel_equivalence.rs Cargo.toml
+
+tests/parallel_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-5a9fec04c3197d0b.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-5a9fec04c3197d0b: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-5b3789eb15880953.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-5b3789eb15880953: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-f18fdac0860a1f6e.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-f18fdac0860a1f6e.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

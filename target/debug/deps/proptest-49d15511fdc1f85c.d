@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-49d15511fdc1f85c.d: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-49d15511fdc1f85c.rlib: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-49d15511fdc1f85c.rmeta: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/collection.rs:
+crates/proptest/src/strategy.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-51bfa440495eb408.d: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/proptest-51bfa440495eb408: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/collection.rs:
+crates/proptest/src/strategy.rs:

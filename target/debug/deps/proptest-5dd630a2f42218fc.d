@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-5dd630a2f42218fc.d: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-5dd630a2f42218fc.rlib: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-5dd630a2f42218fc.rmeta: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/collection.rs:
+crates/proptest/src/strategy.rs:

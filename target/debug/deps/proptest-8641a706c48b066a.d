@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-8641a706c48b066a.d: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-8641a706c48b066a.rmeta: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs Cargo.toml
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/collection.rs:
+crates/proptest/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

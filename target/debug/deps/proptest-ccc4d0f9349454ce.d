@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-ccc4d0f9349454ce.d: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/proptest-ccc4d0f9349454ce: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/collection.rs:
+crates/proptest/src/strategy.rs:

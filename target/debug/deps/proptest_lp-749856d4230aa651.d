@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_lp-749856d4230aa651.d: crates/lp/tests/proptest_lp.rs
+
+/root/repo/target/debug/deps/proptest_lp-749856d4230aa651: crates/lp/tests/proptest_lp.rs
+
+crates/lp/tests/proptest_lp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_lp-d02ecb82b0fa61ce.d: crates/lp/tests/proptest_lp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_lp-d02ecb82b0fa61ce.rmeta: crates/lp/tests/proptest_lp.rs Cargo.toml
+
+crates/lp/tests/proptest_lp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

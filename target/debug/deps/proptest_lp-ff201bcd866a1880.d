@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_lp-ff201bcd866a1880.d: crates/lp/tests/proptest_lp.rs
+
+/root/repo/target/debug/deps/proptest_lp-ff201bcd866a1880: crates/lp/tests/proptest_lp.rs
+
+crates/lp/tests/proptest_lp.rs:

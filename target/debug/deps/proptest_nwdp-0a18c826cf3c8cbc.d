@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_nwdp-0a18c826cf3c8cbc.d: tests/proptest_nwdp.rs
+
+/root/repo/target/debug/deps/proptest_nwdp-0a18c826cf3c8cbc: tests/proptest_nwdp.rs
+
+tests/proptest_nwdp.rs:

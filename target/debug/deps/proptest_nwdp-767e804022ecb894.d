@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_nwdp-767e804022ecb894.d: tests/proptest_nwdp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_nwdp-767e804022ecb894.rmeta: tests/proptest_nwdp.rs Cargo.toml
+
+tests/proptest_nwdp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

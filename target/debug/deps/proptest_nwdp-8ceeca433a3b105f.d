@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_nwdp-8ceeca433a3b105f.d: tests/proptest_nwdp.rs
+
+/root/repo/target/debug/deps/proptest_nwdp-8ceeca433a3b105f: tests/proptest_nwdp.rs
+
+tests/proptest_nwdp.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rand-1dab18dc8fffcf50.d: crates/rand/src/lib.rs crates/rand/src/rngs.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-1dab18dc8fffcf50.rmeta: crates/rand/src/lib.rs crates/rand/src/rngs.rs Cargo.toml
+
+crates/rand/src/lib.rs:
+crates/rand/src/rngs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

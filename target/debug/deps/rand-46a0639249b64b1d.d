@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rand-46a0639249b64b1d.d: crates/rand/src/lib.rs crates/rand/src/rngs.rs
+
+/root/repo/target/debug/deps/rand-46a0639249b64b1d: crates/rand/src/lib.rs crates/rand/src/rngs.rs
+
+crates/rand/src/lib.rs:
+crates/rand/src/rngs.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rand-8cea80b0e2978184.d: crates/rand/src/lib.rs crates/rand/src/rngs.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-8cea80b0e2978184.rmeta: crates/rand/src/lib.rs crates/rand/src/rngs.rs Cargo.toml
+
+crates/rand/src/lib.rs:
+crates/rand/src/rngs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rand-a531618b95c458ce.d: crates/rand/src/lib.rs crates/rand/src/rngs.rs
+
+/root/repo/target/debug/deps/librand-a531618b95c458ce.rlib: crates/rand/src/lib.rs crates/rand/src/rngs.rs
+
+/root/repo/target/debug/deps/librand-a531618b95c458ce.rmeta: crates/rand/src/lib.rs crates/rand/src/rngs.rs
+
+crates/rand/src/lib.rs:
+crates/rand/src/rngs.rs:

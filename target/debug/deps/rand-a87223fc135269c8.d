@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rand-a87223fc135269c8.d: crates/rand/src/lib.rs crates/rand/src/rngs.rs
+
+/root/repo/target/debug/deps/rand-a87223fc135269c8: crates/rand/src/lib.rs crates/rand/src/rngs.rs
+
+crates/rand/src/lib.rs:
+crates/rand/src/rngs.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rand-fd6e4c6c62c722a6.d: crates/rand/src/lib.rs crates/rand/src/rngs.rs
+
+/root/repo/target/debug/deps/librand-fd6e4c6c62c722a6.rlib: crates/rand/src/lib.rs crates/rand/src/rngs.rs
+
+/root/repo/target/debug/deps/librand-fd6e4c6c62c722a6.rmeta: crates/rand/src/lib.rs crates/rand/src/rngs.rs
+
+crates/rand/src/lib.rs:
+crates/rand/src/rngs.rs:

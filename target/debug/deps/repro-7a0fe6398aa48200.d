@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-7a0fe6398aa48200.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-7a0fe6398aa48200: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

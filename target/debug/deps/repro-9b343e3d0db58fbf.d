@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-9b343e3d0db58fbf.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-9b343e3d0db58fbf: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

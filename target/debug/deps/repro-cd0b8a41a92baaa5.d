@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-cd0b8a41a92baaa5.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-cd0b8a41a92baaa5: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

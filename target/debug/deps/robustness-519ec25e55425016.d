@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-519ec25e55425016.d: crates/engine/tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-519ec25e55425016: crates/engine/tests/robustness.rs
+
+crates/engine/tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-61f38b76f1c78093.d: crates/engine/tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-61f38b76f1c78093: crates/engine/tests/robustness.rs
+
+crates/engine/tests/robustness.rs:

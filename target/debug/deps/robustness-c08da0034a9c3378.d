@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-c08da0034a9c3378.d: crates/engine/tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-c08da0034a9c3378.rmeta: crates/engine/tests/robustness.rs Cargo.toml
+
+crates/engine/tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simplex-3f352fb29e1fd0cc.d: crates/lp/tests/simplex.rs
+
+/root/repo/target/debug/deps/simplex-3f352fb29e1fd0cc: crates/lp/tests/simplex.rs
+
+crates/lp/tests/simplex.rs:

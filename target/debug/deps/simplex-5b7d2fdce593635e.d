@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simplex-5b7d2fdce593635e.d: crates/lp/tests/simplex.rs
+
+/root/repo/target/debug/deps/simplex-5b7d2fdce593635e: crates/lp/tests/simplex.rs
+
+crates/lp/tests/simplex.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simplex-7fd4ca9d47318bc4.d: crates/lp/tests/simplex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimplex-7fd4ca9d47318bc4.rmeta: crates/lp/tests/simplex.rs Cargo.toml
+
+crates/lp/tests/simplex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

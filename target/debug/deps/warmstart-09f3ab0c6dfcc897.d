@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/warmstart-09f3ab0c6dfcc897.d: crates/lp/tests/warmstart.rs
+
+/root/repo/target/debug/deps/warmstart-09f3ab0c6dfcc897: crates/lp/tests/warmstart.rs
+
+crates/lp/tests/warmstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/warmstart-7063fc69a2359b1e.d: crates/lp/tests/warmstart.rs
+
+/root/repo/target/debug/deps/warmstart-7063fc69a2359b1e: crates/lp/tests/warmstart.rs
+
+crates/lp/tests/warmstart.rs:

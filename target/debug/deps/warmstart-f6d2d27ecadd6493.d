@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/warmstart-f6d2d27ecadd6493.d: crates/lp/tests/warmstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwarmstart-f6d2d27ecadd6493.rmeta: crates/lp/tests/warmstart.rs Cargo.toml
+
+crates/lp/tests/warmstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nids_enterprise-168e020bdf8ddfe6.d: examples/nids_enterprise.rs
+
+/root/repo/target/debug/examples/nids_enterprise-168e020bdf8ddfe6: examples/nids_enterprise.rs
+
+examples/nids_enterprise.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nids_enterprise-2dad2f18ad70633f.d: examples/nids_enterprise.rs
+
+/root/repo/target/debug/examples/nids_enterprise-2dad2f18ad70633f: examples/nids_enterprise.rs
+
+examples/nids_enterprise.rs:

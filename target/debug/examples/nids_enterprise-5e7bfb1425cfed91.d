@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nids_enterprise-5e7bfb1425cfed91.d: examples/nids_enterprise.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnids_enterprise-5e7bfb1425cfed91.rmeta: examples/nids_enterprise.rs Cargo.toml
+
+examples/nids_enterprise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nips_isp-50ccf124fc800a33.d: examples/nips_isp.rs
+
+/root/repo/target/debug/examples/nips_isp-50ccf124fc800a33: examples/nips_isp.rs
+
+examples/nips_isp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nips_isp-cc3861effa3764ed.d: examples/nips_isp.rs
+
+/root/repo/target/debug/examples/nips_isp-cc3861effa3764ed: examples/nips_isp.rs
+
+examples/nips_isp.rs:

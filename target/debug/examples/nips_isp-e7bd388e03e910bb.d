@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nips_isp-e7bd388e03e910bb.d: examples/nips_isp.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnips_isp-e7bd388e03e910bb.rmeta: examples/nips_isp.rs Cargo.toml
+
+examples/nips_isp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

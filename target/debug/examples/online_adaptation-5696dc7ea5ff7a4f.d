@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/online_adaptation-5696dc7ea5ff7a4f.d: examples/online_adaptation.rs
+
+/root/repo/target/debug/examples/online_adaptation-5696dc7ea5ff7a4f: examples/online_adaptation.rs
+
+examples/online_adaptation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/online_adaptation-8efebce2cdca9f4f.d: examples/online_adaptation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libonline_adaptation-8efebce2cdca9f4f.rmeta: examples/online_adaptation.rs Cargo.toml
+
+examples/online_adaptation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

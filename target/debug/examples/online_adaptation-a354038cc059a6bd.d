@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/online_adaptation-a354038cc059a6bd.d: examples/online_adaptation.rs
+
+/root/repo/target/debug/examples/online_adaptation-a354038cc059a6bd: examples/online_adaptation.rs
+
+examples/online_adaptation.rs:

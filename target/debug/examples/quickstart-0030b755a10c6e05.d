@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0030b755a10c6e05.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0030b755a10c6e05: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-309da325a181c6c4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-309da325a181c6c4: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-a39e186ce4361278.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-a39e186ce4361278.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

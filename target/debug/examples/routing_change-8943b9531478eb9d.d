@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/routing_change-8943b9531478eb9d.d: examples/routing_change.rs
+
+/root/repo/target/debug/examples/routing_change-8943b9531478eb9d: examples/routing_change.rs
+
+examples/routing_change.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/routing_change-b8e6133cb8970cdb.d: examples/routing_change.rs Cargo.toml
+
+/root/repo/target/debug/examples/librouting_change-b8e6133cb8970cdb.rmeta: examples/routing_change.rs Cargo.toml
+
+examples/routing_change.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/routing_change-e2acb2a2cfcd6b1e.d: examples/routing_change.rs
+
+/root/repo/target/debug/examples/routing_change-e2acb2a2cfcd6b1e: examples/routing_change.rs
+
+examples/routing_change.rs:

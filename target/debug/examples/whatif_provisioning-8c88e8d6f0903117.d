@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/whatif_provisioning-8c88e8d6f0903117.d: examples/whatif_provisioning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwhatif_provisioning-8c88e8d6f0903117.rmeta: examples/whatif_provisioning.rs Cargo.toml
+
+examples/whatif_provisioning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/whatif_provisioning-8ed94541f62cb7af.d: examples/whatif_provisioning.rs
+
+/root/repo/target/debug/examples/whatif_provisioning-8ed94541f62cb7af: examples/whatif_provisioning.rs
+
+examples/whatif_provisioning.rs:

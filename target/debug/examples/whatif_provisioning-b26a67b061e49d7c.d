@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/whatif_provisioning-b26a67b061e49d7c.d: examples/whatif_provisioning.rs
+
+/root/repo/target/debug/examples/whatif_provisioning-b26a67b061e49d7c: examples/whatif_provisioning.rs
+
+examples/whatif_provisioning.rs:

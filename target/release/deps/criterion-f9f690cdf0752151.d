@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-f9f690cdf0752151.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-f9f690cdf0752151.rlib: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-f9f690cdf0752151.rmeta: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

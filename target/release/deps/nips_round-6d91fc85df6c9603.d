@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nips_round-6d91fc85df6c9603.d: crates/bench/benches/nips_round.rs
+
+/root/repo/target/release/deps/nips_round-6d91fc85df6c9603: crates/bench/benches/nips_round.rs
+
+crates/bench/benches/nips_round.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nwdp-f1ed5b20a693f9e5.d: src/lib.rs
+
+/root/repo/target/release/deps/libnwdp-f1ed5b20a693f9e5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnwdp-f1ed5b20a693f9e5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/nwdp_bench-c1a935fc29f9e40c.d: crates/bench/src/lib.rs crates/bench/src/extensions.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig5.rs crates/bench/src/fig678.rs crates/bench/src/opttime.rs crates/bench/src/output.rs crates/bench/src/scenario.rs
+
+/root/repo/target/release/deps/libnwdp_bench-c1a935fc29f9e40c.rlib: crates/bench/src/lib.rs crates/bench/src/extensions.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig5.rs crates/bench/src/fig678.rs crates/bench/src/opttime.rs crates/bench/src/output.rs crates/bench/src/scenario.rs
+
+/root/repo/target/release/deps/libnwdp_bench-c1a935fc29f9e40c.rmeta: crates/bench/src/lib.rs crates/bench/src/extensions.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig5.rs crates/bench/src/fig678.rs crates/bench/src/opttime.rs crates/bench/src/output.rs crates/bench/src/scenario.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/extensions.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig678.rs:
+crates/bench/src/opttime.rs:
+crates/bench/src/output.rs:
+crates/bench/src/scenario.rs:

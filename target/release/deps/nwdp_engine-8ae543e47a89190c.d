@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/nwdp_engine-8ae543e47a89190c.d: crates/engine/src/lib.rs crates/engine/src/ac.rs crates/engine/src/conn.rs crates/engine/src/cost.rs crates/engine/src/engine.rs crates/engine/src/modules.rs crates/engine/src/netwide.rs
+
+/root/repo/target/release/deps/libnwdp_engine-8ae543e47a89190c.rlib: crates/engine/src/lib.rs crates/engine/src/ac.rs crates/engine/src/conn.rs crates/engine/src/cost.rs crates/engine/src/engine.rs crates/engine/src/modules.rs crates/engine/src/netwide.rs
+
+/root/repo/target/release/deps/libnwdp_engine-8ae543e47a89190c.rmeta: crates/engine/src/lib.rs crates/engine/src/ac.rs crates/engine/src/conn.rs crates/engine/src/cost.rs crates/engine/src/engine.rs crates/engine/src/modules.rs crates/engine/src/netwide.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/ac.rs:
+crates/engine/src/conn.rs:
+crates/engine/src/cost.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/modules.rs:
+crates/engine/src/netwide.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/nwdp_hash-29b13d14da2ea5f5.d: crates/hash/src/lib.rs crates/hash/src/key.rs crates/hash/src/keyed.rs crates/hash/src/lookup3.rs crates/hash/src/range.rs
+
+/root/repo/target/release/deps/libnwdp_hash-29b13d14da2ea5f5.rlib: crates/hash/src/lib.rs crates/hash/src/key.rs crates/hash/src/keyed.rs crates/hash/src/lookup3.rs crates/hash/src/range.rs
+
+/root/repo/target/release/deps/libnwdp_hash-29b13d14da2ea5f5.rmeta: crates/hash/src/lib.rs crates/hash/src/key.rs crates/hash/src/keyed.rs crates/hash/src/lookup3.rs crates/hash/src/range.rs
+
+crates/hash/src/lib.rs:
+crates/hash/src/key.rs:
+crates/hash/src/keyed.rs:
+crates/hash/src/lookup3.rs:
+crates/hash/src/range.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/nwdp_online-4a461b6457faf820.d: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs
+
+/root/repo/target/release/deps/libnwdp_online-4a461b6457faf820.rlib: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs
+
+/root/repo/target/release/deps/libnwdp_online-4a461b6457faf820.rmeta: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs
+
+crates/online/src/lib.rs:
+crates/online/src/adversary.rs:
+crates/online/src/fpl.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/nwdp_traffic-5c9023fdb18dd6b4.d: crates/traffic/src/lib.rs crates/traffic/src/faults.rs crates/traffic/src/generator.rs crates/traffic/src/matchrate.rs crates/traffic/src/matrix.rs crates/traffic/src/profile.rs crates/traffic/src/session.rs crates/traffic/src/volume.rs
+
+/root/repo/target/release/deps/libnwdp_traffic-5c9023fdb18dd6b4.rlib: crates/traffic/src/lib.rs crates/traffic/src/faults.rs crates/traffic/src/generator.rs crates/traffic/src/matchrate.rs crates/traffic/src/matrix.rs crates/traffic/src/profile.rs crates/traffic/src/session.rs crates/traffic/src/volume.rs
+
+/root/repo/target/release/deps/libnwdp_traffic-5c9023fdb18dd6b4.rmeta: crates/traffic/src/lib.rs crates/traffic/src/faults.rs crates/traffic/src/generator.rs crates/traffic/src/matchrate.rs crates/traffic/src/matrix.rs crates/traffic/src/profile.rs crates/traffic/src/session.rs crates/traffic/src/volume.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/faults.rs:
+crates/traffic/src/generator.rs:
+crates/traffic/src/matchrate.rs:
+crates/traffic/src/matrix.rs:
+crates/traffic/src/profile.rs:
+crates/traffic/src/session.rs:
+crates/traffic/src/volume.rs:

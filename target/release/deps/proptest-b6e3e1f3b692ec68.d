@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-b6e3e1f3b692ec68.d: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/libproptest-b6e3e1f3b692ec68.rlib: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/libproptest-b6e3e1f3b692ec68.rmeta: crates/proptest/src/lib.rs crates/proptest/src/collection.rs crates/proptest/src/strategy.rs
+
+crates/proptest/src/lib.rs:
+crates/proptest/src/collection.rs:
+crates/proptest/src/strategy.rs:

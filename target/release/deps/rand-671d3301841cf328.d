@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/rand-671d3301841cf328.d: crates/rand/src/lib.rs crates/rand/src/rngs.rs
+
+/root/repo/target/release/deps/librand-671d3301841cf328.rlib: crates/rand/src/lib.rs crates/rand/src/rngs.rs
+
+/root/repo/target/release/deps/librand-671d3301841cf328.rmeta: crates/rand/src/lib.rs crates/rand/src/rngs.rs
+
+crates/rand/src/lib.rs:
+crates/rand/src/rngs.rs:

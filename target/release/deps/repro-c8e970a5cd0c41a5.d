@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-c8e970a5cd0c41a5.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-c8e970a5cd0c41a5: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

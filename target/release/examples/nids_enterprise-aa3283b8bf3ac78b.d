@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/nids_enterprise-aa3283b8bf3ac78b.d: examples/nids_enterprise.rs
+
+/root/repo/target/release/examples/nids_enterprise-aa3283b8bf3ac78b: examples/nids_enterprise.rs
+
+examples/nids_enterprise.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/nips_isp-0aa4895926490802.d: examples/nips_isp.rs
+
+/root/repo/target/release/examples/nips_isp-0aa4895926490802: examples/nips_isp.rs
+
+examples/nips_isp.rs:

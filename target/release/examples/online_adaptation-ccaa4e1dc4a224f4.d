@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/online_adaptation-ccaa4e1dc4a224f4.d: examples/online_adaptation.rs
+
+/root/repo/target/release/examples/online_adaptation-ccaa4e1dc4a224f4: examples/online_adaptation.rs
+
+examples/online_adaptation.rs:

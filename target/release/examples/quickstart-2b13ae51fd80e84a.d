@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-2b13ae51fd80e84a.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-2b13ae51fd80e84a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/routing_change-a7a254ea6e97e2d2.d: examples/routing_change.rs
+
+/root/repo/target/release/examples/routing_change-a7a254ea6e97e2d2: examples/routing_change.rs
+
+examples/routing_change.rs:

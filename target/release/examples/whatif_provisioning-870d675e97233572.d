@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/whatif_provisioning-870d675e97233572.d: examples/whatif_provisioning.rs
+
+/root/repo/target/release/examples/whatif_provisioning-870d675e97233572: examples/whatif_provisioning.rs
+
+examples/whatif_provisioning.rs:
