@@ -15,4 +15,30 @@ cargo fmt --check
 echo "== clippy =="
 cargo clippy --all-targets -- -D warnings
 
+# Library code must not panic on fallible paths; surface unwrap/expect as
+# warnings there. --lib keeps #[cfg(test)] modules, test targets, benches
+# and binaries exempt (unwrap in tests is idiomatic).
+echo "== clippy (panic-path lint, library crates) =="
+cargo clippy --lib -p nwdp -p nwdp-core -p nwdp-lp -p nwdp-engine \
+  -p nwdp-online -p nwdp-obs -p nwdp-topo -p nwdp-traffic -p nwdp-hash -- \
+  -W clippy::unwrap_used -W clippy::expect_used
+
+echo "== metrics smoke =="
+metrics_tmp="$(mktemp -d)"
+trap 'rm -rf "$metrics_tmp"' EXIT
+./target/release/repro --quick --fig 5 \
+  --metrics-out "$metrics_tmp/metrics.json" --out "$metrics_tmp/results" \
+  > /dev/null
+python3 - "$metrics_tmp/metrics.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["version"] == 1, d.get("version")
+c = d["counters"]
+for key in ("simplex.solves", "simplex.iterations", "round.trials", "rowgen.solves"):
+    assert c.get(key, 0) > 0, f"missing or zero counter: {key}"
+assert any(k.startswith("engine.packets{") and v > 0 for k, v in c.items()), \
+    "no per-node engine packet counters"
+print(f"metrics smoke OK ({len(c)} counters)")
+PY
+
 echo "CI OK"

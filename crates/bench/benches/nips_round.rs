@@ -49,7 +49,7 @@ fn bench_rounding(c: &mut Criterion) {
             |b, opts| {
                 b.iter(|| {
                     let mut rng = StdRng::seed_from_u64(3);
-                    black_box(round_once(&inst, &relax, opts, &mut rng))
+                    black_box(round_once(&inst, &relax, opts, &mut rng).unwrap())
                 })
             },
         );
@@ -80,7 +80,7 @@ fn bench_round_best_of(c: &mut Criterion) {
     let mut g = c.benchmark_group("nips_round_best_of");
     g.sample_size(10);
     g.bench_function("greedy_lp_resolve_x8", |b| {
-        b.iter(|| black_box(round_best_of(&inst, &relax, &opts)))
+        b.iter(|| black_box(round_best_of(&inst, &relax, &opts).unwrap()))
     });
     g.finish();
 }

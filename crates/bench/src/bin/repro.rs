@@ -1,66 +1,131 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
-//! Usage: `repro [--quick] [--out DIR] [fig5 fig6 fig7 fig8 fig10 fig11 opt-time ext | all]`
+//! Usage:
+//!   repro [--quick] [--out DIR] [--metrics-out FILE] [--fig N]...
+//!         [fig5 fig6 fig7 fig8 fig10 fig11 opt-time ext | all]
 //!
 //! Results are written as CSV files under `--out` (default `results/`) and
-//! printed as ASCII tables.
+//! printed as ASCII tables. `--fig 5` is shorthand for the `fig5`
+//! experiment name.
+//!
+//! `--metrics-out FILE` (or the `NWDP_METRICS=FILE` environment variable)
+//! enables the `nwdp-obs` metrics layer and writes a JSON dump of every
+//! counter/gauge/timer/histogram on exit. A miniature end-to-end pipeline
+//! runs first so the dump always carries simplex, rounding and per-node
+//! engine series, even for experiments that exercise only one subsystem.
 
 use nwdp_bench::output::Table;
-use nwdp_bench::{fig10, fig11, fig5, fig678, opttime, Scale};
+use nwdp_bench::{fig10, fig11, fig5, fig678, opttime, selftest, Scale};
+use nwdp_core::obs;
 use std::path::PathBuf;
+use std::process::exit;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let scale = Scale::from_flag(quick);
-    let out = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"));
-    let mut wanted: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--") && Some(a.as_str()) != out.to_str())
-        .cloned()
-        .collect();
-    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
-        wanted = ["fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "opt-time", "ext"]
+struct Cli {
+    quick: bool,
+    out: PathBuf,
+    metrics_out: Option<PathBuf>,
+    wanted: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Cli {
+    let mut cli =
+        Cli { quick: false, out: PathBuf::from("results"), metrics_out: None, wanted: Vec::new() };
+    let mut i = 0;
+    let value_of = |args: &[String], i: usize, flag: &str| -> String {
+        match args.get(i + 1) {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("repro: {flag} requires a value");
+                exit(2);
+            }
+        }
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cli.quick = true,
+            "--out" => {
+                cli.out = PathBuf::from(value_of(args, i, "--out"));
+                i += 1;
+            }
+            "--metrics-out" => {
+                cli.metrics_out = Some(PathBuf::from(value_of(args, i, "--metrics-out")));
+                i += 1;
+            }
+            "--fig" => {
+                cli.wanted.push(format!("fig{}", value_of(args, i, "--fig")));
+                i += 1;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("repro: unknown flag {flag}");
+                exit(2);
+            }
+            name => cli.wanted.push(name.to_string()),
+        }
+        i += 1;
+    }
+    if cli.wanted.is_empty() || cli.wanted.iter().any(|w| w == "all") {
+        cli.wanted = ["fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "opt-time", "ext"]
             .iter()
             .map(|s| s.to_string())
             .collect();
     }
-    println!("repro: scale = {:?}, experiments = {wanted:?}, output = {}", scale, out.display());
+    cli
+}
 
-    for w in &wanted {
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = parse_args(&args);
+    let scale = Scale::from_flag(cli.quick);
+
+    // Metrics: an explicit --metrics-out wins; otherwise NWDP_METRICS may
+    // install a sink. Either way the obs layer stays disabled (one relaxed
+    // atomic load per instrumentation site) unless a dump was requested.
+    let env_sink = obs::init_from_env();
+    if cli.metrics_out.is_some() {
+        obs::set_enabled(true);
+    }
+    let metrics_on = obs::enabled();
+    if metrics_on {
+        println!("repro: metrics enabled, running pipeline selftest");
+        selftest::metrics_selftest();
+    }
+
+    println!(
+        "repro: scale = {:?}, experiments = {:?}, output = {}",
+        scale,
+        cli.wanted,
+        cli.out.display()
+    );
+
+    for w in &cli.wanted {
         let started = std::time::Instant::now();
         match w.as_str() {
             "fig5" => {
                 let r = fig5::run(scale);
                 let (cpu, mem) = fig5::tables(&r);
-                emit(&cpu, &out, "fig5a_cpu_overhead");
-                emit(&mem, &out, "fig5b_mem_overhead");
+                emit(&cpu, &cli.out, "fig5a_cpu_overhead");
+                emit(&mem, &cli.out, "fig5b_mem_overhead");
             }
             "fig6" => {
                 let pts = fig678::fig6(scale);
-                emit(&fig678::table6(&pts), &out, "fig6_modules_sweep");
+                emit(&fig678::table6(&pts), &cli.out, "fig6_modules_sweep");
             }
             "fig7" => {
                 let pts = fig678::fig7(scale);
-                emit(&fig678::table7(&pts), &out, "fig7_volume_sweep");
+                emit(&fig678::table7(&pts), &cli.out, "fig7_volume_sweep");
             }
             "fig8" => {
                 let r = fig678::fig8(scale);
-                emit(&fig678::table8(&r), &out, "fig8_per_node");
+                emit(&fig678::table8(&r), &cli.out, "fig8_per_node");
             }
             "fig10" => {
                 let topos = fig10::topologies();
                 let pts = fig10::run(scale, &topos);
-                emit(&fig10::table(&pts), &out, "fig10_rounding_quality");
+                emit(&fig10::table(&pts), &cli.out, "fig10_rounding_quality");
             }
             "fig11" => {
                 let runs = fig11::run(scale);
-                emit(&fig11::table(&runs), &out, "fig11_online_regret");
+                emit(&fig11::table(&runs), &cli.out, "fig11_online_regret");
                 println!(
                     "final worst-case normalized regret: {:.3} (paper: ≤ 0.15)",
                     fig11::final_worst_regret(&runs)
@@ -69,21 +134,51 @@ fn main() {
             "ext" => {
                 emit(
                     &nwdp_bench::extensions::fine_grained_ablation(scale),
-                    &out,
+                    &cli.out,
                     "ext_fine_grained",
                 );
-                emit(&nwdp_bench::extensions::redundancy_cost(scale), &out, "ext_redundancy_cost");
-                emit(&nwdp_bench::extensions::adversary_comparison(scale), &out, "ext_adversaries");
+                emit(
+                    &nwdp_bench::extensions::redundancy_cost(scale),
+                    &cli.out,
+                    "ext_redundancy_cost",
+                );
+                emit(
+                    &nwdp_bench::extensions::adversary_comparison(scale),
+                    &cli.out,
+                    "ext_adversaries",
+                );
             }
             "opt-time" => {
                 let mut rows = vec![opttime::nids_lp_time(50, 50)];
-                let (n, rules) = if quick { (30, 25) } else { (50, 50) };
+                let (n, rules) = if cli.quick { (30, 25) } else { (50, 50) };
                 rows.push(opttime::nips_pipeline_time(n, rules, 51));
-                emit(&opttime::table(&rows), &out, "opt_time");
+                emit(&opttime::table(&rows), &cli.out, "opt_time");
             }
             other => eprintln!("unknown experiment: {other}"),
         }
         println!("[{w} done in {:.1}s]\n", started.elapsed().as_secs_f64());
+    }
+
+    if metrics_on {
+        if let Some(path) = &cli.metrics_out {
+            match obs::write_json(path) {
+                Ok(()) => println!("metrics written to {}", path.display()),
+                Err(e) => {
+                    eprintln!("repro: failed to write metrics to {}: {e}", path.display());
+                    exit(1);
+                }
+            }
+        }
+        if env_sink.is_some() {
+            match obs::flush() {
+                Ok(true) => {}
+                Ok(false) => eprintln!("repro: NWDP_METRICS set but no sink flushed"),
+                Err(e) => {
+                    eprintln!("repro: failed to flush NWDP_METRICS sink: {e}");
+                    exit(1);
+                }
+            }
+        }
     }
 }
 

@@ -71,7 +71,7 @@ pub fn run_config(topo: &Topology, cap_frac: f64, scale: Scale, base_seed: u64) 
                 seed: seed * 31 + 1,
                 ..Default::default()
             };
-            let sol = round_best_of(&inst, &relax, &opts);
+            let sol = round_best_of(&inst, &relax, &opts).expect("rounding failed");
             out.push(sol.objective / relax.objective.max(1e-12));
         }
     }

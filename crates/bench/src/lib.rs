@@ -12,5 +12,6 @@ pub mod fig678;
 pub mod opttime;
 pub mod output;
 pub mod scenario;
+pub mod selftest;
 
 pub use scenario::Scale;

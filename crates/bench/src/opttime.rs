@@ -61,7 +61,7 @@ pub fn nips_pipeline_time(n: usize, n_rules: usize, seed: u64) -> OptTime {
         seed,
         ..Default::default()
     };
-    let sol = round_best_of(&inst, &relax, &opts);
+    let sol = round_best_of(&inst, &relax, &opts).expect("rounding failed");
     let secs = start.elapsed().as_secs_f64();
     OptTime {
         what: format!("NIPS pipeline ({n_rules} rules)"),

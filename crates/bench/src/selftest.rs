@@ -1,0 +1,66 @@
+//! A small end-to-end pipeline run used to populate the metrics sidecar.
+//!
+//! Some experiments exercise only one subsystem (fig 5 never solves an
+//! LP; opt-time never replays an engine), so a metrics dump taken after
+//! such a run would miss whole metric families. When metrics export is
+//! requested, `repro` first runs this miniature pipeline — NIDS LP →
+//! manifests → coordinated replay → NIPS relaxation → randomized
+//! rounding — so every sidecar carries simplex, row-generation, rounding
+//! and per-node engine series regardless of which figures were selected.
+
+use crate::scenario::NidsContext;
+use nwdp_core::nips::{round_best_of, solve_relaxation, NipsInstance, RoundingOpts, Strategy};
+use nwdp_engine::{run_coordinated, run_edge_only, Placement};
+use nwdp_hash::KeyedHasher;
+use nwdp_lp::rowgen::RowGenOpts;
+use nwdp_online::{run_fpl, FplConfig, StochasticUniform};
+use nwdp_traffic::MatchRates;
+
+/// Run the miniature pipeline (a few seconds). Failures are reported but
+/// non-fatal: the selftest exists only to enrich the metrics dump.
+pub fn metrics_selftest() {
+    let ctx = NidsContext::internet2();
+
+    // NIDS side: LP + manifests (simplex/rowgen counters), then a short
+    // edge-only and coordinated replay (per-node engine counters).
+    let dep = ctx.deployment(9);
+    let (_assignment, manifest) = ctx.manifests(&dep);
+    let trace = ctx.trace(2_000, 77);
+    let h = KeyedHasher::with_key(0xC0DE);
+    if let Err(e) = run_edge_only(&dep, &trace, h) {
+        eprintln!("metrics selftest: edge replay failed: {e:?}");
+    }
+    if let Err(e) = run_coordinated(&dep, &manifest, &ctx.paths, &trace, Placement::EventEngine, h)
+    {
+        eprintln!("metrics selftest: coordinated replay failed: {e:?}");
+    }
+
+    // NIPS side: relaxation + a handful of rounding trials.
+    let n_rules = 8;
+    let rates = MatchRates::uniform_001(n_rules, ctx.paths.all_pairs().count(), 77);
+    let inst = NipsInstance::evaluation_setup(
+        &ctx.topo, &ctx.paths, &ctx.tm, &ctx.vol, n_rules, 0.15, rates,
+    );
+    match solve_relaxation(&inst, &RowGenOpts::default()) {
+        Ok(relax) => {
+            let opts = RoundingOpts {
+                strategy: Strategy::GreedyLpResolve,
+                iterations: 4,
+                seed: 77,
+                ..Default::default()
+            };
+            if let Err(e) = round_best_of(&inst, &relax, &opts) {
+                eprintln!("metrics selftest: rounding failed: {e}");
+            }
+        }
+        Err(e) => eprintln!("metrics selftest: relaxation failed: {e:?}"),
+    }
+
+    // Online side: a few FPL epochs (oracle timers + regret gauge). §3.5
+    // drops the TCAM constraint, so the oracle is the pure flow solver.
+    let mut fpl_inst = inst;
+    fpl_inst.cam_cap = vec![f64::INFINITY; fpl_inst.num_nodes];
+    let mut adv = StochasticUniform::new(n_rules, fpl_inst.paths.len(), 0.01, 7);
+    let cfg = FplConfig { epochs: 3, seed: 7, ..Default::default() };
+    let _ = run_fpl(&fpl_inst, &mut adv, &cfg);
+}

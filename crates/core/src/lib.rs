@@ -30,5 +30,9 @@ pub mod parallel;
 pub mod provision;
 pub mod units;
 
+/// Workspace observability layer (metrics + JSON export), re-exported so
+/// downstream crates need no direct `nwdp-obs` dependency.
+pub use nwdp_obs as obs;
+
 pub use class::{AnalysisClass, ClassScope};
 pub use units::{build_units, CoordUnit, NidsDeployment, UnitKey};

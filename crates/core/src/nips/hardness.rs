@@ -173,7 +173,8 @@ mod tests {
                 seed: 3,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(sol.objective <= opt_ip * (1.0 + 1e-6));
         // And with the greedy refinement it should land near it here.
         assert!(sol.objective >= 0.9 * opt_ip, "{} vs {opt_ip}", sol.objective);

@@ -12,5 +12,5 @@ pub use model::{DistanceModel, NipsInstance, NipsPath, NipsRule, SolutionD};
 pub use relax::{solve_relaxation, Layout, RelaxError, RelaxSolution};
 pub use round::{
     round_best_of, round_once, solve_inner_flow, solve_inner_flow_weighted, solve_inner_simplex,
-    NipsSolution, RoundingOpts, Strategy,
+    NipsSolution, RoundError, RoundingOpts, Strategy,
 };

@@ -23,8 +23,36 @@ use super::relax::RelaxSolution;
 use nwdp_lp::flow::MinCostFlow;
 use nwdp_lp::rowgen::{solve_with_lazy_rows, LazyRow, RowGenOpts};
 use nwdp_lp::{Cmp, Problem, Sense, Status, VarId};
+use nwdp_obs as obs;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+
+/// Typed failure of the rounding pipeline. Degenerate instances (NaN
+/// gains from zero-volume rules, negative TCAM budgets, inner LPs that
+/// hit their iteration limit) surface here instead of panicking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoundError {
+    /// A node is over its TCAM capacity with no enabled rule left to
+    /// disable (only possible with a negative capacity).
+    TcamInfeasible { node: usize },
+    /// The inner sampling LP did not reach a converged optimum.
+    InnerLpFailed { status: Status, converged: bool },
+}
+
+impl std::fmt::Display for RoundError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoundError::TcamInfeasible { node } => {
+                write!(f, "node {node} exceeds its TCAM capacity with no enabled rules")
+            }
+            RoundError::InnerLpFailed { status, converged } => {
+                write!(f, "inner sampling LP failed: status {status:?}, converged {converged}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoundError {}
 
 /// Rounding refinement strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,22 +109,71 @@ pub struct NipsSolution {
 /// (see [`crate::parallel`]); each trial derives its own seed from the
 /// trial index and the winner is selected in trial order, so the result
 /// is bit-identical to a serial run for any `NWDP_THREADS`.
+///
+/// `Err` only when *every* trial fails; the error of the earliest trial
+/// is returned (deterministic across thread counts).
 pub fn round_best_of(
     inst: &NipsInstance,
     relax: &RelaxSolution,
     opts: &RoundingOpts,
-) -> NipsSolution {
+) -> Result<NipsSolution, RoundError> {
+    let t0 = obs::now_if_enabled();
     let trials = crate::parallel::par_map_n(opts.iterations.max(1), |it| {
         let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(it as u64 * 7919));
         round_once(inst, relax, opts, &mut rng)
     });
+    let n_trials = trials.len();
     let mut best: Option<NipsSolution> = None;
-    for sol in trials {
-        if best.as_ref().is_none_or(|b| sol.objective > b.objective) {
-            best = Some(sol);
+    let mut first_err: Option<RoundError> = None;
+    let mut n_failed = 0u64;
+    let mut trial_ratios: Vec<f64> = Vec::new();
+    for trial in trials {
+        match trial {
+            Ok(sol) => {
+                if obs::enabled() && relax.objective > 0.0 {
+                    trial_ratios.push(sol.objective / relax.objective);
+                }
+                if best.as_ref().is_none_or(|b| sol.objective > b.objective) {
+                    best = Some(sol);
+                }
+            }
+            Err(e) => {
+                n_failed += 1;
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
         }
     }
-    best.expect("at least one rounding iteration")
+    if obs::enabled() {
+        let s = obs::Scope::new("round");
+        s.counter("calls").inc();
+        s.counter("trials").add(n_trials as u64);
+        s.counter("trials_failed").add(n_failed);
+        // Trial quality vs. the LP bound (Fig 10's y-axis): how much of
+        // OptLP each trial recovers, and the best run's trajectory.
+        let h = s.histogram(
+            "trial_ratio_vs_lp",
+            &[0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.925, 0.95, 0.975, 1.0],
+        );
+        for r in &trial_ratios {
+            h.observe(*r);
+        }
+        if let Some(b) = &best {
+            s.gauge("best_objective").set(b.objective);
+            s.gauge("lp_bound").set(relax.objective);
+            if relax.objective > 0.0 {
+                s.gauge("best_ratio_vs_lp").set_max(b.objective / relax.objective);
+            }
+        }
+        s.timer("best_of_ns").observe_since(t0);
+    }
+    match best {
+        Some(sol) => Ok(sol),
+        // par_map_n returns one entry per trial and iterations >= 1, so
+        // an empty `best` implies at least one recorded error.
+        None => Err(first_err.unwrap_or(RoundError::TcamInfeasible { node: 0 })),
+    }
 }
 
 /// One randomized-rounding run (Fig 9 plus the selected refinement).
@@ -105,11 +182,15 @@ pub fn round_once(
     relax: &RelaxSolution,
     opts: &RoundingOpts,
     rng: &mut StdRng,
-) -> NipsSolution {
+) -> Result<NipsSolution, RoundError> {
     let lay = &relax.layout;
     let (nr, nn) = (lay.n_rules, lay.n_nodes);
     let n_big = nn.max(nr) as f64;
     let budget = (opts.beta * n_big.ln()).max(1.0);
+    // Local tallies, flushed once at the end (trials run on worker
+    // threads; the registry handles are atomic).
+    let mut n_retries = 0u64;
+    let mut n_greedy_adds = 0u64;
 
     // Fig 9 line 3: epsilon_ikj = d*/e*.
     let eps = |i: usize, k: usize, pos: usize, node: usize| -> f64 {
@@ -133,14 +214,15 @@ pub fn round_once(
         if trial + 1 == opts.max_tries || !violates_budget(inst, lay, &ehat, &eps, budget) {
             break;
         }
+        n_retries += 1;
     }
 
     // Fig 9 line 10: enforce the TCAM constraint by disabling rules. We
     // drop the enabled rule with the smallest potential contribution at
     // the node ("arbitrarily" per the paper).
-    enforce_tcam(inst, &mut ehat, /*node_gain=*/ &node_gains(inst, lay));
+    let n_tcam_drops = enforce_tcam(inst, &mut ehat, /*node_gain=*/ &node_gains(inst, lay))?;
 
-    match opts.strategy {
+    let result = match opts.strategy {
         Strategy::ScaledFig9 => {
             // Fig 9 lines 11–12: scale epsilon down by the budget.
             let mut d: SolutionD = SolutionD::new();
@@ -161,14 +243,24 @@ pub fn round_once(
                 }
             }
             let objective = inst.objective(&d);
-            NipsSolution { e: ehat, d, objective }
+            Ok(NipsSolution { e: ehat, d, objective })
         }
         Strategy::LpResolve => finish_with_inner_lp(inst, ehat),
         Strategy::GreedyLpResolve => {
-            greedy_fill(inst, lay, &mut ehat, &node_gains(inst, lay));
+            n_greedy_adds = greedy_fill(inst, lay, &mut ehat, &node_gains(inst, lay));
             finish_with_inner_lp(inst, ehat)
         }
+    };
+    if obs::enabled() {
+        let s = obs::Scope::new("round");
+        s.counter("reject_retries").add(n_retries);
+        s.counter("tcam_drops").add(n_tcam_drops);
+        s.counter("greedy_fills").add(n_greedy_adds);
+        if matches!(opts.strategy, Strategy::LpResolve | Strategy::GreedyLpResolve) {
+            s.counter("lp_resolves").inc();
+        }
     }
+    result
 }
 
 /// Check Eqs (9)–(11) against the `β·log N` violation budget (Fig 9 line 7).
@@ -217,7 +309,16 @@ fn node_gains(inst: &NipsInstance, lay: &super::relax::Layout) -> Vec<Vec<f64>> 
 }
 
 /// Disable lowest-gain rules until every node's TCAM constraint holds.
-fn enforce_tcam(inst: &NipsInstance, ehat: &mut [Vec<bool>], gains: &[Vec<f64>]) {
+/// Non-finite gains (NaN from a zero-volume rule on a zero-traffic path)
+/// compare as the smallest possible gain, so those rules are dropped
+/// first. Returns the number of rules disabled.
+fn enforce_tcam(
+    inst: &NipsInstance,
+    ehat: &mut [Vec<bool>],
+    gains: &[Vec<f64>],
+) -> Result<u64, RoundError> {
+    let finite_or_min = |g: f64| if g.is_finite() { g } else { f64::NEG_INFINITY };
+    let mut drops = 0u64;
     for j in 0..inst.num_nodes {
         loop {
             let used: f64 =
@@ -227,52 +328,65 @@ fn enforce_tcam(inst: &NipsInstance, ehat: &mut [Vec<bool>], gains: &[Vec<f64>])
             }
             let worst = (0..inst.rules.len())
                 .filter(|&i| ehat[i][j])
-                .min_by(|&a, &b| gains[a][j].partial_cmp(&gains[b][j]).expect("NaN gain"))
-                .expect("over TCAM with no enabled rules");
-            ehat[worst][j] = false;
+                .min_by(|&a, &b| finite_or_min(gains[a][j]).total_cmp(&finite_or_min(gains[b][j])));
+            match worst {
+                Some(i) => {
+                    ehat[i][j] = false;
+                    drops += 1;
+                }
+                // Nothing enabled yet still over budget: the node's TCAM
+                // capacity is negative — the instance is unroundable.
+                None => return Err(RoundError::TcamInfeasible { node: j }),
+            }
         }
     }
+    Ok(drops)
 }
 
 /// Greedily enable extra rules into leftover TCAM space, best static gain
 /// first (§3.3: "greedily try to set ê_ij to 1 until no more can be set").
+/// Non-finite gains are skipped. Returns the number of rules enabled.
 fn greedy_fill(
     inst: &NipsInstance,
     lay: &super::relax::Layout,
     ehat: &mut [Vec<bool>],
     gains: &[Vec<f64>],
-) {
+) -> u64 {
     let mut candidates: Vec<(usize, usize)> = Vec::new();
     for i in 0..lay.n_rules {
         for j in 0..lay.n_nodes {
-            if !ehat[i][j] && gains[i][j] > 0.0 {
+            if !ehat[i][j] && gains[i][j].is_finite() && gains[i][j] > 0.0 {
                 candidates.push((i, j));
             }
         }
     }
-    candidates.sort_by(|&(ia, ja), &(ib, jb)| {
-        gains[ib][jb].partial_cmp(&gains[ia][ja]).expect("NaN gain")
-    });
+    candidates.sort_by(|&(ia, ja), &(ib, jb)| gains[ib][jb].total_cmp(&gains[ia][ja]));
     let mut used: Vec<f64> = (0..inst.num_nodes)
         .map(|j| (0..inst.rules.len()).filter(|&i| ehat[i][j]).map(|i| inst.rules[i].cam_req).sum())
         .collect();
+    let mut fills = 0u64;
     for (i, j) in candidates {
         if used[j] + inst.rules[i].cam_req <= inst.cam_cap[j] + 1e-9 {
             ehat[i][j] = true;
             used[j] += inst.rules[i].cam_req;
+            fills += 1;
         }
     }
+    fills
 }
 
 /// Fix the placement and solve the sampling LP exactly.
-fn finish_with_inner_lp(inst: &NipsInstance, ehat: Vec<Vec<bool>>) -> NipsSolution {
+fn finish_with_inner_lp(
+    inst: &NipsInstance,
+    ehat: Vec<Vec<bool>>,
+) -> Result<NipsSolution, RoundError> {
     let d = if inst.is_proportional() {
         solve_inner_flow(inst, &ehat)
     } else {
-        solve_inner_simplex(inst, &ehat)
+        solve_inner_simplex(inst, &ehat)?
     };
     let objective = inst.objective(&d);
-    NipsSolution { e: ehat, d, objective }
+    Ok(NipsSolution { e: ehat, d, objective })
 }
 
 /// LP solutions satisfy the resource rows only to solver tolerance; scale
@@ -395,7 +509,10 @@ pub fn solve_inner_flow_weighted(
 
 /// Exact inner solve via the simplex with lazy coverage rows (general
 /// instances; also the cross-check oracle for the flow path).
-pub fn solve_inner_simplex(inst: &NipsInstance, ehat: &[Vec<bool>]) -> SolutionD {
+pub fn solve_inner_simplex(
+    inst: &NipsInstance,
+    ehat: &[Vec<bool>],
+) -> Result<SolutionD, RoundError> {
     let mut p = Problem::new(Sense::Max);
     // One var per (i, k, pos) with the rule enabled at that node.
     let mut vars: Vec<(usize, usize, usize, VarId)> = Vec::new();
@@ -431,8 +548,12 @@ pub fn solve_inner_simplex(inst: &NipsInstance, ehat: &[Vec<bool>]) -> SolutionD
         .map(|((i, k), terms)| LazyRow::new(format!("cov_{i}_{k}"), terms, Cmp::Le, 1.0))
         .collect();
     let res = solve_with_lazy_rows(&p, &lazy, &RowGenOpts::default());
-    assert_eq!(res.solution.status, Status::Optimal, "inner LP must solve");
-    assert!(res.converged, "inner LP row generation must converge");
+    if res.solution.status != Status::Optimal || !res.converged {
+        return Err(RoundError::InnerLpFailed {
+            status: res.solution.status,
+            converged: res.converged,
+        });
+    }
     let mut d: SolutionD = SolutionD::new();
     for (i, k, pos, v) in vars {
         let f = res.solution.value(v);
@@ -441,7 +562,7 @@ pub fn solve_inner_simplex(inst: &NipsInstance, ehat: &[Vec<bool>]) -> SolutionD
         }
     }
     rescale_into_feasibility(inst, &mut d);
-    d
+    Ok(d)
 }
 
 #[cfg(test)]
@@ -466,7 +587,7 @@ mod tests {
         let relax = solve_relaxation(&inst, &RowGenOpts::default()).unwrap();
         for strategy in [Strategy::ScaledFig9, Strategy::LpResolve, Strategy::GreedyLpResolve] {
             let opts = RoundingOpts { strategy, iterations: 3, seed: 5, ..Default::default() };
-            let sol = round_best_of(&inst, &relax, &opts);
+            let sol = round_best_of(&inst, &relax, &opts).unwrap();
             inst.check_feasible(&sol.e, &sol.d, 1e-6)
                 .unwrap_or_else(|e| panic!("{strategy:?}: {e}"));
             assert!(sol.objective >= 0.0);
@@ -485,7 +606,7 @@ mod tests {
         let relax = solve_relaxation(&inst, &RowGenOpts::default()).unwrap();
         let run = |strategy| {
             let opts = RoundingOpts { strategy, iterations: 5, seed: 9, ..Default::default() };
-            round_best_of(&inst, &relax, &opts).objective
+            round_best_of(&inst, &relax, &opts).unwrap().objective
         };
         let scaled = run(Strategy::ScaledFig9);
         let resolve = run(Strategy::LpResolve);
@@ -511,7 +632,7 @@ mod tests {
         let ehat: Vec<Vec<bool>> =
             (0..6).map(|i| (0..inst.num_nodes).map(|j| (i + j) % 3 == 0).collect()).collect();
         let df = solve_inner_flow(&inst, &ehat);
-        let ds = solve_inner_simplex(&inst, &ehat);
+        let ds = solve_inner_simplex(&inst, &ehat).unwrap();
         let of = inst.objective(&df);
         let os = inst.objective(&ds);
         // Flow discretizes volumes to integers; allow a small relative gap.
@@ -529,13 +650,91 @@ mod tests {
         assert_eq!(inst.objective(&d), 0.0);
     }
 
+    /// Minimal hand-built instance: `n_rules` unit rules, one node, one
+    /// single-node path. `cam_cap` is the node's TCAM budget.
+    fn tiny_instance(n_rules: usize, cam_cap: f64) -> NipsInstance {
+        use super::super::model::{DistanceModel, NipsRule};
+        use nwdp_traffic::MatchRates;
+        NipsInstance {
+            rules: (0..n_rules)
+                .map(|i| NipsRule {
+                    name: format!("r{i}"),
+                    cam_req: 1.0,
+                    cpu_per_pkt: 1.0,
+                    mem_per_item: 1.0,
+                })
+                .collect(),
+            paths: vec![super::super::model::NipsPath {
+                nodes: vec![nwdp_topo::NodeId(0)],
+                items: 1.0,
+                pkts: 1.0,
+            }],
+            num_nodes: 1,
+            cam_cap: vec![cam_cap],
+            mem_cap: vec![f64::INFINITY],
+            cpu_cap: vec![f64::INFINITY],
+            dist: DistanceModel::Hops,
+            match_rates: MatchRates::zeros(n_rules, 1),
+        }
+    }
+
+    /// Regression: a NaN gain (zero-volume rule on a zero-traffic path)
+    /// used to trip `partial_cmp(..).expect("NaN gain")`; NaN gains now
+    /// compare lowest and those rules are dropped first.
+    #[test]
+    fn enforce_tcam_handles_nan_gains() {
+        let inst = tiny_instance(2, 1.0);
+        let mut ehat = vec![vec![true], vec![true]];
+        let gains = vec![vec![f64::NAN], vec![1.0]];
+        let drops = enforce_tcam(&inst, &mut ehat, &gains).unwrap();
+        assert_eq!(drops, 1);
+        assert!(!ehat[0][0], "the NaN-gain rule must be dropped first");
+        assert!(ehat[1][0]);
+    }
+
+    /// Regression: NaN gains in the greedy-fill sort also panicked; they
+    /// are now filtered out of the candidate list entirely.
+    #[test]
+    fn greedy_fill_skips_non_finite_gains() {
+        let inst = tiny_instance(2, 1.0);
+        let lay = crate::nips::relax::Layout::new(&inst);
+        let mut ehat = vec![vec![false], vec![false]];
+        let gains = vec![vec![f64::NAN], vec![2.0]];
+        let fills = greedy_fill(&inst, &lay, &mut ehat, &gains);
+        assert_eq!(fills, 1);
+        assert!(!ehat[0][0], "non-finite gains are never filled");
+        assert!(ehat[1][0]);
+    }
+
+    /// Regression: a node over TCAM with nothing left to disable used to
+    /// trip `expect("over TCAM with no enabled rules")`.
+    #[test]
+    fn negative_tcam_yields_typed_error() {
+        let inst = tiny_instance(2, -1.0);
+        let mut ehat = vec![vec![false], vec![false]];
+        let err = enforce_tcam(&inst, &mut ehat, &[vec![1.0], vec![1.0]]).unwrap_err();
+        assert_eq!(err, RoundError::TcamInfeasible { node: 0 });
+    }
+
+    /// The typed error propagates through the full `round_best_of` fan-out
+    /// instead of aborting the process.
+    #[test]
+    fn round_best_of_propagates_tcam_error() {
+        let mut inst = instance(4, 0.25, 1);
+        let relax = solve_relaxation(&inst, &RowGenOpts::default()).unwrap();
+        inst.cam_cap = vec![-1.0; inst.num_nodes];
+        let opts = RoundingOpts { iterations: 3, seed: 7, ..Default::default() };
+        let err = round_best_of(&inst, &relax, &opts).unwrap_err();
+        assert!(matches!(err, RoundError::TcamInfeasible { .. }));
+    }
+
     #[test]
     fn deterministic_given_seed() {
         let inst = instance(8, 0.2, 4);
         let relax = solve_relaxation(&inst, &RowGenOpts::default()).unwrap();
         let opts = RoundingOpts { iterations: 2, seed: 123, ..Default::default() };
-        let a = round_best_of(&inst, &relax, &opts);
-        let b = round_best_of(&inst, &relax, &opts);
+        let a = round_best_of(&inst, &relax, &opts).unwrap();
+        let b = round_best_of(&inst, &relax, &opts).unwrap();
         assert_eq!(a.objective, b.objective);
         assert_eq!(a.e, b.e);
     }

@@ -26,7 +26,9 @@
 //! fallback: the closure runs on the calling thread and no worker threads
 //! are spawned.
 
+use nwdp_obs as obs;
 use std::cell::Cell;
+use std::time::Instant;
 
 thread_local! {
     static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
@@ -69,26 +71,61 @@ where
 {
     let workers = num_threads().min(n.max(1));
     if workers <= 1 || n <= 1 {
+        if obs::enabled() {
+            let s = obs::Scope::new("parallel");
+            s.counter("serial_fallbacks").inc();
+            s.counter("tasks").add(n as u64);
+        }
         return (0..n).map(f).collect();
     }
     // Contiguous index blocks, one per worker; block w covers
     // [w*q + w.min(r), ...) with the first r blocks one longer.
     let (q, r) = (n / workers, n % workers);
     let f = &f;
+    let measuring = obs::enabled();
     let mut blocks: Vec<Vec<R>> = Vec::with_capacity(workers);
+    let mut worker_ns: Vec<u64> = Vec::with_capacity(workers);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let lo = w * q + w.min(r);
                 let hi = lo + q + usize::from(w < r);
-                s.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+                s.spawn(move || {
+                    let t0 = measuring.then(Instant::now);
+                    let block = (lo..hi).map(f).collect::<Vec<R>>();
+                    let ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    (block, ns)
+                })
             })
             .collect();
         for h in handles {
-            blocks.push(h.join().expect("parallel worker panicked"));
+            let (block, ns) = h.join().expect("parallel worker panicked");
+            blocks.push(block);
+            worker_ns.push(ns);
         }
     });
+    if measuring {
+        flush_fanout_metrics(n, &worker_ns);
+    }
     blocks.into_iter().flatten().collect()
+}
+
+/// Publish one fan-out's load-balance profile: per-worker wall time and
+/// the max/mean imbalance ratio (1.0 = perfectly balanced blocks).
+fn flush_fanout_metrics(tasks: usize, worker_ns: &[u64]) {
+    let s = obs::Scope::new("parallel");
+    s.counter("fanouts").inc();
+    s.counter("tasks").add(tasks as u64);
+    s.counter("workers").add(worker_ns.len() as u64);
+    let timer = s.timer("worker_ns");
+    for &ns in worker_ns {
+        timer.observe_ns(ns);
+    }
+    let max = worker_ns.iter().copied().max().unwrap_or(0) as f64;
+    let mean = worker_ns.iter().sum::<u64>() as f64 / worker_ns.len().max(1) as f64;
+    if mean > 0.0 {
+        s.gauge("imbalance").set_max(max / mean);
+    }
 }
 
 /// Map `f` over the items of a slice in parallel; results are in input

@@ -94,8 +94,25 @@ pub struct RunStats {
     pub mem_peak: u64,
     pub packets: u64,
     pub connections: usize,
+    /// Packets dropped by the §2.3 fast path before any state was built.
+    pub fastpath_skipped: u64,
+    /// Hash-range membership tests against the sampling manifest.
+    pub range_checks: u64,
+    /// How many of those tests fell inside this node's assigned range.
+    pub range_hits: u64,
     pub per_module_cpu: Vec<(String, u64)>,
     pub alerts: BTreeSet<Alert>,
+}
+
+impl RunStats {
+    /// Fraction of manifest range checks that hit (0 when none ran).
+    pub fn range_hit_rate(&self) -> f64 {
+        if self.range_checks == 0 {
+            0.0
+        } else {
+            self.range_hits as f64 / self.range_checks as f64
+        }
+    }
 }
 
 /// One NIDS instance at one network node.
@@ -110,6 +127,9 @@ pub struct Engine<'a> {
     base_meter: Meter,
     module_meters: Vec<Meter>,
     packets: u64,
+    fastpath_skipped: u64,
+    range_checks: u64,
+    range_hits: u64,
     /// §2.5 fine-grained coordination: connections whose interested
     /// modules all consume only connection-level events are tracked in
     /// lightweight records and skip per-packet analysis.
@@ -150,6 +170,9 @@ impl<'a> Engine<'a> {
             modules,
             base_meter: Meter::new(),
             packets: 0,
+            fastpath_skipped: 0,
+            range_checks: 0,
+            range_hits: 0,
             fine_grained: false,
         })
     }
@@ -210,7 +233,9 @@ impl<'a> Engine<'a> {
                         self.hasher.unit_hash(&tuple, kind)
                     });
                     self.base_meter.cpu(self.costs.evt_check);
+                    self.range_checks += 1;
                     if coord.manifest.should_analyze(unit, self.node, h) {
+                        self.range_hits += 1;
                         any = true;
                         break;
                     }
@@ -218,6 +243,7 @@ impl<'a> Engine<'a> {
             }
             self.base_meter.cpu(self.costs.hash_compute * hashed);
             if !any {
+                self.fastpath_skipped += 1;
                 return; // transit fast path: no state, no analysis
             }
         }
@@ -251,7 +277,10 @@ impl<'a> Engine<'a> {
                 enabled[m] = match coord.unit_for(m, sn, dn) {
                     Some(unit) => {
                         let h = rec.hashes.get(module.key_kind());
-                        coord.manifest.should_analyze(unit, self.node, h)
+                        self.range_checks += 1;
+                        let hit = coord.manifest.should_analyze(unit, self.node, h);
+                        self.range_hits += hit as u64;
+                        hit
                     }
                     None => false,
                 };
@@ -276,7 +305,10 @@ impl<'a> Engine<'a> {
                         match coord.unit_for(m, sn, dn) {
                             Some(unit) => {
                                 let h = rec.hashes.get(module.key_kind());
-                                coord.manifest.should_analyze(unit, self.node, h)
+                                self.range_checks += 1;
+                                let hit = coord.manifest.should_analyze(unit, self.node, h);
+                                self.range_hits += hit as u64;
+                                hit
                             }
                             None => false,
                         }
@@ -330,7 +362,10 @@ impl<'a> Engine<'a> {
                             };
                             self.module_meters[m].cpu(charge);
                             let h = rec.hashes.get(self.modules[m].key_kind());
-                            coord.manifest.should_analyze(unit, self.node, h)
+                            self.range_checks += 1;
+                            let hit = coord.manifest.should_analyze(unit, self.node, h);
+                            self.range_hits += hit as u64;
+                            hit
                         }
                     }
                 }
@@ -378,6 +413,9 @@ impl<'a> Engine<'a> {
             mem_peak,
             packets: self.packets,
             connections: self.conns.len(),
+            fastpath_skipped: self.fastpath_skipped,
+            range_checks: self.range_checks,
+            range_hits: self.range_hits,
             per_module_cpu,
             alerts,
         }

@@ -16,6 +16,7 @@ use crate::modules::{Alert, EngineError};
 use nwdp_core::nids::SamplingManifest;
 use nwdp_core::{parallel, NidsDeployment};
 use nwdp_hash::KeyedHasher;
+use nwdp_obs as obs;
 use nwdp_topo::{NodeId, PathDb};
 use nwdp_traffic::NetTrace;
 use std::collections::BTreeSet;
@@ -49,6 +50,7 @@ fn class_names(dep: &NidsDeployment) -> Vec<String> {
 /// Replay every node's engine over its trace slice in parallel (one
 /// independent engine per node; deterministic node-order merge).
 fn replay_nodes(
+    mode: &str,
     num_nodes: usize,
     run_node: impl Fn(NodeId) -> Result<RunStats, EngineError> + Sync,
 ) -> Result<NetworkRun, EngineError> {
@@ -59,7 +61,36 @@ fn replay_nodes(
     for stats in &per_node {
         alerts.extend(stats.alerts.iter().cloned());
     }
-    Ok(NetworkRun { per_node, alerts })
+    let run = NetworkRun { per_node, alerts };
+    if obs::enabled() {
+        flush_metrics(mode, &run);
+    }
+    Ok(run)
+}
+
+/// Publish one replay's per-node load profile to the metrics registry.
+fn flush_metrics(mode: &str, run: &NetworkRun) {
+    let s = obs::Scope::new("engine");
+    s.counter_with("runs", &[("mode", mode)]).inc();
+    s.gauge_with("max_cpu_cycles", &[("mode", mode)]).set_max(run.max_cpu() as f64);
+    let mut per_class: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for st in &run.per_node {
+        let node = st.node.0.to_string();
+        let labels = [("mode", mode), ("node", node.as_str())];
+        s.counter_with("packets", &labels).add(st.packets);
+        s.counter_with("connections", &labels).add(st.connections as u64);
+        s.counter_with("cpu_cycles", &labels).add(st.cpu_cycles);
+        s.counter_with("fastpath_skipped", &labels).add(st.fastpath_skipped);
+        s.counter_with("range_checks", &labels).add(st.range_checks);
+        s.counter_with("range_hits", &labels).add(st.range_hits);
+        s.gauge_with("range_hit_rate", &labels).set(st.range_hit_rate());
+        for (class, cpu) in &st.per_module_cpu {
+            *per_class.entry(class.as_str()).or_default() += cpu;
+        }
+    }
+    for (class, cpu) in per_class {
+        s.counter_with("class_cpu_cycles", &[("class", class), ("mode", mode)]).add(cpu);
+    }
 }
 
 /// Edge-only deployment: every node independently runs stock Bro on the
@@ -70,7 +101,7 @@ pub fn run_edge_only(
     hasher: KeyedHasher,
 ) -> Result<NetworkRun, EngineError> {
     let names = class_names(dep);
-    replay_nodes(dep.num_nodes, |node| {
+    replay_nodes("edge_only", dep.num_nodes, |node| {
         let mut engine = Engine::new(node, Placement::Unmodified, &names, None, hasher)?;
         for s in trace.edge_sessions(node) {
             engine.process_session(s);
@@ -92,7 +123,7 @@ pub fn run_coordinated(
 ) -> Result<NetworkRun, EngineError> {
     assert_ne!(placement, Placement::Unmodified, "coordinated run needs a coordinated placement");
     let names = class_names(dep);
-    replay_nodes(dep.num_nodes, |node| {
+    replay_nodes("coordinated", dep.num_nodes, |node| {
         let coord = CoordContext::new(dep, manifest);
         let mut engine = Engine::new(node, placement, &names, Some(coord), hasher)?;
         for s in trace.onpath_sessions(paths, node) {

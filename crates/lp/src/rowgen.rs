@@ -14,6 +14,7 @@ use crate::model::{Cmp, Problem, VarId};
 use crate::simplex::solve;
 use crate::simplex::{solve_warm, SolverOpts, WarmStart};
 use crate::solution::{Solution, Status};
+use nwdp_obs as obs;
 
 /// A constraint kept out of the LP until it becomes violated.
 #[derive(Debug, Clone)]
@@ -82,6 +83,20 @@ impl Default for RowGenOpts {
 
 /// Solve `base` plus the lazy pool to optimality by row generation.
 pub fn solve_with_lazy_rows(base: &Problem, lazy: &[LazyRow], opts: &RowGenOpts) -> RowGenResult {
+    let t0 = obs::now_if_enabled();
+    let finish = |solution: Solution, rows_added: usize, rounds: usize, converged: bool| {
+        if obs::enabled() {
+            let s = obs::Scope::new("rowgen");
+            s.counter("solves").inc();
+            s.counter("rounds").add(rounds as u64);
+            s.counter("rows_added").add(rows_added as u64);
+            if !converged {
+                s.counter("not_converged").inc();
+            }
+            s.timer("solve_ns").observe_since(t0);
+        }
+        RowGenResult { solution, rows_added, rounds, converged }
+    };
     let mut p = base.clone();
     let mut active = vec![false; lazy.len()];
     let mut rows_added = 0usize;
@@ -92,7 +107,7 @@ pub fn solve_with_lazy_rows(base: &Problem, lazy: &[LazyRow], opts: &RowGenOpts)
         let (sol, snapshot) = solve_warm(&p, &opts.lp, warm.as_ref());
         warm = snapshot;
         if sol.status != Status::Optimal {
-            return RowGenResult { solution: sol, rows_added, rounds, converged: false };
+            return finish(sol, rows_added, rounds, false);
         }
         // Scan for violated lazy rows (and, when predictive activation is
         // on, near-binding ones).
@@ -110,12 +125,12 @@ pub fn solve_with_lazy_rows(base: &Problem, lazy: &[LazyRow], opts: &RowGenOpts)
             }
         }
         if violated.is_empty() {
-            return RowGenResult { solution: sol, rows_added, rounds, converged: true };
+            return finish(sol, rows_added, rounds, true);
         }
         if rounds >= opts.max_rounds {
-            return RowGenResult { solution: sol, rows_added, rounds, converged: false };
+            return finish(sol, rows_added, rounds, false);
         }
-        violated.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN violation"));
+        violated.sort_by(|a, b| b.1.total_cmp(&a.1));
         for &(i, _) in violated.iter().take(opts.batch) {
             let r = &lazy[i];
             p.add_con(r.name.clone(), &r.terms, r.cmp, r.rhs);

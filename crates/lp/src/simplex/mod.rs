@@ -23,6 +23,8 @@ pub mod sparse;
 
 use crate::model::{Cmp, Problem, Sense};
 use crate::solution::{Solution, Status};
+use nwdp_obs as obs;
+use std::time::Instant;
 
 /// The basis matrix handed to [`BasisBackend::refactor`] was singular.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,15 +127,28 @@ struct Core<'a, B: BasisBackend> {
     cb: Vec<f64>,
     degen_run: usize,
     bland: bool,
+    /// Keep Bland's rule on for the whole solve (singular-restart mode).
+    force_bland: bool,
     /// Partial-pricing cursor (section index).
     price_section: usize,
     trace: bool,
+    /// A refactorization failed mid-solve; the factorization is stale and
+    /// the phase must abort (the driver restarts from the slack basis).
+    singular: bool,
+    // Plain-local metric tallies, flushed once per solve when the obs
+    // gate is on (never an atomic op per pivot).
+    n_pivots: u64,
+    n_bound_flips: u64,
+    n_degen: u64,
+    n_refactor: u64,
 }
 
 enum PhaseEnd {
     Optimal,
     Unbounded,
     IterLimit,
+    /// Basis factorization went singular; restart from the slack basis.
+    Singular,
 }
 
 impl<'a, B: BasisBackend> Core<'a, B> {
@@ -185,8 +200,16 @@ impl<'a, B: BasisBackend> Core<'a, B> {
         if worst > 1e-6 || self.backend.hint_refactor() {
             let basis_cols: Vec<&[(usize, f64)]> =
                 self.basis.iter().map(|&j| self.cols[j].as_slice()).collect();
-            if self.backend.refactor(self.m, &basis_cols).is_ok() {
-                self.backend.ftran(&vcol, &mut newxb);
+            self.n_refactor += 1;
+            match self.backend.refactor(self.m, &basis_cols) {
+                Ok(()) => self.backend.ftran(&vcol, &mut newxb),
+                Err(SingularBasis) => {
+                    // The current basis matrix is numerically singular; any
+                    // further pivoting on the stale factorization would only
+                    // drift. Flag it so the phase driver aborts and restarts
+                    // from the (always nonsingular) slack basis.
+                    self.singular = true;
+                }
             }
         }
         self.xb = newxb;
@@ -360,6 +383,7 @@ impl<'a, B: BasisBackend> Core<'a, B> {
             match leaving {
                 None => {
                     // Bound flip: q jumps to its other bound.
+                    self.n_bound_flips += 1;
                     self.state[q] = match self.state[q] {
                         VState::AtLower => VState::AtUpper,
                         VState::AtUpper => VState::AtLower,
@@ -379,10 +403,12 @@ impl<'a, B: BasisBackend> Core<'a, B> {
                     self.xb[r] = start + dir * t;
                     self.basis[r] = q;
                     self.state[q] = VState::Basic(r);
+                    self.n_pivots += 1;
                     self.backend.update_sparse(r, &self.y, &self.y_touched);
                 }
                 Some(_) => {
                     // t == gap exactly: prefer the bound flip (no basis change).
+                    self.n_bound_flips += 1;
                     self.state[q] = match self.state[q] {
                         VState::AtLower => VState::AtUpper,
                         VState::AtUpper => VState::AtLower,
@@ -395,12 +421,13 @@ impl<'a, B: BasisBackend> Core<'a, B> {
             local_iters += 1;
             if t <= 1e-10 {
                 self.degen_run += 1;
+                self.n_degen += 1;
                 if self.degen_run >= self.opts.bland_trigger {
                     self.bland = true;
                 }
             } else {
                 self.degen_run = 0;
-                self.bland = false;
+                self.bland = self.force_bland;
             }
             // Refresh basic values periodically, and refactor eagerly when
             // the backend's update file has grown past its budget (critical
@@ -410,6 +437,9 @@ impl<'a, B: BasisBackend> Core<'a, B> {
                 || self.backend.hint_refactor()
             {
                 self.refresh();
+                if self.singular {
+                    return PhaseEnd::Singular;
+                }
             }
             if self.trace && self.iterations.is_multiple_of(1000) {
                 eprintln!(
@@ -418,6 +448,25 @@ impl<'a, B: BasisBackend> Core<'a, B> {
                 );
             }
         }
+    }
+
+    /// Flush the solve's locally-tallied metrics to the global registry.
+    /// Called once per terminal solve; the hot loop itself never touches
+    /// an atomic.
+    fn flush_metrics(&self, phase1_iters: usize, t0: Option<Instant>) {
+        if !obs::enabled() {
+            return;
+        }
+        let s = obs::Scope::new("simplex");
+        s.counter("solves").inc();
+        s.counter("iterations").add(self.iterations as u64);
+        s.counter("phase1_iterations").add(phase1_iters as u64);
+        s.counter("phase2_iterations").add((self.iterations - phase1_iters) as u64);
+        s.counter("pivots").add(self.n_pivots);
+        s.counter("bound_flips").add(self.n_bound_flips);
+        s.counter("degenerate_steps").add(self.n_degen);
+        s.counter("refactorizations").add(self.n_refactor);
+        s.timer("solve_ns").observe_since(t0);
     }
 }
 
@@ -447,8 +496,25 @@ pub fn solve_with_backend<B: BasisBackend>(
     solve_warm_with_backend(p, opts, backend, None).0
 }
 
+/// Outcome of one [`try_solve`] attempt.
+enum SolveAttempt {
+    /// The solve ran to a terminal [`Status`].
+    Done(Solution, Option<WarmStart>),
+    /// The supplied warm start failed numerical validation; retry cold.
+    WarmRejected,
+    /// The basis factorization went singular mid-solve; retry from the
+    /// slack basis (with Bland pricing, so the restart takes a different
+    /// pivot trajectory than the one that produced the singular basis).
+    Singular,
+}
+
 /// [`solve_with_backend`] with warm-start support. Returns the solution
 /// plus a [`WarmStart`] snapshot when the solve ended `Optimal`.
+///
+/// Infallible by construction: a failed warm start retries cold, a
+/// singular basis retries cold from the slack basis under Bland's rule,
+/// and if even that attempt degrades the result is a [`Status::IterLimit`]
+/// solution — never a panic.
 pub fn solve_warm_with_backend<B: BasisBackend>(
     p: &Problem,
     opts: &SolverOpts,
@@ -456,22 +522,44 @@ pub fn solve_warm_with_backend<B: BasisBackend>(
     warm: Option<&WarmStart>,
 ) -> (Solution, Option<WarmStart>) {
     if warm.is_some() {
-        if let Some(result) = try_solve(p, opts, backend, warm) {
-            return result;
+        if let SolveAttempt::Done(sol, snap) = try_solve(p, opts, backend, warm, false) {
+            return (sol, snap);
         }
-        // The warm basis failed validation; redo cold.
+        // The warm basis failed validation (or went singular); redo cold.
     }
-    try_solve(p, opts, backend, None).expect("cold solves always complete")
+    match try_solve(p, opts, backend, None, false) {
+        SolveAttempt::Done(sol, snap) => (sol, snap),
+        _ => {
+            if obs::enabled() {
+                obs::counter("simplex.singular_restarts").inc();
+            }
+            match try_solve(p, opts, backend, None, true) {
+                SolveAttempt::Done(sol, snap) => (sol, snap),
+                // Even the Bland restart hit a singular basis: report the
+                // numerical failure instead of aborting the process.
+                _ => (
+                    Solution {
+                        status: Status::IterLimit,
+                        objective: f64::NAN,
+                        x: vec![0.0; p.num_vars()],
+                        duals: vec![0.0; p.num_cons()],
+                        iterations: 0,
+                    },
+                    None,
+                ),
+            }
+        }
+    }
 }
 
-/// Returns `None` only when a warm start was supplied and rejected after
-/// numerical validation (the caller then retries cold).
 fn try_solve<B: BasisBackend>(
     p: &Problem,
     opts: &SolverOpts,
     backend: &mut B,
     warm: Option<&WarmStart>,
-) -> Option<(Solution, Option<WarmStart>)> {
+    start_bland: bool,
+) -> SolveAttempt {
+    let t0 = obs::now_if_enabled();
     let m = p.num_cons();
     let n = p.num_vars();
 
@@ -753,9 +841,15 @@ fn try_solve<B: BasisBackend>(
         pi: vec![0.0; m],
         cb: vec![0.0; m],
         degen_run: 0,
-        bland: false,
+        bland: start_bland,
+        force_bland: start_bland,
         price_section: 0,
         trace: std::env::var_os("NWDP_LP_TRACE").is_some(),
+        singular: false,
+        n_pivots: 0,
+        n_bound_flips: 0,
+        n_degen: 0,
+        n_refactor: 0,
     };
 
     let fail = |core: &Core<B>, status: Status| Solution {
@@ -769,6 +863,9 @@ fn try_solve<B: BasisBackend>(
     if use_warm {
         // Compute exact basic values under the warm factorization.
         core.refresh();
+        if core.singular {
+            return SolveAttempt::Singular;
+        }
         // Sanity: old basics must still be feasible (they were optimal for
         // the old rows, which are untouched). A violation means the
         // snapshot didn't match; phase 1 would misbehave, so bail to a
@@ -813,7 +910,7 @@ fn try_solve<B: BasisBackend>(
                     core.xb[worst_pos], core.lb[j], core.ub[j]
                 );
             }
-            return None;
+            return SolveAttempt::WarmRejected;
         }
         if core.trace {
             eprintln!("[nwdp-lp] warm start accepted: m {m} (old {m_old}), {n_art} artificials");
@@ -824,13 +921,16 @@ fn try_solve<B: BasisBackend>(
     if n_art > 0 {
         match core.iterate(max_iters, false) {
             PhaseEnd::Optimal => {}
+            PhaseEnd::Singular => return SolveAttempt::Singular,
             PhaseEnd::Unbounded | PhaseEnd::IterLimit => {
-                return Some((fail(&core, Status::IterLimit), None))
+                core.flush_metrics(core.iterations, t0);
+                return SolveAttempt::Done(fail(&core, Status::IterLimit), None);
             }
         }
         let infeas: f64 = (n + m..ncols).map(|j| core.var_value(j).abs()).sum();
         if infeas > opts.tol_feas * 10.0 {
-            return Some((fail(&core, Status::Infeasible), None));
+            core.flush_metrics(core.iterations, t0);
+            return SolveAttempt::Done(fail(&core, Status::Infeasible), None);
         }
         // Freeze artificials at zero.
         for j in n + m..ncols {
@@ -843,27 +943,36 @@ fn try_solve<B: BasisBackend>(
     }
 
     // ---- Phase 2 ----
+    let phase1_iters = core.iterations;
     core.cost = obj2;
     core.refresh();
+    if core.singular {
+        return SolveAttempt::Singular;
+    }
     let status = match core.iterate(max_iters, true) {
         PhaseEnd::Optimal => Status::Optimal,
         PhaseEnd::Unbounded => Status::Unbounded,
         PhaseEnd::IterLimit => Status::IterLimit,
+        PhaseEnd::Singular => return SolveAttempt::Singular,
     };
     core.refresh();
+    if core.singular {
+        return SolveAttempt::Singular;
+    }
+    core.flush_metrics(phase1_iters, t0);
 
     let x: Vec<f64> = (0..n).map(|j| core.var_value(j)).collect();
     if status != Status::Optimal {
         let mut s = fail(&core, status);
         s.x = x;
-        return Some((s, None));
+        return SolveAttempt::Done(s, None);
     }
     // Never report an infeasible point as Optimal: numerical trouble is
     // surfaced as IterLimit instead of a silently wrong answer.
     if p.max_violation(&x) > opts.tol_feas.max(1e-6) * 100.0 {
         let mut s = fail(&core, Status::IterLimit);
         s.x = x;
-        return Some((s, None));
+        return SolveAttempt::Done(s, None);
     }
 
     // Duals from the final basis.
@@ -904,7 +1013,7 @@ fn try_solve<B: BasisBackend>(
     }
     let snapshot = WarmStart { n, m, states: wstates, values: wvalues };
 
-    Some((
+    SolveAttempt::Done(
         Solution {
             status,
             objective: p.objective_value(&x),
@@ -913,7 +1022,7 @@ fn try_solve<B: BasisBackend>(
             iterations: core.iterations,
         },
         Some(snapshot),
-    ))
+    )
 }
 
 /// Solve `p` as a pure LP with automatically chosen backend (integer

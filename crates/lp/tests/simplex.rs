@@ -2,8 +2,8 @@
 //! randomized KKT-certified instances on both basis backends.
 
 use nwdp_lp::simplex::dense::DenseInverse;
-use nwdp_lp::simplex::solve_with_backend;
 use nwdp_lp::simplex::sparse::SparseFactors;
+use nwdp_lp::simplex::{solve_with_backend, BasisBackend, SingularBasis};
 use nwdp_lp::{solve, verify_kkt, Cmp, KktTol, Problem, Sense, SolverOpts, Status};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -350,4 +350,112 @@ fn all_variables_fixed() {
     let s = solve(&p, &opts());
     assert_eq!(s.status, Status::Optimal);
     assert!((s.objective - 5.0).abs() < 1e-9);
+}
+
+// ---- Panic-path regressions: cold-solve iteration limits and singular ----
+// ---- refactorizations must surface as statuses, never as panics.      ----
+
+/// Regression: a cold solve that exhausts its iteration budget used to
+/// trip `expect("cold solves always complete")`; it must now report
+/// `Status::IterLimit`.
+#[test]
+fn iteration_limited_cold_solve_reports_iterlimit() {
+    let mut p = Problem::new(Sense::Min);
+    let x = p.add_var("x", 2.0, f64::INFINITY, 2.0);
+    let y = p.add_var("y", 3.0, f64::INFINITY, 3.0);
+    p.add_con("cover", &[(x, 1.0), (y, 1.0)], Cmp::Ge, 10.0);
+    let s = solve(&p, &SolverOpts { max_iters: Some(1), ..SolverOpts::default() });
+    assert_eq!(s.status, Status::IterLimit);
+    assert!(s.objective.is_nan(), "failed solves carry no objective");
+}
+
+/// Backend wrapper whose first refactorization reports a singular basis
+/// (and that asks for one immediately via `hint_refactor`), then behaves
+/// like a plain [`DenseInverse`]. Models a transiently ill-conditioned
+/// basis matrix.
+struct FlakySingular {
+    inner: DenseInverse,
+    failed: std::cell::Cell<bool>,
+}
+
+impl BasisBackend for FlakySingular {
+    fn reset_identity(&mut self, m: usize) {
+        self.inner.reset_identity(m);
+    }
+    fn refactor(&mut self, m: usize, basis_cols: &[&[(usize, f64)]]) -> Result<(), SingularBasis> {
+        if !self.failed.replace(true) {
+            return Err(SingularBasis);
+        }
+        self.inner.refactor(m, basis_cols)
+    }
+    fn ftran(&self, col: &[(usize, f64)], out: &mut [f64]) {
+        self.inner.ftran(col, out);
+    }
+    fn btran(&self, c: &[f64], out: &mut [f64]) {
+        self.inner.btran(c, out);
+    }
+    fn update(&mut self, pivot_row: usize, y: &[f64]) {
+        self.inner.update(pivot_row, y);
+    }
+    fn hint_refactor(&self) -> bool {
+        !self.failed.get()
+    }
+}
+
+/// Regression: a singular refactorization mid-solve was silently ignored
+/// (stale factorization kept drifting); the solver must now restart from
+/// the slack basis and still reach the optimum.
+#[test]
+fn singular_refactor_restarts_and_recovers() {
+    let mut p = Problem::new(Sense::Max);
+    let x = p.add_var("x", 0.0, f64::INFINITY, 3.0);
+    let y = p.add_var("y", 0.0, f64::INFINITY, 5.0);
+    p.add_con("c1", &[(x, 1.0)], Cmp::Le, 4.0);
+    p.add_con("c2", &[(y, 2.0)], Cmp::Le, 12.0);
+    p.add_con("c3", &[(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+    let mut backend =
+        FlakySingular { inner: DenseInverse::new(), failed: std::cell::Cell::new(false) };
+    let s = solve_with_backend(&p, &opts(), &mut backend);
+    assert!(backend.failed.get(), "the singular path must actually be exercised");
+    assert_eq!(s.status, Status::Optimal);
+    assert!((s.objective - 36.0).abs() < 1e-7, "obj = {}", s.objective);
+    verify_kkt(&p, &s, KktTol::default()).unwrap();
+}
+
+/// Backend whose refactorizations are *always* singular: both the primary
+/// attempt and the slack-basis restart fail, which must degrade to an
+/// `IterLimit` result — not a panic.
+struct AlwaysSingular {
+    inner: DenseInverse,
+}
+
+impl BasisBackend for AlwaysSingular {
+    fn reset_identity(&mut self, m: usize) {
+        self.inner.reset_identity(m);
+    }
+    fn refactor(&mut self, _m: usize, _cols: &[&[(usize, f64)]]) -> Result<(), SingularBasis> {
+        Err(SingularBasis)
+    }
+    fn ftran(&self, col: &[(usize, f64)], out: &mut [f64]) {
+        self.inner.ftran(col, out);
+    }
+    fn btran(&self, c: &[f64], out: &mut [f64]) {
+        self.inner.btran(c, out);
+    }
+    fn update(&mut self, pivot_row: usize, y: &[f64]) {
+        self.inner.update(pivot_row, y);
+    }
+    fn hint_refactor(&self) -> bool {
+        true
+    }
+}
+
+#[test]
+fn doubly_singular_solve_degrades_to_iterlimit() {
+    let mut p = Problem::new(Sense::Max);
+    let x = p.add_var("x", 0.0, 4.0, 1.0);
+    p.add_con("c", &[(x, 1.0)], Cmp::Le, 3.0);
+    let mut backend = AlwaysSingular { inner: DenseInverse::new() };
+    let s = solve_with_backend(&p, &opts(), &mut backend);
+    assert_eq!(s.status, Status::IterLimit);
 }

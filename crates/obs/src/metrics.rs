@@ -1,0 +1,312 @@
+//! Metric primitives: atomic counters, gauges, wall-clock timers, and
+//! fixed-bucket histograms.
+//!
+//! Every primitive is lock-free and safe to hammer from scoped-thread
+//! workers. All operations are no-ops in the *semantic* sense when the
+//! global gate is off — instrumentation sites are expected to guard with
+//! [`crate::enabled`] so the disabled cost is one relaxed atomic load and
+//! a predictable branch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new() -> Self {
+        Counter { value: AtomicU64::new(0) }
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-write-wins floating-point value (stored as IEEE-754 bits).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    pub const fn new() -> Self {
+        Gauge { bits: AtomicU64::new(0) }
+    }
+
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Keep the maximum of the current value and `v`.
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            if f64::from_bits(cur) >= v {
+                return;
+            }
+            match self.bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Atomically add `v` (CAS loop; fine at flush frequency, not per-packet).
+    pub fn add(&self, v: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    pub fn reset(&self) {
+        self.bits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Wall-clock duration aggregator: count, total, min, max in nanoseconds.
+#[derive(Debug)]
+pub struct Timer {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Timer {
+    pub const fn new() -> Self {
+        Timer {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation of `ns` nanoseconds.
+    pub fn observe_ns(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Record the elapsed time since `t0` when a start stamp was taken.
+    ///
+    /// Pairs with `crate::enabled().then(Instant::now)` so the disabled
+    /// path never calls the clock.
+    #[inline]
+    pub fn observe_since(&self, t0: Option<Instant>) {
+        if let Some(t0) = t0 {
+            self.observe_ns(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    pub fn min_ns(&self) -> u64 {
+        let v = self.min_ns.load(Ordering::Relaxed);
+        if v == u64::MAX {
+            0
+        } else {
+            v
+        }
+    }
+
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_ns() as f64 / n as f64
+        }
+    }
+
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.min_ns.store(u64::MAX, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Fixed-bound histogram: bucket `i` counts observations `<= bounds[i]`,
+/// with one implicit overflow bucket at the end.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// `bounds` must be sorted ascending; non-finite bounds are rejected by
+    /// truncation at the first bad entry.
+    pub fn new(bounds: &[f64]) -> Self {
+        let mut clean: Vec<f64> = Vec::with_capacity(bounds.len());
+        for &b in bounds {
+            if !b.is_finite() || clean.last().is_some_and(|&p| b <= p) {
+                break;
+            }
+            clean.push(b);
+        }
+        let counts = (0..clean.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram { bounds: clean, counts, count: AtomicU64::new(0), sum_bits: AtomicU64::new(0) }
+    }
+
+    pub fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // f64 accumulation via CAS; histogram observes are flush-frequency.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_set_max_and_add() {
+        let g = Gauge::new();
+        g.set(2.5);
+        g.set_max(1.0);
+        assert_eq!(g.get(), 2.5);
+        g.set_max(7.0);
+        assert_eq!(g.get(), 7.0);
+        g.add(0.5);
+        assert_eq!(g.get(), 7.5);
+    }
+
+    #[test]
+    fn timer_tracks_min_max_mean() {
+        let t = Timer::new();
+        assert_eq!(t.min_ns(), 0); // empty timer reports 0, not u64::MAX
+        t.observe_ns(10);
+        t.observe_ns(30);
+        assert_eq!(t.count(), 2);
+        assert_eq!(t.total_ns(), 40);
+        assert_eq!(t.min_ns(), 10);
+        assert_eq!(t.max_ns(), 30);
+        assert_eq!(t.mean_ns(), 20.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(1.0); // boundary lands in the `<= 1.0` bucket
+        h.observe(5.0);
+        h.observe(100.0);
+        h.observe(f64::NAN); // dropped
+        assert_eq!(h.bucket_counts(), vec![2, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 106.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_bounds() {
+        let h = Histogram::new(&[1.0, 1.0, f64::NAN]);
+        assert_eq!(h.bounds(), &[1.0]);
+    }
+}

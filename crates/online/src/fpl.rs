@@ -15,6 +15,7 @@
 use crate::adversary::Adversary;
 use nwdp_core::nips::{solve_inner_flow_weighted, NipsInstance, SolutionD};
 use nwdp_core::parallel;
+use nwdp_obs as obs;
 use nwdp_traffic::MatchRates;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -81,8 +82,22 @@ fn widx(inst: &NipsInstance, i: usize, k: usize, pos: usize) -> usize {
 pub fn run_fpl(inst: &NipsInstance, adversary: &mut dyn Adversary, cfg: &FplConfig) -> OnlineRun {
     assert_eq!(adversary.n_rules(), inst.rules.len());
     assert_eq!(adversary.n_paths(), inst.paths.len());
+    let t_run = obs::now_if_enabled();
     let nr = inst.rules.len();
     let np = inst.paths.len();
+    // Oracle solves dominate each epoch's wall time, so one registry
+    // round-trip per solve is negligible; the timer handle is atomic and
+    // safe from the scoped-thread fan-out below.
+    let timed_oracle = |w: &[f64]| {
+        let t0 = obs::now_if_enabled();
+        let d = oracle(inst, w, np);
+        if obs::enabled() {
+            let s = obs::Scope::new("fpl");
+            s.counter("oracle_solves").inc();
+            s.timer("oracle_ns").observe_since(t0);
+        }
+        d
+    };
     let mh = max_hops(inst);
     let nweights = nr * np * mh;
 
@@ -119,15 +134,15 @@ pub fn run_fpl(inst: &NipsInstance, adversary: &mut dyn Adversary, cfg: &FplConf
         let (decision, ftl_decision) = if cfg.track_ftl && t > 0 {
             let mut pair = parallel::par_map_n(2, |j| {
                 if j == 0 {
-                    oracle(inst, &weights, np)
+                    timed_oracle(&weights)
                 } else {
-                    oracle(inst, &hist, np)
+                    timed_oracle(&hist)
                 }
             });
             let ftl = pair.pop().expect("two oracle solves");
             (pair.pop().expect("two oracle solves"), Some(ftl))
         } else {
-            (oracle(inst, &weights, np), None)
+            (timed_oracle(&weights), None)
         };
 
         // --- Truth revealed. ---
@@ -166,7 +181,7 @@ pub fn run_fpl(inst: &NipsInstance, adversary: &mut dyn Adversary, cfg: &FplConf
         // Scoring the static solution against each epoch of the prefix is
         // embarrassingly parallel; summing in input order keeps the f64
         // total bit-identical to the serial loop.
-        let static_d = oracle(inst, &hist, np);
+        let static_d = timed_oracle(&hist);
         let static_total: f64 =
             parallel::par_map(&hist_rates, |_, m| inst.objective_with_rates(&static_d, m))
                 .into_iter()
@@ -177,6 +192,16 @@ pub fn run_fpl(inst: &NipsInstance, adversary: &mut dyn Adversary, cfg: &FplConf
         normalized_regret.push(regret);
     }
 
+    if obs::enabled() {
+        let s = obs::Scope::new("fpl");
+        s.counter("runs").inc();
+        s.counter("epochs").add(cfg.epochs as u64);
+        s.gauge("epsilon").set(epsilon);
+        if let Some(&r) = normalized_regret.last() {
+            s.gauge("final_normalized_regret").set(r);
+        }
+        s.timer("run_ns").observe_since(t_run);
+    }
     OnlineRun { fpl_value, static_prefix_value, normalized_regret, ftl_value, epsilon }
 }
 

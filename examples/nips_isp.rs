@@ -49,7 +49,7 @@ fn main() {
         ("+ greedy fill (b) ", Strategy::GreedyLpResolve),
     ] {
         let opts = RoundingOpts { strategy, iterations: 10, seed: 42, ..Default::default() };
-        let sol = round_best_of(&inst, &relax, &opts);
+        let sol = round_best_of(&inst, &relax, &opts).expect("rounding failed");
         inst.check_feasible(&sol.e, &sol.d, 1e-6).expect("feasible");
         println!(
             "{label}: {:.3e}  ({:.1}% of OptLP)",

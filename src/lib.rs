@@ -44,6 +44,7 @@
 //! ```
 
 pub use nwdp_core as core;
+pub use nwdp_core::obs;
 pub use nwdp_engine as engine;
 pub use nwdp_hash as hash;
 pub use nwdp_lp as lp;
@@ -58,7 +59,7 @@ pub mod prelude {
         SamplingManifest,
     };
     pub use nwdp_core::nips::{
-        round_best_of, solve_relaxation, NipsInstance, RoundingOpts, Strategy,
+        round_best_of, solve_relaxation, NipsInstance, RoundError, RoundingOpts, Strategy,
     };
     pub use nwdp_core::{build_units, AnalysisClass, ClassScope, NidsDeployment, UnitKey};
     pub use nwdp_engine::{

@@ -39,7 +39,8 @@ fn rounding_tracks_integer_optimum_on_small_instances() {
                 seed,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(
             sol.objective <= opt_ip * (1.0 + 1e-6),
             "seed {seed}: rounding cannot beat the integer optimum"

@@ -57,7 +57,7 @@ fn nips_rounding_identical_across_thread_counts() {
         ..Default::default()
     };
 
-    let (s, p) = both(|| round_best_of(&inst, &relax, &opts));
+    let (s, p) = both(|| round_best_of(&inst, &relax, &opts).unwrap());
     assert_eq!(s.objective.to_bits(), p.objective.to_bits(), "objective must be bit-identical");
     assert_eq!(s.e, p.e);
     assert_eq!(s.d, p.d);

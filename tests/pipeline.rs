@@ -52,7 +52,7 @@ fn nips_pipeline_end_to_end() {
         seed: 9,
         ..Default::default()
     };
-    let sol = round_best_of(&inst, &relax, &opts);
+    let sol = round_best_of(&inst, &relax, &opts).unwrap();
     inst.check_feasible(&sol.e, &sol.d, 1e-6).unwrap();
     assert!(sol.objective > 0.5 * relax.objective, "rounding quality collapsed");
     assert!(sol.objective <= relax.objective * (1.0 + 1e-9), "OptLP must upper-bound");

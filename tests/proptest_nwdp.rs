@@ -93,9 +93,110 @@ proptest! {
                 &relax,
                 &RoundingOpts { strategy, iterations: 1, seed, ..Default::default() },
             );
+            prop_assert!(sol.is_ok(), "{:?} failed to round: {:?}", strategy, sol.err());
+            let sol = sol.unwrap();
             prop_assert!(inst.check_feasible(&sol.e, &sol.d, 1e-6).is_ok(),
                 "{:?} produced infeasible solution", strategy);
             prop_assert!(sol.objective <= relax.objective * (1.0 + 1e-6));
+        }
+    }
+}
+
+/// Fractional splits summing to a redundancy level `r`, each share ≤ 1
+/// (a node never wraps onto itself), carrying the FP drift of repeated
+/// scaling — the exact shape `generate_manifests` consumes.
+fn arb_redundant_split(r: usize) -> impl proptest::strategy::Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..1.0, (r + 1)..=6).prop_map(move |mut v| {
+        // Scale the free (un-capped) shares until the total hits r; shares
+        // that clip at 1.0 stay fixed. Terminates because the cap sum
+        // (len > r) strictly exceeds the target.
+        loop {
+            let fixed: f64 = v.iter().filter(|&&x| x >= 1.0).sum();
+            let free: f64 = v.iter().filter(|&&x| x < 1.0).sum();
+            let target = r as f64 - fixed;
+            if free <= 0.0 || target <= 0.0 {
+                break;
+            }
+            let scale = target / free;
+            let mut clipped = false;
+            for x in v.iter_mut().filter(|x| **x < 1.0) {
+                *x *= scale;
+                if *x > 1.0 {
+                    *x = 1.0;
+                    clipped = true;
+                }
+            }
+            if !clipped {
+                break;
+            }
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// §2.5 redundancy: the compiled hash ranges must tile `[0, r)` with
+    /// no gap or overlap at hash-lattice resolution, for the wrapping
+    /// r = 2 case as well as the plain partition, despite the FP drift
+    /// accumulated by the running-range walk in `generate_manifests`.
+    #[test]
+    fn manifests_partition_under_redundancy(
+        case in (1usize..=2).prop_flat_map(|r| {
+            (Just(r), proptest::collection::vec(arb_redundant_split(r), 1..4))
+        })
+    ) {
+        let (r, splits) = case;
+        let max_nodes = splits.iter().map(|s| s.len()).max().unwrap();
+        let topo = nwdp::topo::line(max_nodes.max(splits.len()).max(2));
+        let paths = PathDb::shortest_paths(&topo);
+        let tm = TrafficMatrix::uniform(&topo);
+        let vol = VolumeModel::internet2_baseline();
+        let classes = vec![AnalysisClass::standard_set().remove(0)];
+        let dep0 = build_units(&topo, &paths, &tm, &vol, &classes);
+
+        let mut dep = dep0.clone();
+        dep.units.truncate(splits.len());
+        let d: Vec<Vec<(NodeId, f64)>> = splits
+            .iter()
+            .zip(&mut dep.units)
+            .map(|(split, unit)| {
+                unit.nodes = (0..split.len()).map(NodeId).collect();
+                split.iter().enumerate().map(|(j, &f)| (NodeId(j), f)).collect()
+            })
+            .collect();
+        let manifest = nwdp::core::nids::generate_manifests(&dep, &d);
+
+        // Exact multiplicity r on a mid-point grid.
+        let (lo, hi) = manifest.verify_coverage(&dep, 127);
+        prop_assert_eq!((lo, hi), (r, r), "grid coverage must be exactly {}", r);
+
+        for (u, unit) in dep.units.iter().enumerate() {
+            // Per-unit measure must sum to r (no lost or doubled mass).
+            let total: f64 = unit.nodes.iter().map(|&j| manifest.share(u, j)).sum();
+            prop_assert!((total - r as f64).abs() < 1e-9, "unit {}: total share {}", u, total);
+
+            // Probe just inside every segment boundary: gaps or overlaps
+            // produced by drift live at the seams, between grid points.
+            // 1e-9 is ~4 ulps of the 2^-32 hash lattice the engine uses.
+            let mut probes = Vec::new();
+            for &j in &unit.nodes {
+                if let Some(ranges) = manifest.range(u, j) {
+                    for seg in ranges.segments() {
+                        probes.push(seg.lo + 1e-9);
+                        probes.push(seg.hi - 1e-9);
+                    }
+                }
+            }
+            for p in probes.into_iter().filter(|p| (0.0..1.0).contains(p)) {
+                let covers = unit
+                    .nodes
+                    .iter()
+                    .filter(|&&j| manifest.should_analyze(u, j, p))
+                    .count();
+                prop_assert_eq!(covers, r, "unit {} point {} covered {} times", u, p, covers);
+            }
         }
     }
 }
