@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/equivalence-292a018f42496042.d: crates/engine/tests/equivalence.rs
+
+/root/repo/target/debug/deps/equivalence-292a018f42496042: crates/engine/tests/equivalence.rs
+
+crates/engine/tests/equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extended_modules-700b7d212f31340f.d: crates/engine/tests/extended_modules.rs
+
+/root/repo/target/debug/deps/extended_modules-700b7d212f31340f: crates/engine/tests/extended_modules.rs
+
+crates/engine/tests/extended_modules.rs:

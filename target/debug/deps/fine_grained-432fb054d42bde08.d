@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fine_grained-432fb054d42bde08.d: crates/engine/tests/fine_grained.rs
+
+/root/repo/target/debug/deps/fine_grained-432fb054d42bde08: crates/engine/tests/fine_grained.rs
+
+crates/engine/tests/fine_grained.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow_vs_simplex-9b1f26f20f624501.d: crates/lp/tests/flow_vs_simplex.rs
+
+/root/repo/target/debug/deps/flow_vs_simplex-9b1f26f20f624501: crates/lp/tests/flow_vs_simplex.rs
+
+crates/lp/tests/flow_vs_simplex.rs:

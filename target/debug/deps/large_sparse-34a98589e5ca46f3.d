@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/large_sparse-34a98589e5ca46f3.d: crates/lp/tests/large_sparse.rs
+
+/root/repo/target/debug/deps/large_sparse-34a98589e5ca46f3: crates/lp/tests/large_sparse.rs
+
+crates/lp/tests/large_sparse.rs:

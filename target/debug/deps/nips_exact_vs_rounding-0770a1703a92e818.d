@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nips_exact_vs_rounding-0770a1703a92e818.d: tests/nips_exact_vs_rounding.rs
+
+/root/repo/target/debug/deps/nips_exact_vs_rounding-0770a1703a92e818: tests/nips_exact_vs_rounding.rs
+
+tests/nips_exact_vs_rounding.rs:

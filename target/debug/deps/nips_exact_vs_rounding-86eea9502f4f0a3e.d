@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nips_exact_vs_rounding-86eea9502f4f0a3e.d: tests/nips_exact_vs_rounding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnips_exact_vs_rounding-86eea9502f4f0a3e.rmeta: tests/nips_exact_vs_rounding.rs Cargo.toml
+
+tests/nips_exact_vs_rounding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nwdp-5e7b7c198115f1d2.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwdp-5e7b7c198115f1d2.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

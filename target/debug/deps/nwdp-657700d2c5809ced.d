@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nwdp-657700d2c5809ced.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwdp-657700d2c5809ced.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-W__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nwdp-7f75d83115624649.d: src/lib.rs
+
+/root/repo/target/debug/deps/nwdp-7f75d83115624649: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nwdp-a272625c1b39815d.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnwdp-a272625c1b39815d.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnwdp-a272625c1b39815d.rmeta: src/lib.rs
+
+src/lib.rs:

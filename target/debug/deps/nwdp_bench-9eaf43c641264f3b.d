@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nwdp_bench-9eaf43c641264f3b.d: crates/bench/src/lib.rs crates/bench/src/extensions.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig5.rs crates/bench/src/fig678.rs crates/bench/src/opttime.rs crates/bench/src/output.rs crates/bench/src/scenario.rs crates/bench/src/selftest.rs
+
+/root/repo/target/debug/deps/libnwdp_bench-9eaf43c641264f3b.rlib: crates/bench/src/lib.rs crates/bench/src/extensions.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig5.rs crates/bench/src/fig678.rs crates/bench/src/opttime.rs crates/bench/src/output.rs crates/bench/src/scenario.rs crates/bench/src/selftest.rs
+
+/root/repo/target/debug/deps/libnwdp_bench-9eaf43c641264f3b.rmeta: crates/bench/src/lib.rs crates/bench/src/extensions.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig5.rs crates/bench/src/fig678.rs crates/bench/src/opttime.rs crates/bench/src/output.rs crates/bench/src/scenario.rs crates/bench/src/selftest.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/extensions.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig678.rs:
+crates/bench/src/opttime.rs:
+crates/bench/src/output.rs:
+crates/bench/src/scenario.rs:
+crates/bench/src/selftest.rs:

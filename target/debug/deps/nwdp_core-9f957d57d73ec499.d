@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/nwdp_core-9f957d57d73ec499.d: crates/core/src/lib.rs crates/core/src/class.rs crates/core/src/migration.rs crates/core/src/nids/mod.rs crates/core/src/nids/lp.rs crates/core/src/nids/manifest.rs crates/core/src/nids/manifest_io.rs crates/core/src/nips/mod.rs crates/core/src/nips/hardness.rs crates/core/src/nips/model.rs crates/core/src/nips/relax.rs crates/core/src/nips/round.rs crates/core/src/parallel.rs crates/core/src/provision.rs crates/core/src/units.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwdp_core-9f957d57d73ec499.rmeta: crates/core/src/lib.rs crates/core/src/class.rs crates/core/src/migration.rs crates/core/src/nids/mod.rs crates/core/src/nids/lp.rs crates/core/src/nids/manifest.rs crates/core/src/nids/manifest_io.rs crates/core/src/nips/mod.rs crates/core/src/nips/hardness.rs crates/core/src/nips/model.rs crates/core/src/nips/relax.rs crates/core/src/nips/round.rs crates/core/src/parallel.rs crates/core/src/provision.rs crates/core/src/units.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/class.rs:
+crates/core/src/migration.rs:
+crates/core/src/nids/mod.rs:
+crates/core/src/nids/lp.rs:
+crates/core/src/nids/manifest.rs:
+crates/core/src/nids/manifest_io.rs:
+crates/core/src/nips/mod.rs:
+crates/core/src/nips/hardness.rs:
+crates/core/src/nips/model.rs:
+crates/core/src/nips/relax.rs:
+crates/core/src/nips/round.rs:
+crates/core/src/parallel.rs:
+crates/core/src/provision.rs:
+crates/core/src/units.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-W__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

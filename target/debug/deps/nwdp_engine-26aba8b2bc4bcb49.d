@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nwdp_engine-26aba8b2bc4bcb49.d: crates/engine/src/lib.rs crates/engine/src/ac.rs crates/engine/src/conn.rs crates/engine/src/cost.rs crates/engine/src/engine.rs crates/engine/src/modules.rs crates/engine/src/netwide.rs
+
+/root/repo/target/debug/deps/nwdp_engine-26aba8b2bc4bcb49: crates/engine/src/lib.rs crates/engine/src/ac.rs crates/engine/src/conn.rs crates/engine/src/cost.rs crates/engine/src/engine.rs crates/engine/src/modules.rs crates/engine/src/netwide.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/ac.rs:
+crates/engine/src/conn.rs:
+crates/engine/src/cost.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/modules.rs:
+crates/engine/src/netwide.rs:

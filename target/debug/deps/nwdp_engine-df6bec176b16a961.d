@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nwdp_engine-df6bec176b16a961.d: crates/engine/src/lib.rs crates/engine/src/ac.rs crates/engine/src/conn.rs crates/engine/src/cost.rs crates/engine/src/engine.rs crates/engine/src/modules.rs crates/engine/src/netwide.rs
+
+/root/repo/target/debug/deps/libnwdp_engine-df6bec176b16a961.rlib: crates/engine/src/lib.rs crates/engine/src/ac.rs crates/engine/src/conn.rs crates/engine/src/cost.rs crates/engine/src/engine.rs crates/engine/src/modules.rs crates/engine/src/netwide.rs
+
+/root/repo/target/debug/deps/libnwdp_engine-df6bec176b16a961.rmeta: crates/engine/src/lib.rs crates/engine/src/ac.rs crates/engine/src/conn.rs crates/engine/src/cost.rs crates/engine/src/engine.rs crates/engine/src/modules.rs crates/engine/src/netwide.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/ac.rs:
+crates/engine/src/conn.rs:
+crates/engine/src/cost.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/modules.rs:
+crates/engine/src/netwide.rs:

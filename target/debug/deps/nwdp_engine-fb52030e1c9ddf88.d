@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nwdp_engine-fb52030e1c9ddf88.d: crates/engine/src/lib.rs crates/engine/src/ac.rs crates/engine/src/conn.rs crates/engine/src/cost.rs crates/engine/src/engine.rs crates/engine/src/modules.rs crates/engine/src/netwide.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwdp_engine-fb52030e1c9ddf88.rmeta: crates/engine/src/lib.rs crates/engine/src/ac.rs crates/engine/src/conn.rs crates/engine/src/cost.rs crates/engine/src/engine.rs crates/engine/src/modules.rs crates/engine/src/netwide.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/ac.rs:
+crates/engine/src/conn.rs:
+crates/engine/src/cost.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/modules.rs:
+crates/engine/src/netwide.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-W__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

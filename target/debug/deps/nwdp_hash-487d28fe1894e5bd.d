@@ -9,5 +9,5 @@ crates/hash/src/lookup3.rs:
 crates/hash/src/range.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-W__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/nwdp_lp-03f3155d1613b7a2.d: crates/lp/src/lib.rs crates/lp/src/check.rs crates/lp/src/flow.rs crates/lp/src/milp.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/rowgen.rs crates/lp/src/simplex/mod.rs crates/lp/src/simplex/dense.rs crates/lp/src/simplex/sparse.rs crates/lp/src/solution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwdp_lp-03f3155d1613b7a2.rmeta: crates/lp/src/lib.rs crates/lp/src/check.rs crates/lp/src/flow.rs crates/lp/src/milp.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/rowgen.rs crates/lp/src/simplex/mod.rs crates/lp/src/simplex/dense.rs crates/lp/src/simplex/sparse.rs crates/lp/src/solution.rs Cargo.toml
+
+crates/lp/src/lib.rs:
+crates/lp/src/check.rs:
+crates/lp/src/flow.rs:
+crates/lp/src/milp.rs:
+crates/lp/src/model.rs:
+crates/lp/src/presolve.rs:
+crates/lp/src/rowgen.rs:
+crates/lp/src/simplex/mod.rs:
+crates/lp/src/simplex/dense.rs:
+crates/lp/src/simplex/sparse.rs:
+crates/lp/src/solution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-W__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/nwdp_lp-b56447c8ae796ba9.d: crates/lp/src/lib.rs crates/lp/src/check.rs crates/lp/src/flow.rs crates/lp/src/milp.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/rowgen.rs crates/lp/src/simplex/mod.rs crates/lp/src/simplex/dense.rs crates/lp/src/simplex/sparse.rs crates/lp/src/solution.rs
+
+/root/repo/target/debug/deps/libnwdp_lp-b56447c8ae796ba9.rlib: crates/lp/src/lib.rs crates/lp/src/check.rs crates/lp/src/flow.rs crates/lp/src/milp.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/rowgen.rs crates/lp/src/simplex/mod.rs crates/lp/src/simplex/dense.rs crates/lp/src/simplex/sparse.rs crates/lp/src/solution.rs
+
+/root/repo/target/debug/deps/libnwdp_lp-b56447c8ae796ba9.rmeta: crates/lp/src/lib.rs crates/lp/src/check.rs crates/lp/src/flow.rs crates/lp/src/milp.rs crates/lp/src/model.rs crates/lp/src/presolve.rs crates/lp/src/rowgen.rs crates/lp/src/simplex/mod.rs crates/lp/src/simplex/dense.rs crates/lp/src/simplex/sparse.rs crates/lp/src/solution.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/check.rs:
+crates/lp/src/flow.rs:
+crates/lp/src/milp.rs:
+crates/lp/src/model.rs:
+crates/lp/src/presolve.rs:
+crates/lp/src/rowgen.rs:
+crates/lp/src/simplex/mod.rs:
+crates/lp/src/simplex/dense.rs:
+crates/lp/src/simplex/sparse.rs:
+crates/lp/src/solution.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nwdp_obs-3cda2fd6e3b74dc1.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs
+
+/root/repo/target/debug/deps/nwdp_obs-3cda2fd6e3b74dc1: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/registry.rs:

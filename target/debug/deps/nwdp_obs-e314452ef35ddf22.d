@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nwdp_obs-e314452ef35ddf22.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs
+
+/root/repo/target/debug/deps/libnwdp_obs-e314452ef35ddf22.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs
+
+/root/repo/target/debug/deps/libnwdp_obs-e314452ef35ddf22.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/registry.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nwdp_obs-fa4f09650b6bd9c2.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs
+
+/root/repo/target/debug/deps/libnwdp_obs-fa4f09650b6bd9c2.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs
+
+/root/repo/target/debug/deps/libnwdp_obs-fa4f09650b6bd9c2.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/registry.rs:

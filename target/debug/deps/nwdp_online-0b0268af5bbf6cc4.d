@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nwdp_online-0b0268af5bbf6cc4.d: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs
+
+/root/repo/target/debug/deps/libnwdp_online-0b0268af5bbf6cc4.rlib: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs
+
+/root/repo/target/debug/deps/libnwdp_online-0b0268af5bbf6cc4.rmeta: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs
+
+crates/online/src/lib.rs:
+crates/online/src/adversary.rs:
+crates/online/src/fpl.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nwdp_online-f799f01e59ba2239.d: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnwdp_online-f799f01e59ba2239.rmeta: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs Cargo.toml
+
+crates/online/src/lib.rs:
+crates/online/src/adversary.rs:
+crates/online/src/fpl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-W__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nwdp_online-fe06730bcf55126f.d: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs
+
+/root/repo/target/debug/deps/libnwdp_online-fe06730bcf55126f.rlib: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs
+
+/root/repo/target/debug/deps/libnwdp_online-fe06730bcf55126f.rmeta: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs
+
+crates/online/src/lib.rs:
+crates/online/src/adversary.rs:
+crates/online/src/fpl.rs:

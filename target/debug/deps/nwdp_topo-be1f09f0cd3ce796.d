@@ -11,5 +11,5 @@ crates/topo/src/rocketfuel.rs:
 crates/topo/src/routing.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-W__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

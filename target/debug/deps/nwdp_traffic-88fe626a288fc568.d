@@ -12,5 +12,5 @@ crates/traffic/src/session.rs:
 crates/traffic/src/volume.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-W__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

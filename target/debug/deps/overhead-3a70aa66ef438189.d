@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-3a70aa66ef438189.d: crates/engine/tests/overhead.rs
+
+/root/repo/target/debug/deps/overhead-3a70aa66ef438189: crates/engine/tests/overhead.rs
+
+crates/engine/tests/overhead.rs:

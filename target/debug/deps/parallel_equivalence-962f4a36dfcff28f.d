@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_equivalence-962f4a36dfcff28f.d: tests/parallel_equivalence.rs
+
+/root/repo/target/debug/deps/parallel_equivalence-962f4a36dfcff28f: tests/parallel_equivalence.rs
+
+tests/parallel_equivalence.rs:

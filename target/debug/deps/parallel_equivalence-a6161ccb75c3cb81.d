@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_equivalence-a6161ccb75c3cb81.d: tests/parallel_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_equivalence-a6161ccb75c3cb81.rmeta: tests/parallel_equivalence.rs Cargo.toml
+
+tests/parallel_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-4455c576d31a8a1b.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-4455c576d31a8a1b: tests/pipeline.rs
+
+tests/pipeline.rs:

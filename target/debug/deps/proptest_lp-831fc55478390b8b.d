@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_lp-831fc55478390b8b.d: crates/lp/tests/proptest_lp.rs
+
+/root/repo/target/debug/deps/proptest_lp-831fc55478390b8b: crates/lp/tests/proptest_lp.rs
+
+crates/lp/tests/proptest_lp.rs:

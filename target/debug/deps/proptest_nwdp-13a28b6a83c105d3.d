@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_nwdp-13a28b6a83c105d3.d: tests/proptest_nwdp.rs
+
+/root/repo/target/debug/deps/proptest_nwdp-13a28b6a83c105d3: tests/proptest_nwdp.rs
+
+tests/proptest_nwdp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_nwdp-57a240c0c916c678.d: tests/proptest_nwdp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_nwdp-57a240c0c916c678.rmeta: tests/proptest_nwdp.rs Cargo.toml
+
+tests/proptest_nwdp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

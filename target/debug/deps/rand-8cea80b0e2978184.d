@@ -6,5 +6,5 @@ crates/rand/src/lib.rs:
 crates/rand/src/rngs.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-W__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

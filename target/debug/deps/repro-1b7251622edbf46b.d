@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-1b7251622edbf46b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-1b7251622edbf46b: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-f367f942be1147cb.d: crates/engine/tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-f367f942be1147cb: crates/engine/tests/robustness.rs
+
+crates/engine/tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simplex-95b6d94051537740.d: crates/lp/tests/simplex.rs
+
+/root/repo/target/debug/deps/simplex-95b6d94051537740: crates/lp/tests/simplex.rs
+
+crates/lp/tests/simplex.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/warmstart-b5395642dfb50901.d: crates/lp/tests/warmstart.rs
+
+/root/repo/target/debug/deps/warmstart-b5395642dfb50901: crates/lp/tests/warmstart.rs
+
+crates/lp/tests/warmstart.rs:

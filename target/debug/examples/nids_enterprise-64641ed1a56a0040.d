@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nids_enterprise-64641ed1a56a0040.d: examples/nids_enterprise.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnids_enterprise-64641ed1a56a0040.rmeta: examples/nids_enterprise.rs Cargo.toml
+
+examples/nids_enterprise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nids_enterprise-c88875cf4bf20384.d: examples/nids_enterprise.rs
+
+/root/repo/target/debug/examples/nids_enterprise-c88875cf4bf20384: examples/nids_enterprise.rs
+
+examples/nids_enterprise.rs:

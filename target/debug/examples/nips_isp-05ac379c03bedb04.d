@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nips_isp-05ac379c03bedb04.d: examples/nips_isp.rs
+
+/root/repo/target/debug/examples/nips_isp-05ac379c03bedb04: examples/nips_isp.rs
+
+examples/nips_isp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nips_isp-7ff1fa43dc75fa83.d: examples/nips_isp.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnips_isp-7ff1fa43dc75fa83.rmeta: examples/nips_isp.rs Cargo.toml
+
+examples/nips_isp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

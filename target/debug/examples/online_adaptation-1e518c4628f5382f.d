@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/online_adaptation-1e518c4628f5382f.d: examples/online_adaptation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libonline_adaptation-1e518c4628f5382f.rmeta: examples/online_adaptation.rs Cargo.toml
+
+examples/online_adaptation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

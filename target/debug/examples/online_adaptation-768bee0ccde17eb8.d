@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/online_adaptation-768bee0ccde17eb8.d: examples/online_adaptation.rs
+
+/root/repo/target/debug/examples/online_adaptation-768bee0ccde17eb8: examples/online_adaptation.rs
+
+examples/online_adaptation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-91531bbecd902c01.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-91531bbecd902c01: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/routing_change-94a533eea3e18c1d.d: examples/routing_change.rs
+
+/root/repo/target/debug/examples/routing_change-94a533eea3e18c1d: examples/routing_change.rs
+
+examples/routing_change.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/routing_change-c757e1a06e8d02c9.d: examples/routing_change.rs Cargo.toml
+
+/root/repo/target/debug/examples/librouting_change-c757e1a06e8d02c9.rmeta: examples/routing_change.rs Cargo.toml
+
+examples/routing_change.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

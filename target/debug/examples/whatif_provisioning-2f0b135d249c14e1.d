@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/whatif_provisioning-2f0b135d249c14e1.d: examples/whatif_provisioning.rs
+
+/root/repo/target/debug/examples/whatif_provisioning-2f0b135d249c14e1: examples/whatif_provisioning.rs
+
+examples/whatif_provisioning.rs:

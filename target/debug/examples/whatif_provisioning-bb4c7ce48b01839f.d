@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/whatif_provisioning-bb4c7ce48b01839f.d: examples/whatif_provisioning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwhatif_provisioning-bb4c7ce48b01839f.rmeta: examples/whatif_provisioning.rs Cargo.toml
+
+examples/whatif_provisioning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nips_round-785e3d6c0b135171.d: crates/bench/benches/nips_round.rs
+
+/root/repo/target/release/deps/nips_round-785e3d6c0b135171: crates/bench/benches/nips_round.rs
+
+crates/bench/benches/nips_round.rs:

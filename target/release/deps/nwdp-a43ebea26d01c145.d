@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nwdp-a43ebea26d01c145.d: src/lib.rs
+
+/root/repo/target/release/deps/libnwdp-a43ebea26d01c145.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnwdp-a43ebea26d01c145.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/nwdp_bench-44a77789ec7b7e2c.d: crates/bench/src/lib.rs crates/bench/src/extensions.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig5.rs crates/bench/src/fig678.rs crates/bench/src/opttime.rs crates/bench/src/output.rs crates/bench/src/scenario.rs crates/bench/src/selftest.rs
+
+/root/repo/target/release/deps/libnwdp_bench-44a77789ec7b7e2c.rlib: crates/bench/src/lib.rs crates/bench/src/extensions.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig5.rs crates/bench/src/fig678.rs crates/bench/src/opttime.rs crates/bench/src/output.rs crates/bench/src/scenario.rs crates/bench/src/selftest.rs
+
+/root/repo/target/release/deps/libnwdp_bench-44a77789ec7b7e2c.rmeta: crates/bench/src/lib.rs crates/bench/src/extensions.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig5.rs crates/bench/src/fig678.rs crates/bench/src/opttime.rs crates/bench/src/output.rs crates/bench/src/scenario.rs crates/bench/src/selftest.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/extensions.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig678.rs:
+crates/bench/src/opttime.rs:
+crates/bench/src/output.rs:
+crates/bench/src/scenario.rs:
+crates/bench/src/selftest.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/nwdp_core-6ef047608b9d51c1.d: crates/core/src/lib.rs crates/core/src/class.rs crates/core/src/migration.rs crates/core/src/nids/mod.rs crates/core/src/nids/lp.rs crates/core/src/nids/manifest.rs crates/core/src/nids/manifest_io.rs crates/core/src/nips/mod.rs crates/core/src/nips/hardness.rs crates/core/src/nips/model.rs crates/core/src/nips/relax.rs crates/core/src/nips/round.rs crates/core/src/parallel.rs crates/core/src/provision.rs crates/core/src/units.rs
+
+/root/repo/target/release/deps/libnwdp_core-6ef047608b9d51c1.rlib: crates/core/src/lib.rs crates/core/src/class.rs crates/core/src/migration.rs crates/core/src/nids/mod.rs crates/core/src/nids/lp.rs crates/core/src/nids/manifest.rs crates/core/src/nids/manifest_io.rs crates/core/src/nips/mod.rs crates/core/src/nips/hardness.rs crates/core/src/nips/model.rs crates/core/src/nips/relax.rs crates/core/src/nips/round.rs crates/core/src/parallel.rs crates/core/src/provision.rs crates/core/src/units.rs
+
+/root/repo/target/release/deps/libnwdp_core-6ef047608b9d51c1.rmeta: crates/core/src/lib.rs crates/core/src/class.rs crates/core/src/migration.rs crates/core/src/nids/mod.rs crates/core/src/nids/lp.rs crates/core/src/nids/manifest.rs crates/core/src/nids/manifest_io.rs crates/core/src/nips/mod.rs crates/core/src/nips/hardness.rs crates/core/src/nips/model.rs crates/core/src/nips/relax.rs crates/core/src/nips/round.rs crates/core/src/parallel.rs crates/core/src/provision.rs crates/core/src/units.rs
+
+crates/core/src/lib.rs:
+crates/core/src/class.rs:
+crates/core/src/migration.rs:
+crates/core/src/nids/mod.rs:
+crates/core/src/nids/lp.rs:
+crates/core/src/nids/manifest.rs:
+crates/core/src/nids/manifest_io.rs:
+crates/core/src/nips/mod.rs:
+crates/core/src/nips/hardness.rs:
+crates/core/src/nips/model.rs:
+crates/core/src/nips/relax.rs:
+crates/core/src/nips/round.rs:
+crates/core/src/parallel.rs:
+crates/core/src/provision.rs:
+crates/core/src/units.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nwdp_obs-bc1ab937286320d6.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs
+
+/root/repo/target/release/deps/libnwdp_obs-bc1ab937286320d6.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs
+
+/root/repo/target/release/deps/libnwdp_obs-bc1ab937286320d6.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/registry.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/nwdp_online-902b510e80ebe8e3.d: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs
+
+/root/repo/target/release/deps/libnwdp_online-902b510e80ebe8e3.rlib: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs
+
+/root/repo/target/release/deps/libnwdp_online-902b510e80ebe8e3.rmeta: crates/online/src/lib.rs crates/online/src/adversary.rs crates/online/src/fpl.rs
+
+crates/online/src/lib.rs:
+crates/online/src/adversary.rs:
+crates/online/src/fpl.rs:

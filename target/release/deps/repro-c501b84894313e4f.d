@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-c501b84894313e4f.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-c501b84894313e4f: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/nids_enterprise-294e4c50b9ffebf7.d: examples/nids_enterprise.rs
+
+/root/repo/target/release/examples/nids_enterprise-294e4c50b9ffebf7: examples/nids_enterprise.rs
+
+examples/nids_enterprise.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/nips_isp-e51951d3bebcd1b9.d: examples/nips_isp.rs
+
+/root/repo/target/release/examples/nips_isp-e51951d3bebcd1b9: examples/nips_isp.rs
+
+examples/nips_isp.rs:

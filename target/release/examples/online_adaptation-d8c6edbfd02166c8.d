@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/online_adaptation-d8c6edbfd02166c8.d: examples/online_adaptation.rs
+
+/root/repo/target/release/examples/online_adaptation-d8c6edbfd02166c8: examples/online_adaptation.rs
+
+examples/online_adaptation.rs:

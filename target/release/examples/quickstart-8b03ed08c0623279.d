@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8b03ed08c0623279.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8b03ed08c0623279: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/routing_change-a30b1bccc8779140.d: examples/routing_change.rs
+
+/root/repo/target/release/examples/routing_change-a30b1bccc8779140: examples/routing_change.rs
+
+examples/routing_change.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/whatif_provisioning-e12742cfc88d6c1c.d: examples/whatif_provisioning.rs
+
+/root/repo/target/release/examples/whatif_provisioning-e12742cfc88d6c1c: examples/whatif_provisioning.rs
+
+examples/whatif_provisioning.rs:
