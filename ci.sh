@@ -9,6 +9,13 @@ cargo build --release
 echo "== tests =="
 cargo test -q
 
+echo "== warm-start equivalence (thread counts 1 and 4) =="
+# The warm-start layer must be objective-invariant regardless of the
+# parallel fan-out width; the test itself also flips thread counts
+# internally, so both env settings double-cover the contract.
+NWDP_THREADS=1 cargo test -q --test warmstart_equivalence
+NWDP_THREADS=4 cargo test -q --test warmstart_equivalence
+
 echo "== fmt =="
 cargo fmt --check
 
@@ -22,6 +29,18 @@ echo "== clippy (panic-path lint, library crates) =="
 cargo clippy --lib -p nwdp -p nwdp-core -p nwdp-lp -p nwdp-engine \
   -p nwdp-online -p nwdp-obs -p nwdp-topo -p nwdp-traffic -p nwdp-hash -- \
   -W clippy::unwrap_used -W clippy::expect_used
+
+# NaN-hostile comparisons must stay purged: no float sort/max may panic on
+# a non-finite value. Doc comments may mention the old patterns (the
+# regression tests document them), so comment lines are excluded.
+echo "== NaN-panic grep lint =="
+nan_hits="$(grep -rnE '\.partial_cmp\([^)]*\)[[:space:]]*\.?(unwrap|expect)|\.expect\("[^"]*NaN' crates/ --include='*.rs' | grep -vE '^[^:]*:[0-9]+:[[:space:]]*//' || true)"
+if [ -n "$nan_hits" ]; then
+  echo "found partial_cmp().unwrap()/NaN-expect in library code:" >&2
+  echo "$nan_hits" >&2
+  exit 1
+fi
+echo "NaN lint OK"
 
 echo "== metrics smoke =="
 metrics_tmp="$(mktemp -d)"

@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //!   repro [--quick] [--out DIR] [--metrics-out FILE] [--fig N]...
-//!         [fig5 fig6 fig7 fig8 fig10 fig11 opt-time ext | all]
+//!         [fig5 fig6 fig7 fig8 fig10 fig11 opt-time ext warm | all]
 //!
 //! Results are written as CSV files under `--out` (default `results/`) and
 //! printed as ASCII tables. `--fig 5` is shorthand for the `fig5`
@@ -15,7 +15,7 @@
 //! engine series, even for experiments that exercise only one subsystem.
 
 use nwdp_bench::output::Table;
-use nwdp_bench::{fig10, fig11, fig5, fig678, opttime, selftest, Scale};
+use nwdp_bench::{fig10, fig11, fig5, fig678, opttime, selftest, warmstart, Scale};
 use nwdp_core::obs;
 use std::path::PathBuf;
 use std::process::exit;
@@ -64,7 +64,7 @@ fn parse_args(args: &[String]) -> Cli {
         i += 1;
     }
     if cli.wanted.is_empty() || cli.wanted.iter().any(|w| w == "all") {
-        cli.wanted = ["fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "opt-time", "ext"]
+        cli.wanted = ["fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "opt-time", "ext", "warm"]
             .iter()
             .map(|s| s.to_string())
             .collect();
@@ -147,6 +147,15 @@ fn main() {
                     &cli.out,
                     "ext_adversaries",
                 );
+            }
+            "warm" => {
+                let (epochs, trials) = if cli.quick { (50, 5) } else { (200, 10) };
+                let rows = vec![
+                    warmstart::fpl_cold_vs_warm(epochs, 6, 17),
+                    warmstart::rounding_cold_vs_warm(trials, 6, 17),
+                    warmstart::provisioning_cold_vs_warm(2.0),
+                ];
+                emit(&warmstart::table(&rows), &cli.out, "warmstart_cold_vs_warm");
             }
             "opt-time" => {
                 let mut rows = vec![opttime::nids_lp_time(50, 50)];

@@ -13,5 +13,6 @@ pub mod opttime;
 pub mod output;
 pub mod scenario;
 pub mod selftest;
+pub mod warmstart;
 
 pub use scenario::Scale;

@@ -11,7 +11,7 @@
 //! - Eqs (4)–(6): the min–max objective and variable bounds.
 
 use crate::units::NidsDeployment;
-use nwdp_lp::{solve, Cmp, Problem, Sense, SolverOpts, Status, VarId};
+use nwdp_lp::{solve_warm, Cmp, Problem, Sense, SolverOpts, Status, VarId, WarmStart};
 use nwdp_topo::NodeId;
 
 /// Per-node resource capacities (per measurement interval).
@@ -82,6 +82,18 @@ pub fn solve_nids_lp(
     dep: &NidsDeployment,
     cfg: &NidsLpConfig,
 ) -> Result<NidsAssignment, NidsError> {
+    solve_nids_lp_warm(dep, cfg, None).map(|(a, _)| a)
+}
+
+/// [`solve_nids_lp`] with an optional warm-start basis, returning the
+/// final basis for the next solve. What-if sweeps (capacity upgrades,
+/// redundancy scans) change only LP coefficients, not the problem shape,
+/// so chaining the returned snapshot re-solves in a handful of iterations.
+pub fn solve_nids_lp_warm(
+    dep: &NidsDeployment,
+    cfg: &NidsLpConfig,
+    warm: Option<&WarmStart>,
+) -> Result<(NidsAssignment, Option<WarmStart>), NidsError> {
     assert_eq!(cfg.caps.len(), dep.num_nodes, "capacity vector size mismatch");
     assert!(cfg.redundancy >= 1.0, "redundancy below 1 abandons coverage");
 
@@ -115,7 +127,7 @@ pub fn solve_nids_lp(
         p.add_con(format!("mem_{j}"), &t, Cmp::Le, 0.0);
     }
 
-    let sol = solve(&p, &cfg.solver);
+    let (sol, snapshot) = solve_warm(&p, &cfg.solver, warm);
     match sol.status {
         Status::Optimal => {}
         Status::Infeasible => return Err(NidsError::Infeasible),
@@ -133,13 +145,14 @@ pub fn solve_nids_lp(
         d.push(fr);
     }
     let (cpu_load, mem_load) = loads_from_assignment(dep, &cfg.caps, &d);
-    Ok(NidsAssignment {
+    let assignment = NidsAssignment {
         d,
         max_load: sol.objective,
         cpu_load,
         mem_load,
         lp_iterations: sol.iterations,
-    })
+    };
+    Ok((assignment, snapshot))
 }
 
 /// Per-node loads induced by a fractional assignment.

@@ -121,7 +121,11 @@ impl NipsInstance {
             })
             .collect();
         if npaths.len() > max_paths {
-            npaths.sort_by(|a, b| b.items.partial_cmp(&a.items).expect("NaN volume"));
+            // Highest volume first; non-finite volumes (NaN from a
+            // degenerate traffic model) compare lowest and are truncated
+            // away first.
+            let finite_or_min = |v: f64| if v.is_finite() { v } else { f64::NEG_INFINITY };
+            npaths.sort_by(|a, b| finite_or_min(b.items).total_cmp(&finite_or_min(a.items)));
             npaths.truncate(max_paths);
         }
         assert_eq!(match_rates.n_rules(), n_rules);

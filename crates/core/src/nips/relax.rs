@@ -8,7 +8,7 @@
 //! a certified optimum of the *full* relaxation.
 
 use super::model::NipsInstance;
-use nwdp_lp::rowgen::{solve_with_lazy_rows, LazyRow, RowGenOpts};
+use nwdp_lp::rowgen::{solve_with_lazy_rows_ctx, LazyRow, RowGenOpts, SolveContext};
 use nwdp_lp::{Cmp, Problem, Sense, Status, VarId};
 
 /// Index layout for the relaxation's variables.
@@ -88,6 +88,18 @@ impl std::error::Error for RelaxError {}
 pub fn solve_relaxation(
     inst: &NipsInstance,
     opts: &RowGenOpts,
+) -> Result<RelaxSolution, RelaxError> {
+    solve_relaxation_ctx(inst, opts, &mut SolveContext::new())
+}
+
+/// [`solve_relaxation`] with a cross-call [`SolveContext`]: repeated
+/// relaxation solves over the same topology (capacity/parameter sweeps,
+/// what-if provisioning) warm-start from the previous optimum's basis and
+/// pre-materialize the lazy rows that were binding there.
+pub fn solve_relaxation_ctx(
+    inst: &NipsInstance,
+    opts: &RowGenOpts,
+    ctx: &mut SolveContext,
 ) -> Result<RelaxSolution, RelaxError> {
     // The relaxation LPs are extremely sparse (GUB/VUB rows of 2-6
     // nonzeros); the sparse PFI backend beats the dense inverse well below
@@ -172,7 +184,7 @@ pub fn solve_relaxation(
         }
     }
 
-    let res = solve_with_lazy_rows(&p, &lazy, opts);
+    let res = solve_with_lazy_rows_ctx(&p, &lazy, opts, ctx);
     if res.solution.status != Status::Optimal {
         return Err(RelaxError::SolverFailed(res.solution.status));
     }

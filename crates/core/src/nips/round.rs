@@ -20,8 +20,8 @@
 
 use super::model::{NipsInstance, SolutionD};
 use super::relax::RelaxSolution;
-use nwdp_lp::flow::MinCostFlow;
-use nwdp_lp::rowgen::{solve_with_lazy_rows, LazyRow, RowGenOpts};
+use nwdp_lp::flow::{ArcId, MinCostFlow};
+use nwdp_lp::rowgen::{solve_with_lazy_rows_ctx, LazyRow, RowGenOpts, SolveContext};
 use nwdp_lp::{Cmp, Problem, Sense, Status, VarId};
 use nwdp_obs as obs;
 use rand::rngs::StdRng;
@@ -78,6 +78,11 @@ pub struct RoundingOpts {
     pub iterations: usize,
     pub strategy: Strategy,
     pub seed: u64,
+    /// Warm-start the inner simplex re-solves from a shared baseline
+    /// basis (solved once before the trial fan-out). Every trial starts
+    /// from the *same* snapshot, so results stay bit-identical across
+    /// `NWDP_THREADS`; set to `false` for cold-solve comparisons.
+    pub warm_start: bool,
 }
 
 impl Default for RoundingOpts {
@@ -89,6 +94,7 @@ impl Default for RoundingOpts {
             iterations: 10,
             strategy: Strategy::GreedyLpResolve,
             seed: 0,
+            warm_start: true,
         }
     }
 }
@@ -118,9 +124,27 @@ pub fn round_best_of(
     opts: &RoundingOpts,
 ) -> Result<NipsSolution, RoundError> {
     let t0 = obs::now_if_enabled();
+    // Shared warm-start baseline: with the inner-simplex path in play,
+    // solve the all-enabled sampling LP once and seed every trial with its
+    // basis and active lazy rows. Each trial's LP differs from the
+    // baseline only in variable bounds (which rules got rounded off), so
+    // the basis is usually a near-optimal starting guess. Every trial
+    // clones the *same* context, keeping the fan-out bit-identical to a
+    // serial run for any `NWDP_THREADS`.
+    let baseline: Option<SolveContext> = if opts.warm_start
+        && matches!(opts.strategy, Strategy::LpResolve | Strategy::GreedyLpResolve)
+        && !inst.is_proportional()
+    {
+        let all = vec![vec![true; inst.num_nodes]; inst.rules.len()];
+        let mut ctx = SolveContext::new();
+        solve_inner_simplex_ctx(inst, &all, &mut ctx).ok().map(|_| ctx)
+    } else {
+        None
+    };
     let trials = crate::parallel::par_map_n(opts.iterations.max(1), |it| {
         let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(it as u64 * 7919));
-        round_once(inst, relax, opts, &mut rng)
+        let mut ctx = baseline.clone().unwrap_or_default();
+        round_once_ctx(inst, relax, opts, &mut rng, &mut ctx)
     });
     let n_trials = trials.len();
     let mut best: Option<NipsSolution> = None;
@@ -182,6 +206,19 @@ pub fn round_once(
     relax: &RelaxSolution,
     opts: &RoundingOpts,
     rng: &mut StdRng,
+) -> Result<NipsSolution, RoundError> {
+    round_once_ctx(inst, relax, opts, rng, &mut SolveContext::new())
+}
+
+/// [`round_once`] with an inner-LP solver context: the simplex re-solve
+/// warm-starts from `ctx` (a prior basis over the same instance) instead
+/// of a cold slack basis.
+pub fn round_once_ctx(
+    inst: &NipsInstance,
+    relax: &RelaxSolution,
+    opts: &RoundingOpts,
+    rng: &mut StdRng,
+    ctx: &mut SolveContext,
 ) -> Result<NipsSolution, RoundError> {
     let lay = &relax.layout;
     let (nr, nn) = (lay.n_rules, lay.n_nodes);
@@ -245,10 +282,10 @@ pub fn round_once(
             let objective = inst.objective(&d);
             Ok(NipsSolution { e: ehat, d, objective })
         }
-        Strategy::LpResolve => finish_with_inner_lp(inst, ehat),
+        Strategy::LpResolve => finish_with_inner_lp(inst, ehat, ctx),
         Strategy::GreedyLpResolve => {
             n_greedy_adds = greedy_fill(inst, lay, &mut ehat, &node_gains(inst, lay));
-            finish_with_inner_lp(inst, ehat)
+            finish_with_inner_lp(inst, ehat, ctx)
         }
     };
     if obs::enabled() {
@@ -379,11 +416,12 @@ fn greedy_fill(
 fn finish_with_inner_lp(
     inst: &NipsInstance,
     ehat: Vec<Vec<bool>>,
+    ctx: &mut SolveContext,
 ) -> Result<NipsSolution, RoundError> {
     let d = if inst.is_proportional() {
         solve_inner_flow(inst, &ehat)
     } else {
-        solve_inner_simplex(inst, &ehat)?
+        solve_inner_simplex_ctx(inst, &ehat, ctx)?
     };
     let objective = inst.objective(&d);
     Ok(NipsSolution { e: ehat, d, objective })
@@ -451,60 +489,126 @@ pub fn solve_inner_flow_weighted(
     ehat: &[Vec<bool>],
     weight: impl Fn(usize, usize, usize) -> f64,
 ) -> SolutionD {
-    let r0 = &inst.rules[0];
-    let ratio = inst.paths[0].pkts / inst.paths[0].items.max(1e-12);
-    let mut g = MinCostFlow::new();
-    let source = g.add_node();
-    let sink = g.add_node();
-    let node_ids: Vec<usize> = (0..inst.num_nodes).map(|_| g.add_node()).collect();
-    for (j, &nid) in node_ids.iter().enumerate().take(inst.num_nodes) {
-        let cap_items = (inst.mem_cap[j] / r0.mem_per_item.max(1e-12))
-            .min(inst.cpu_cap[j] / (r0.cpu_per_pkt * ratio).max(1e-12));
-        let cap = cap_items.min(9e17).floor() as i64;
-        g.add_arc(nid, sink, cap.max(0), 0.0);
+    InnerFlowOracle::build(inst, ehat).solve_feasible(inst, weight)
+}
+
+/// A reusable min-cost-flow network for the inner sampling LP.
+///
+/// Building the transportation network (nodes, commodities, arcs, and all
+/// their allocations) dominates a single flow solve once the instance has
+/// thousands of (rule, path) commodities. Repeated-solve loops — the FPL
+/// online game re-solves this network every epoch with only the objective
+/// weights changed — build the oracle **once** and call [`Self::solve`]
+/// per epoch: flows are reset, arcs are re-priced (and zero/negative-
+/// weight arcs throttled to zero capacity), and the augmentation runs on
+/// the recycled structure. The post-reset network state is exactly what a
+/// fresh build with the same weights would produce, so reused and
+/// fresh-built solves are bit-identical.
+pub struct InnerFlowOracle {
+    g: MinCostFlow,
+    source: usize,
+    sink: usize,
+    /// `(rule, path, pos, arc, supply, items)` per candidate arc.
+    arcs: Vec<(usize, usize, usize, ArcId, i64, f64)>,
+}
+
+impl InnerFlowOracle {
+    /// Build the network for a fixed placement `ehat` (arc costs are set
+    /// per solve). Every enabled on-path position gets an arc, so any
+    /// weight function over `(rule, path, pos)` can be priced later.
+    pub fn build(inst: &NipsInstance, ehat: &[Vec<bool>]) -> Self {
+        let r0 = &inst.rules[0];
+        let ratio = inst.paths[0].pkts / inst.paths[0].items.max(1e-12);
+        let mut g = MinCostFlow::new();
+        let source = g.add_node();
+        let sink = g.add_node();
+        let node_ids: Vec<usize> = (0..inst.num_nodes).map(|_| g.add_node()).collect();
+        for (j, &nid) in node_ids.iter().enumerate().take(inst.num_nodes) {
+            let cap_items = (inst.mem_cap[j] / r0.mem_per_item.max(1e-12))
+                .min(inst.cpu_cap[j] / (r0.cpu_per_pkt * ratio).max(1e-12));
+            let cap = cap_items.min(9e17).floor() as i64;
+            g.add_arc(nid, sink, cap.max(0), 0.0);
+        }
+        // Commodity per (rule, path) with at least one enabled on-path
+        // node and a positive volume.
+        let mut arcs = Vec::new();
+        for (i, ehat_i) in ehat.iter().enumerate().take(inst.rules.len()) {
+            for (k, path) in inst.paths.iter().enumerate() {
+                let enabled: Vec<usize> = path
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, n)| ehat_i[n.index()])
+                    .map(|(pos, _)| pos)
+                    .collect();
+                if enabled.is_empty() {
+                    continue;
+                }
+                let supply = path.items.floor().max(0.0) as i64;
+                if supply == 0 {
+                    continue;
+                }
+                let c = g.add_node();
+                g.add_arc(source, c, supply, 0.0);
+                for pos in enabled {
+                    let node = path.nodes[pos].index();
+                    let a = g.add_arc(c, node_ids[node], supply, 0.0);
+                    arcs.push((i, k, pos, a, supply, path.items));
+                }
+            }
+        }
+        if obs::enabled() {
+            obs::counter("flow.oracle_builds").inc();
+        }
+        InnerFlowOracle { g, source, sink, arcs }
     }
-    // Commodity per (rule, path) with at least one enabled on-path node
-    // offering positive profit.
-    let mut arcs = Vec::new();
-    for (i, ehat_i) in ehat.iter().enumerate().take(inst.rules.len()) {
-        for (k, path) in inst.paths.iter().enumerate() {
-            let enabled: Vec<usize> = path
-                .nodes
-                .iter()
-                .enumerate()
-                .filter(|&(pos, n)| ehat_i[n.index()] && weight(i, k, pos) > 0.0)
-                .map(|(pos, _)| pos)
-                .collect();
-            if enabled.is_empty() {
-                continue;
-            }
-            let supply = path.items.floor().max(0.0) as i64;
-            if supply == 0 {
-                continue;
-            }
-            let c = g.add_node();
-            g.add_arc(source, c, supply, 0.0);
-            for pos in enabled {
-                let node = path.nodes[pos].index();
+
+    /// Solve the sampling LP under `weight`, reusing the built network.
+    pub fn solve(&mut self, weight: impl Fn(usize, usize, usize) -> f64) -> SolutionD {
+        self.g.reset_flows();
+        for &(i, k, pos, a, _, items) in &self.arcs {
+            let w = weight(i, k, pos);
+            if w > 0.0 {
                 // Per-item profit: the objective coefficient divided by
                 // the commodity volume.
-                let profit = weight(i, k, pos) / path.items.max(1e-12);
-                let a = g.add_arc(c, node_ids[node], supply, -profit);
-                arcs.push((i, k, pos, a, supply));
+                self.g.set_cost(a, -(w / items.max(1e-12)));
+            } else {
+                // Unprofitable this round: price at zero and close the
+                // arc (the next reset re-opens it).
+                self.g.set_cost(a, 0.0);
+                self.g.throttle(a, 0);
             }
         }
-    }
-    g.solve_profitable(source, sink);
-    let mut d: SolutionD = SolutionD::new();
-    for (i, k, pos, a, supply) in arcs {
-        let f = g.flow(a);
-        if f > 0 {
-            let frac = (f as f64 / supply as f64).min(1.0);
-            d.entry((i, k)).or_default().push((pos, frac));
+        self.g.solve_profitable(self.source, self.sink);
+        if obs::enabled() {
+            obs::counter("flow.oracle_solves").inc();
         }
+        self.extract()
     }
-    rescale_into_feasibility(inst, &mut d);
-    d
+
+    fn extract(&self) -> SolutionD {
+        let mut d: SolutionD = SolutionD::new();
+        for &(i, k, pos, a, supply, _) in &self.arcs {
+            let f = self.g.flow(a);
+            if f > 0 {
+                let frac = (f as f64 / supply as f64).min(1.0);
+                d.entry((i, k)).or_default().push((pos, frac));
+            }
+        }
+        d
+    }
+
+    /// [`Self::solve`] followed by the exact-feasibility rescaling that
+    /// the rounding pipeline applies.
+    pub fn solve_feasible(
+        &mut self,
+        inst: &NipsInstance,
+        weight: impl Fn(usize, usize, usize) -> f64,
+    ) -> SolutionD {
+        let mut d = self.solve(weight);
+        rescale_into_feasibility(inst, &mut d);
+        d
+    }
 }
 
 /// Exact inner solve via the simplex with lazy coverage rows (general
@@ -513,8 +617,24 @@ pub fn solve_inner_simplex(
     inst: &NipsInstance,
     ehat: &[Vec<bool>],
 ) -> Result<SolutionD, RoundError> {
+    solve_inner_simplex_ctx(inst, ehat, &mut SolveContext::new())
+}
+
+/// [`solve_inner_simplex`] with a cross-call [`SolveContext`].
+///
+/// The LP is built over the *full* variable space — one `d_ikj` per
+/// (rule, path, pos) with a positive match rate — and the placement is
+/// encoded purely in the bounds (`ub = 0` for disabled triples). The
+/// problem shape is therefore identical for every placement over the same
+/// instance, which is what lets a shared context warm-start the re-solves
+/// across rounding trials; the pricing loop skips fixed variables, so the
+/// extra columns cost little.
+pub fn solve_inner_simplex_ctx(
+    inst: &NipsInstance,
+    ehat: &[Vec<bool>],
+    ctx: &mut SolveContext,
+) -> Result<SolutionD, RoundError> {
     let mut p = Problem::new(Sense::Max);
-    // One var per (i, k, pos) with the rule enabled at that node.
     let mut vars: Vec<(usize, usize, usize, VarId)> = Vec::new();
     let mut mem_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); inst.num_nodes];
     let mut cpu_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); inst.num_nodes];
@@ -526,10 +646,8 @@ pub fn solve_inner_simplex(
                 continue;
             }
             for (pos, &node) in path.nodes.iter().enumerate() {
-                if !ehat_i[node.index()] {
-                    continue;
-                }
-                let v = p.add_var(format!("d_{i}_{k}_{pos}"), 0.0, 1.0, inst.weight(i, k, pos));
+                let ub = if ehat_i[node.index()] { 1.0 } else { 0.0 };
+                let v = p.add_var(format!("d_{i}_{k}_{pos}"), 0.0, ub, inst.weight(i, k, pos));
                 mem_terms[node.index()].push((v, path.items * inst.rules[i].mem_per_item));
                 cpu_terms[node.index()].push((v, path.pkts * inst.rules[i].cpu_per_pkt));
                 cover.entry((i, k)).or_default().push((v, 1.0));
@@ -547,7 +665,7 @@ pub fn solve_inner_simplex(
         .into_iter()
         .map(|((i, k), terms)| LazyRow::new(format!("cov_{i}_{k}"), terms, Cmp::Le, 1.0))
         .collect();
-    let res = solve_with_lazy_rows(&p, &lazy, &RowGenOpts::default());
+    let res = solve_with_lazy_rows_ctx(&p, &lazy, &RowGenOpts::default(), ctx);
     if res.solution.status != Status::Optimal || !res.converged {
         return Err(RoundError::InnerLpFailed {
             status: res.solution.status,

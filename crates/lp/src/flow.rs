@@ -23,6 +23,9 @@ struct Arc {
     to: usize,
     rev: usize,
     cap: i64,
+    /// Capacity the arc was built with; [`MinCostFlow::reset_flows`]
+    /// restores `cap` to this (forward arcs) or to 0 (reverse arcs).
+    base: i64,
     cost: f64,
 }
 
@@ -61,11 +64,49 @@ impl MinCostFlow {
     pub fn add_arc(&mut self, u: usize, v: usize, cap: i64, cost: f64) -> ArcId {
         assert!(cap >= 0, "negative capacity");
         assert!(u != v, "self loops unsupported");
-        let fw = Arc { to: v, rev: self.graph[v].len(), cap, cost };
-        let bw = Arc { to: u, rev: self.graph[u].len(), cap: 0, cost: -cost };
+        let fw = Arc { to: v, rev: self.graph[v].len(), cap, base: cap, cost };
+        let bw = Arc { to: u, rev: self.graph[u].len(), cap: 0, base: 0, cost: -cost };
         self.graph[u].push(fw);
         self.graph[v].push(bw);
         ArcId { from: u, idx: self.graph[u].len() - 1 }
+    }
+
+    /// Undo all flow: restore every residual capacity to its as-built
+    /// value. After this the network is equivalent to a freshly
+    /// constructed one (modulo [`Self::set_cost`]/[`Self::throttle`]
+    /// changes), so the same allocation can serve many solves.
+    pub fn reset_flows(&mut self) {
+        for arcs in &mut self.graph {
+            for a in arcs.iter_mut() {
+                a.cap = a.base;
+            }
+        }
+    }
+
+    /// Re-price an arc (forward cost `cost`, reverse `-cost`). Only valid
+    /// on a flow-free network — call [`Self::reset_flows`] first.
+    pub fn set_cost(&mut self, arc: ArcId, cost: f64) {
+        let (to, rev) = {
+            let a = &mut self.graph[arc.from][arc.idx];
+            a.cost = cost;
+            (a.to, a.rev)
+        };
+        self.graph[to][rev].cost = -cost;
+    }
+
+    /// Cap an arc's *current* capacity at `cap` (without changing its
+    /// as-built capacity). Only valid on a flow-free network — call
+    /// [`Self::reset_flows`] first. `throttle(id, 0)` disables the arc
+    /// for this solve; the next `reset_flows` re-enables it.
+    pub fn throttle(&mut self, arc: ArcId, cap: i64) {
+        assert!(cap >= 0, "negative capacity");
+        let (to, rev) = {
+            let a = &self.graph[arc.from][arc.idx];
+            (a.to, a.rev)
+        };
+        debug_assert_eq!(self.graph[to][rev].cap, 0, "throttle on a network carrying flow");
+        let a = &mut self.graph[arc.from][arc.idx];
+        a.cap = a.base.min(cap);
     }
 
     /// Flow currently on `arc` (valid after [`Self::solve_profitable`]).
@@ -260,6 +301,48 @@ mod tests {
         // Candidates: {s→a→b→t, s→b(…blocked)} vs {s→a→t, s→b→t}.
         // Latter totals −(10+1) − (1+10) = −22 and is optimal.
         assert!((c + 22.0).abs() < 1e-9, "cost = {c}");
+    }
+
+    #[test]
+    fn reset_and_reprice_matches_fresh_network() {
+        // Solve, then reset + re-price + throttle, and compare against a
+        // freshly built network with the new prices/caps.
+        let mut g = MinCostFlow::new();
+        let s = g.add_node();
+        let a = g.add_node();
+        let b = g.add_node();
+        let t = g.add_node();
+        g.add_arc(s, a, 7, 0.0);
+        g.add_arc(s, b, 7, 0.0);
+        let pa = g.add_arc(a, t, 7, -2.0);
+        let pb = g.add_arc(b, t, 7, -1.0);
+        let (f1, _) = g.solve_profitable(s, t);
+        assert_eq!(f1, 14);
+
+        g.reset_flows();
+        g.set_cost(pa, 3.0); // now unprofitable
+        g.set_cost(pb, -5.0);
+        g.throttle(pb, 4);
+        let (f2, c2) = g.solve_profitable(s, t);
+
+        let mut fresh = MinCostFlow::new();
+        let s2 = fresh.add_node();
+        let a2 = fresh.add_node();
+        let b2 = fresh.add_node();
+        let t2 = fresh.add_node();
+        fresh.add_arc(s2, a2, 7, 0.0);
+        fresh.add_arc(s2, b2, 7, 0.0);
+        fresh.add_arc(a2, t2, 7, 3.0);
+        fresh.add_arc(b2, t2, 4, -5.0);
+        let (f3, c3) = fresh.solve_profitable(s2, t2);
+        assert_eq!(f2, f3);
+        assert!((c2 - c3).abs() < 1e-9);
+        assert_eq!(f2, 4);
+
+        // A second reset restores full capacity on the throttled arc.
+        g.reset_flows();
+        let (f4, _) = g.solve_profitable(s, t);
+        assert_eq!(f4, 7, "only pb is profitable after re-pricing");
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! tie-breaking, branching on the most fractional integer variable.
 
 use crate::model::Problem;
-use crate::simplex::{solve, SolverOpts};
+use crate::simplex::{solve_warm, SolverOpts, WarmStart};
 use crate::solution::{Solution, Status};
+use std::rc::Rc;
 
 /// Branch-and-bound options.
 #[derive(Debug, Clone)]
@@ -52,15 +53,20 @@ pub fn solve_milp(p: &Problem, opts: &MilpOpts) -> MilpResult {
     let better = |a: f64, b: f64| if maximize { a > b } else { a < b };
 
     let root = p.clone();
-    // Stack holds subproblems as bound-override lists (var, lb, ub).
-    let mut stack: Vec<Vec<(usize, f64, f64)>> = vec![Vec::new()];
+    // Stack holds subproblems as bound-override lists (var, lb, ub) plus
+    // the parent relaxation's final basis: a child differs from its
+    // parent only in one variable's bounds, so the parent basis is an
+    // excellent warm-start guess (the simplex re-validates it and falls
+    // back to a cold solve if branching made it infeasible).
+    type Node = (Vec<(usize, f64, f64)>, Option<Rc<WarmStart>>);
+    let mut stack: Vec<Node> = vec![(Vec::new(), None)];
     let mut incumbent: Option<Solution> = None;
     let mut incumbent_obj = if maximize { f64::NEG_INFINITY } else { f64::INFINITY };
     let mut root_bound = if maximize { f64::INFINITY } else { f64::NEG_INFINITY };
     let mut nodes = 0usize;
     let mut exhausted = false;
 
-    while let Some(overrides) = stack.pop() {
+    while let Some((overrides, warm)) = stack.pop() {
         if nodes >= opts.max_nodes {
             exhausted = true;
             break;
@@ -79,7 +85,7 @@ pub fn solve_milp(p: &Problem, opts: &MilpOpts) -> MilpResult {
         if overrides.iter().any(|&(_, lb, ub)| lb > ub) {
             continue;
         }
-        let rel = solve(&sub, &opts.lp);
+        let (rel, snap) = solve_warm(&sub, &opts.lp, warm.as_deref());
         match rel.status {
             Status::Infeasible => continue,
             Status::Unbounded => {
@@ -135,6 +141,7 @@ pub fn solve_milp(p: &Problem, opts: &MilpOpts) -> MilpResult {
             Some((v, x)) => {
                 let (lb0, ub0) = current_bounds(&root, &overrides, v);
                 let floor = x.floor();
+                let snap = snap.map(Rc::new);
                 // Down branch: x <= floor; up branch: x >= floor + 1.
                 let mut down = overrides.clone();
                 down.push((v, lb0, floor.min(ub0)));
@@ -143,11 +150,11 @@ pub fn solve_milp(p: &Problem, opts: &MilpOpts) -> MilpResult {
                 // Explore the side nearer the fractional value first
                 // (pushed last → popped first).
                 if x - floor > 0.5 {
-                    stack.push(down);
-                    stack.push(up);
+                    stack.push((down, snap.clone()));
+                    stack.push((up, snap));
                 } else {
-                    stack.push(up);
-                    stack.push(down);
+                    stack.push((up, snap.clone()));
+                    stack.push((down, snap));
                 }
             }
         }

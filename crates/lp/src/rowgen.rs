@@ -81,33 +81,102 @@ impl Default for RowGenOpts {
     }
 }
 
+/// Cross-call solver cache for repeated [`solve_with_lazy_rows`] runs
+/// over the *same problem shape* (same variable count, same eager-row
+/// count, same lazy pool size). It carries two things from one call to
+/// the next:
+///
+/// 1. the set of lazy rows that ended up active at the previous optimum
+///    (pre-materialized before the first LP of the next call, skipping
+///    the cutting-plane rounds that would rediscover them), and
+/// 2. the final simplex basis ([`WarmStart`]), so the first LP restarts
+///    from the previous optimum instead of from the slack basis.
+///
+/// Coefficients, costs, bounds and right-hand sides of both the base
+/// problem and the pooled rows may change freely between calls — rows are
+/// re-read from the pool on every call and the basis is re-validated by
+/// the simplex (falling back to a cold start when it no longer fits; see
+/// the `simplex` module docs). A shape change resets the context
+/// (`rowgen.ctx_resets`) rather than erroring.
+#[derive(Debug, Clone, Default)]
+pub struct SolveContext {
+    warm: Option<WarmStart>,
+    /// Lazy-pool indices active at the previous optimum, in activation
+    /// order (the order determines row ids, which the basis snapshot
+    /// depends on).
+    active: Vec<usize>,
+    /// `(num_vars, base rows, lazy pool len)` of the problem that filled
+    /// this context.
+    shape: Option<(usize, usize, usize)>,
+    /// Total simplex iterations of the most recent cold pass through this
+    /// context — the baseline for the `rowgen.iterations_saved` estimate.
+    baseline_iters: Option<usize>,
+}
+
+impl SolveContext {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop all cached state (basis and active rows).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Does the context hold a reusable basis?
+    pub fn is_primed(&self) -> bool {
+        self.warm.is_some()
+    }
+}
+
 /// Solve `base` plus the lazy pool to optimality by row generation.
 pub fn solve_with_lazy_rows(base: &Problem, lazy: &[LazyRow], opts: &RowGenOpts) -> RowGenResult {
+    solve_with_lazy_rows_ctx(base, lazy, opts, &mut SolveContext::new())
+}
+
+/// [`solve_with_lazy_rows`] with a cross-call [`SolveContext`]: repeated
+/// solves of near-identical problems (what-if sweeps, rounding re-solves,
+/// online epochs) skip both the rediscovery of binding lazy rows and the
+/// cold phase-1 of the first LP.
+pub fn solve_with_lazy_rows_ctx(
+    base: &Problem,
+    lazy: &[LazyRow],
+    opts: &RowGenOpts,
+    ctx: &mut SolveContext,
+) -> RowGenResult {
     let t0 = obs::now_if_enabled();
-    let finish = |solution: Solution, rows_added: usize, rounds: usize, converged: bool| {
+    let shape = (base.num_vars(), base.num_cons(), lazy.len());
+    if ctx.shape.is_some_and(|s| s != shape) {
         if obs::enabled() {
-            let s = obs::Scope::new("rowgen");
-            s.counter("solves").inc();
-            s.counter("rounds").add(rounds as u64);
-            s.counter("rows_added").add(rows_added as u64);
-            if !converged {
-                s.counter("not_converged").inc();
-            }
-            s.timer("solve_ns").observe_since(t0);
+            obs::counter("rowgen.ctx_resets").inc();
         }
-        RowGenResult { solution, rows_added, rounds, converged }
-    };
+        ctx.reset();
+    }
+    let ctx_hit = ctx.is_primed();
+    let preloaded = ctx.active.len();
+
     let mut p = base.clone();
     let mut active = vec![false; lazy.len()];
+    // Re-materialize the previously binding rows up front, in the stored
+    // activation order (row ids must match the basis snapshot).
+    let mut activation: Vec<usize> = std::mem::take(&mut ctx.active);
+    for &i in &activation {
+        let r = &lazy[i];
+        p.add_con(r.name.clone(), &r.terms, r.cmp, r.rhs);
+        active[i] = true;
+    }
+    let mut warm: Option<WarmStart> = ctx.warm.take();
     let mut rows_added = 0usize;
     let mut rounds = 0usize;
-    let mut warm: Option<WarmStart> = None;
-    loop {
+    let mut total_iters = 0usize;
+
+    let (solution, converged) = loop {
         rounds += 1;
         let (sol, snapshot) = solve_warm(&p, &opts.lp, warm.as_ref());
         warm = snapshot;
+        total_iters += sol.iterations;
         if sol.status != Status::Optimal {
-            return finish(sol, rows_added, rounds, false);
+            break (sol, false);
         }
         // Scan for violated lazy rows (and, when predictive activation is
         // on, near-binding ones).
@@ -125,16 +194,17 @@ pub fn solve_with_lazy_rows(base: &Problem, lazy: &[LazyRow], opts: &RowGenOpts)
             }
         }
         if violated.is_empty() {
-            return finish(sol, rows_added, rounds, true);
+            break (sol, true);
         }
         if rounds >= opts.max_rounds {
-            return finish(sol, rows_added, rounds, false);
+            break (sol, false);
         }
         violated.sort_by(|a, b| b.1.total_cmp(&a.1));
         for &(i, _) in violated.iter().take(opts.batch) {
             let r = &lazy[i];
             p.add_con(r.name.clone(), &r.terms, r.cmp, r.rhs);
             active[i] = true;
+            activation.push(i);
             rows_added += 1;
         }
         if violated.len() <= opts.batch {
@@ -142,10 +212,36 @@ pub fn solve_with_lazy_rows(base: &Problem, lazy: &[LazyRow], opts: &RowGenOpts)
                 let r = &lazy[i];
                 p.add_con(r.name.clone(), &r.terms, r.cmp, r.rhs);
                 active[i] = true;
+                activation.push(i);
                 rows_added += 1;
             }
         }
+    };
+
+    if obs::enabled() {
+        let s = obs::Scope::new("rowgen");
+        s.counter("solves").inc();
+        s.counter("rounds").add(rounds as u64);
+        s.counter("rows_added").add(rows_added as u64);
+        if ctx_hit {
+            s.counter("ctx_hits").inc();
+            s.counter("ctx_rows_preloaded").add(preloaded as u64);
+            if let Some(base_iters) = ctx.baseline_iters {
+                s.counter("iterations_saved").add(base_iters.saturating_sub(total_iters) as u64);
+            }
+        }
+        if !converged {
+            s.counter("not_converged").inc();
+        }
+        s.timer("solve_ns").observe_since(t0);
     }
+    if !ctx_hit {
+        ctx.baseline_iters = Some(total_iters);
+    }
+    ctx.warm = warm;
+    ctx.active = activation;
+    ctx.shape = Some(shape);
+    RowGenResult { solution, rows_added, rounds, converged }
 }
 
 #[cfg(test)]

@@ -17,6 +17,41 @@
 //!   (anti-cycling).
 //! - **Self-checking.** Basic values are recomputed periodically; a
 //!   residual alarm triggers refactorization.
+//!
+//! # Warm starts
+//!
+//! Every optimal solve emits a [`WarmStart`] snapshot — the final basis
+//! (variable states plus values). A later solve can restart from it via
+//! [`solve_from`] / [`solve_warm`] when the variable count is unchanged
+//! and rows were only appended (`w.n == n`, `w.m <= m`). Within that
+//! shape, *anything else may change*: objective costs (the FPL oracle's
+//! perturbed weights), variable bounds (rules rounded on/off), right-hand
+//! sides (capacity what-ifs) and even matrix coefficients (hardware
+//! upgrades) — the snapshot is only a starting-basis guess, re-validated
+//! against the new problem before any pivoting happens.
+//!
+//! ## Fallback semantics
+//!
+//! A warm start is **never trusted blindly**; it falls back to a cold
+//! solve (and bumps `simplex.warmstart_fallbacks`) when
+//!
+//! 1. the dimensions changed (`n` differs, or rows were removed),
+//! 2. the snapshot is internally inconsistent (basic-variable count does
+//!    not match the basis size),
+//! 3. the restored basis matrix is singular under the new coefficients,
+//! 4. the recomputed basic values are non-finite or violate the new
+//!    bounds beyond tolerance (primal infeasible under changed
+//!    bounds/rhs — a dual-simplex restart is future work; today we redo
+//!    the solve cold).
+//!
+//! Accepted restarts bump `simplex.warmstart_hits` and report their
+//! pivot count under `simplex.warmstart_iterations`, so the
+//! iteration-savings of a warm-started loop are directly readable from a
+//! metrics snapshot (`simplex.iterations` minus the warm share). When
+//! only costs changed the old basis is still primal feasible, phase 1 is
+//! skipped entirely, and the solve resumes as if the objective had been
+//! swapped mid-run; when only new rows arrived the extended basis is
+//! block-triangular and phase 1 repairs just the new rows.
 
 pub mod dense;
 pub mod sparse;
@@ -521,11 +556,25 @@ pub fn solve_warm_with_backend<B: BasisBackend>(
     backend: &mut B,
     warm: Option<&WarmStart>,
 ) -> (Solution, Option<WarmStart>) {
+    // Dimension gate: the snapshot must describe this problem minus some
+    // appended rows. A mismatch is a fallback, not an error.
+    let attempted = warm.is_some();
+    let warm = warm.filter(|w| w.n == p.num_vars() && w.m <= p.num_cons());
+    if attempted && warm.is_none() && obs::enabled() {
+        obs::counter("simplex.warmstart_fallbacks").inc();
+    }
     if warm.is_some() {
         if let SolveAttempt::Done(sol, snap) = try_solve(p, opts, backend, warm, false) {
+            if obs::enabled() {
+                obs::counter("simplex.warmstart_hits").inc();
+                obs::counter("simplex.warmstart_iterations").add(sol.iterations as u64);
+            }
             return (sol, snap);
         }
         // The warm basis failed validation (or went singular); redo cold.
+        if obs::enabled() {
+            obs::counter("simplex.warmstart_fallbacks").inc();
+        }
     }
     match try_solve(p, opts, backend, None, false) {
         SolveAttempt::Done(sol, snap) => (sol, snap),
@@ -738,7 +787,8 @@ fn try_solve<B: BasisBackend>(
                 }
             }
             // Factorize the warm basis; block-triangular, so this succeeds
-            // unless the snapshot was corrupt.
+            // unless the snapshot was corrupt (or the matrix coefficients
+            // changed enough to make the old basis singular).
             let basis_cols: Vec<&[(usize, f64)]> =
                 basis.iter().map(|&j| cols[j].as_slice()).collect();
             if backend.refactor(m, &basis_cols).is_err() {
@@ -746,42 +796,13 @@ fn try_solve<B: BasisBackend>(
             }
         }
         if !warm_ok {
-            // Reset to the cold path below.
-            cols.truncate(n + m);
-            lb.truncate(n + m);
-            ub.truncate(n + m);
-            obj2.truncate(n + m);
-            state.truncate(n + m);
-            phase1_cost = vec![0.0; n + m];
-            basis = vec![usize::MAX; m];
-            xb = vec![0.0; m];
-            n_art = 0;
-            for j in 0..n + m {
-                state[j] = if lb[j].is_finite() {
-                    VState::AtLower
-                } else if ub[j].is_finite() {
-                    VState::AtUpper
-                } else {
-                    VState::FreeZero
-                };
-            }
-            resid = rhs.clone();
-            for j in 0..n {
-                let xj = match state[j] {
-                    VState::AtLower => lb[j],
-                    VState::AtUpper => ub[j],
-                    _ => 0.0,
-                };
-                if xj != 0.0 {
-                    for &(row, a) in &cols[j] {
-                        resid[row] -= a * xj;
-                    }
-                }
-            }
+            // Inconsistent snapshot or singular warm basis: the caller
+            // retries cold (and records the fallback).
+            return SolveAttempt::WarmRejected;
         }
     }
 
-    let use_warm = warm.is_some() && warm_ok;
+    let use_warm = warm.is_some();
     if !use_warm {
         // Cold crash: slack basic where its bounds admit the residual;
         // else artificial.
@@ -876,6 +897,15 @@ fn try_solve<B: BasisBackend>(
             let j = core.basis[pos];
             if j >= n + m {
                 continue; // artificials repair themselves in phase 1
+            }
+            // Changed bounds can leave a restored nonbasic state pointing
+            // at an infinite bound; the resulting residual poisons the
+            // basic values with non-finite garbage. NaN compares false
+            // with `>`, so guard explicitly instead of relying on `worst`.
+            if !core.xb[pos].is_finite() {
+                worst = f64::INFINITY;
+                worst_pos = pos;
+                break;
             }
             let v = (core.lb[j] - core.xb[pos]).max(core.xb[pos] - core.ub[j]);
             if v > worst {
@@ -1044,4 +1074,18 @@ pub fn solve_warm(
         let mut b = sparse::SparseFactors::new();
         solve_warm_with_backend(p, opts, &mut b, warm)
     }
+}
+
+/// Re-solve `p` starting from a prior optimal basis (see the module-level
+/// "Warm starts" section for validity and fallback semantics). Costs,
+/// bounds, right-hand sides and matrix coefficients may all differ from
+/// the solve that produced `warm`; rows may have been appended but not
+/// removed, and the variable count must match — otherwise the solve
+/// silently falls back to a cold start (`simplex.warmstart_fallbacks`).
+pub fn solve_from(
+    p: &Problem,
+    opts: &SolverOpts,
+    warm: &WarmStart,
+) -> (Solution, Option<WarmStart>) {
+    solve_warm(p, opts, Some(warm))
 }

@@ -439,7 +439,7 @@ mod tests {
             sp.ftran(&entering, &mut ys);
             de.ftran(&entering, &mut yd);
             // Pick the same well-conditioned pivot row for both.
-            let r = (0..m).max_by(|&a, &b| ys[a].abs().partial_cmp(&ys[b].abs()).unwrap()).unwrap();
+            let r = (0..m).max_by(|&a, &b| ys[a].abs().total_cmp(&ys[b].abs())).unwrap();
             sp.update(r, &ys);
             de.update(r, &yd);
 

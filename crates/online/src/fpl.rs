@@ -13,12 +13,13 @@
 //! constraints, removing the discrete variables entirely).
 
 use crate::adversary::Adversary;
-use nwdp_core::nips::{solve_inner_flow_weighted, NipsInstance, SolutionD};
+use nwdp_core::nips::{InnerFlowOracle, NipsInstance};
 use nwdp_core::parallel;
 use nwdp_obs as obs;
 use nwdp_traffic::MatchRates;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::sync::Mutex;
 
 /// FPL configuration.
 #[derive(Debug, Clone)]
@@ -34,11 +35,23 @@ pub struct FplConfig {
     /// Also track the non-adaptive "follow the leader" baseline (no
     /// perturbation) for comparison.
     pub track_ftl: bool,
+    /// Reuse the oracle's min-cost-flow network across epochs (build
+    /// once, re-price per solve) instead of rebuilding it every solve.
+    /// Bit-identical results either way; `false` is the cold comparator
+    /// for the warm-start benchmarks.
+    pub reuse_oracle: bool,
 }
 
 impl Default for FplConfig {
     fn default() -> Self {
-        FplConfig { epochs: 200, epsilon: None, maxdrop: 0.01, seed: 0, track_ftl: false }
+        FplConfig {
+            epochs: 200,
+            epsilon: None,
+            maxdrop: 0.01,
+            seed: 0,
+            track_ftl: false,
+            reuse_oracle: true,
+        }
     }
 }
 
@@ -60,19 +73,34 @@ pub struct OnlineRun {
     pub epsilon: f64,
 }
 
-/// The LP oracle Λ: best static deployment for a given weight vector.
-fn oracle(inst: &NipsInstance, weights: &[f64], _layout_paths: usize) -> SolutionD {
-    let all_enabled = vec![vec![true; inst.num_nodes]; inst.rules.len()];
-    solve_inner_flow_weighted(inst, &all_enabled, |i, k, pos| weights[widx(inst, i, k, pos)])
-}
-
 fn max_hops(inst: &NipsInstance) -> usize {
     inst.paths.iter().map(|p| p.nodes.len()).max().unwrap_or(1)
 }
 
-/// Flat index helper for (rule, path, pos) weights.
-fn widx(inst: &NipsInstance, i: usize, k: usize, pos: usize) -> usize {
-    (i * inst.paths.len() + k) * max_hops(inst) + pos
+/// Flat weight layout for (rule, path, pos): `(i·n_paths + k)·stride + pos`.
+///
+/// The stride (`max_hops`) is computed **once** and captured here; an
+/// earlier version rescanned every path on every lookup, making weight
+/// indexing O(paths) per access — O(rules·paths²·hops) per oracle solve.
+#[derive(Debug, Clone, Copy)]
+struct WeightLayout {
+    n_paths: usize,
+    stride: usize,
+}
+
+impl WeightLayout {
+    fn new(inst: &NipsInstance) -> Self {
+        WeightLayout { n_paths: inst.paths.len(), stride: max_hops(inst) }
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, k: usize, pos: usize) -> usize {
+        (i * self.n_paths + k) * self.stride + pos
+    }
+
+    fn len(&self, n_rules: usize) -> usize {
+        n_rules * self.n_paths * self.stride
+    }
 }
 
 /// Run the online game for `cfg.epochs` epochs against `adversary`.
@@ -85,21 +113,44 @@ pub fn run_fpl(inst: &NipsInstance, adversary: &mut dyn Adversary, cfg: &FplConf
     let t_run = obs::now_if_enabled();
     let nr = inst.rules.len();
     let np = inst.paths.len();
+    let lay = WeightLayout::new(inst);
+    let nweights = lay.len(nr);
+
+    // The oracle Λ is the inner sampling LP with every rule enabled
+    // everywhere (§3.5 drops the TCAM constraints). Its flow network has
+    // the same structure every epoch — only the weights change — so build
+    // it once per lane and re-price per solve. Lane 0 serves the FPL
+    // decision, lane 1 the FTL/static-prefix solves: separate oracles so
+    // the two scoped-thread solves never contend on one network.
+    let all_enabled = vec![vec![true; inst.num_nodes]; nr];
+    let oracles: [Mutex<Option<InnerFlowOracle>>; 2] = if cfg.reuse_oracle {
+        [
+            Mutex::new(Some(InnerFlowOracle::build(inst, &all_enabled))),
+            Mutex::new(Some(InnerFlowOracle::build(inst, &all_enabled))),
+        ]
+    } else {
+        [Mutex::new(None), Mutex::new(None)]
+    };
     // Oracle solves dominate each epoch's wall time, so one registry
     // round-trip per solve is negligible; the timer handle is atomic and
     // safe from the scoped-thread fan-out below.
-    let timed_oracle = |w: &[f64]| {
+    let timed_oracle = |w: &[f64], lane: usize| {
         let t0 = obs::now_if_enabled();
-        let d = oracle(inst, w, np);
+        let weight = |i: usize, k: usize, pos: usize| w[lay.idx(i, k, pos)];
+        let d = match oracles[lane].lock().expect("oracle lock").as_mut() {
+            Some(o) => o.solve_feasible(inst, weight),
+            None => InnerFlowOracle::build(inst, &all_enabled).solve_feasible(inst, weight),
+        };
         if obs::enabled() {
             let s = obs::Scope::new("fpl");
             s.counter("oracle_solves").inc();
+            if cfg.reuse_oracle {
+                s.counter("oracle_reuses").inc();
+            }
             s.timer("oracle_ns").observe_since(t0);
         }
         d
     };
-    let mh = max_hops(inst);
-    let nweights = nr * np * mh;
 
     // Theorem 3.1 constants: D = M·N·L, R = A = Σ T_items × maxdrop.
     let d_const = (np * inst.num_nodes * nr) as f64;
@@ -134,15 +185,15 @@ pub fn run_fpl(inst: &NipsInstance, adversary: &mut dyn Adversary, cfg: &FplConf
         let (decision, ftl_decision) = if cfg.track_ftl && t > 0 {
             let mut pair = parallel::par_map_n(2, |j| {
                 if j == 0 {
-                    timed_oracle(&weights)
+                    timed_oracle(&weights, 0)
                 } else {
-                    timed_oracle(&hist)
+                    timed_oracle(&hist, 1)
                 }
             });
             let ftl = pair.pop().expect("two oracle solves");
             (pair.pop().expect("two oracle solves"), Some(ftl))
         } else {
-            (timed_oracle(&weights), None)
+            (timed_oracle(&weights, 0), None)
         };
 
         // --- Truth revealed. ---
@@ -164,8 +215,7 @@ pub fn run_fpl(inst: &NipsInstance, adversary: &mut dyn Adversary, cfg: &FplConf
                 let m = truth.rate(i, k);
                 if m > 0.0 {
                     for pos in 0..inst.paths[k].nodes.len() {
-                        hist[widx(inst, i, k, pos)] +=
-                            inst.paths[k].items * m * inst.distance(k, pos);
+                        hist[lay.idx(i, k, pos)] += inst.paths[k].items * m * inst.distance(k, pos);
                     }
                 }
             }
@@ -181,7 +231,7 @@ pub fn run_fpl(inst: &NipsInstance, adversary: &mut dyn Adversary, cfg: &FplConf
         // Scoring the static solution against each epoch of the prefix is
         // embarrassingly parallel; summing in input order keeps the f64
         // total bit-identical to the serial loop.
-        let static_d = timed_oracle(&hist);
+        let static_d = timed_oracle(&hist, 1);
         let static_total: f64 =
             parallel::par_map(&hist_rates, |_, m| inst.objective_with_rates(&static_d, m))
                 .into_iter()
@@ -283,6 +333,45 @@ mod tests {
         let r2 = run_fpl(&inst, &mut a2, &cfg);
         assert_eq!(r1.fpl_value, r2.fpl_value);
         assert_eq!(r1.normalized_regret, r2.normalized_regret);
+    }
+
+    /// Regression for the `widx` hoist: the precomputed stride must index
+    /// weights exactly like the old formula that recomputed `max_hops`
+    /// (an O(paths) scan) on every lookup.
+    #[test]
+    fn weight_layout_matches_naive_indexing() {
+        let inst = instance(3);
+        let lay = WeightLayout::new(&inst);
+        let naive = |i: usize, k: usize, pos: usize| {
+            let mh = inst.paths.iter().map(|p| p.nodes.len()).max().unwrap_or(1);
+            (i * inst.paths.len() + k) * mh + pos
+        };
+        for i in 0..3 {
+            for (k, path) in inst.paths.iter().enumerate() {
+                for pos in 0..path.nodes.len() {
+                    assert_eq!(lay.idx(i, k, pos), naive(i, k, pos));
+                }
+            }
+        }
+        assert_eq!(lay.len(3), 3 * inst.paths.len() * max_hops(&inst));
+    }
+
+    /// Reusing the oracle's flow network across epochs must be
+    /// bit-identical to rebuilding it per solve (a reset + re-priced
+    /// network is exactly the state a fresh build produces).
+    #[test]
+    fn oracle_reuse_bit_identical_to_rebuild() {
+        let inst = instance(5);
+        let cfg_warm = FplConfig { epochs: 15, seed: 17, track_ftl: true, ..Default::default() };
+        let cfg_cold = FplConfig { reuse_oracle: false, ..cfg_warm.clone() };
+        let mut a1 = StochasticUniform::new(5, inst.paths.len(), 0.01, 8);
+        let mut a2 = StochasticUniform::new(5, inst.paths.len(), 0.01, 8);
+        let warm = run_fpl(&inst, &mut a1, &cfg_warm);
+        let cold = run_fpl(&inst, &mut a2, &cfg_cold);
+        assert_eq!(warm.fpl_value, cold.fpl_value);
+        assert_eq!(warm.ftl_value, cold.ftl_value);
+        assert_eq!(warm.static_prefix_value, cold.static_prefix_value);
+        assert_eq!(warm.normalized_regret, cold.normalized_regret);
     }
 }
 

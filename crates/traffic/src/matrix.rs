@@ -62,13 +62,16 @@ impl TrafficMatrix {
         (0..self.n).map(|d| self.frac[s.index() * self.n + d]).sum()
     }
 
-    /// The ordered pair carrying the most traffic.
+    /// The ordered pair carrying the most traffic. Non-finite entries
+    /// (NaN from a degenerate gravity model) compare lowest rather than
+    /// panicking.
     pub fn busiest_pair(&self) -> (NodeId, NodeId) {
+        let finite_or_min = |v: f64| if v.is_finite() { v } else { f64::NEG_INFINITY };
         let (idx, _) = self
             .frac
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in TM"))
+            .max_by(|a, b| finite_or_min(*a.1).total_cmp(&finite_or_min(*b.1)))
             .expect("empty TM");
         (NodeId(idx / self.n), NodeId(idx % self.n))
     }
@@ -78,6 +81,19 @@ impl TrafficMatrix {
 mod tests {
     use super::*;
     use nwdp_topo::internet2;
+
+    /// Regression: a NaN entry used to trip
+    /// `partial_cmp(..).expect("NaN in TM")`; non-finite entries now
+    /// compare lowest and the busiest finite pair wins.
+    #[test]
+    fn busiest_pair_tolerates_nan_entries() {
+        let mut tm = TrafficMatrix { n: 2, frac: vec![0.0, f64::NAN, 0.7, 0.0] };
+        assert_eq!(tm.busiest_pair(), (NodeId(1), NodeId(0)));
+        tm.frac = vec![f64::NAN; 4];
+        // Degenerate all-NaN matrix: still answers without panicking.
+        let (s, d) = tm.busiest_pair();
+        assert!(s.index() < 2 && d.index() < 2);
+    }
 
     #[test]
     fn gravity_sums_to_one() {

@@ -1,0 +1,144 @@
+//! Warm starting is a pure performance optimization: every re-solve loop
+//! that reuses a basis, a row-generation context, or a pre-built flow
+//! network must land on the same objective as solving cold from scratch
+//! (≤ 1e-9 relative), and must do so under any thread-count override.
+//!
+//! Covers the four reuse sites of the warm-start layer:
+//! - `solve_nids_lp_warm` basis chaining (provisioning sweep pattern),
+//! - `solve_relaxation_ctx` row-generation context reuse (TCAM sweep),
+//! - `RoundingOpts::warm_start` shared-baseline inner-LP starts,
+//! - `FplConfig::reuse_oracle` flow-network re-pricing across epochs.
+
+use nwdp::core::nids::solve_nids_lp_warm;
+use nwdp::core::nips::solve_relaxation_ctx;
+use nwdp::core::parallel;
+use nwdp::lp::SolveContext;
+use nwdp::prelude::*;
+
+fn close(a: f64, b: f64, what: &str) {
+    assert!(
+        (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+        "{what}: cold {a} vs warm {b} diverged beyond 1e-9"
+    );
+}
+
+/// Run `f` under 1-thread and 4-thread overrides; both must agree.
+fn under_thread_counts(f: impl Fn()) {
+    parallel::with_threads(1, &f);
+    parallel::with_threads(4, &f);
+}
+
+fn nids_setup() -> (NidsDeployment, NidsLpConfig) {
+    let topo = nwdp::topo::internet2();
+    let paths = PathDb::shortest_paths(&topo);
+    let tm = TrafficMatrix::gravity(&topo);
+    let vol = VolumeModel::internet2_baseline();
+    let dep = build_units(&topo, &paths, &tm, &vol, &AnalysisClass::standard_set());
+    let cfg = NidsLpConfig::homogeneous(dep.num_nodes, NodeCaps { cpu: 2e8, mem: 4e9 });
+    (dep, cfg)
+}
+
+fn nips_setup(n_rules: usize, cap_frac: f64, seed: u64) -> NipsInstance {
+    let topo = nwdp::topo::internet2();
+    let paths = PathDb::shortest_paths(&topo);
+    let tm = TrafficMatrix::gravity(&topo);
+    let vol = VolumeModel::internet2_baseline();
+    let rates = MatchRates::uniform_001(n_rules, paths.all_pairs().count(), seed);
+    NipsInstance::evaluation_setup(&topo, &paths, &tm, &vol, n_rules, cap_frac, rates)
+}
+
+/// NIDS LP: chaining the basis through a capacity sweep must reproduce the
+/// cold per-instance optima exactly (the LP has a unique optimal value).
+#[test]
+fn nids_lp_warm_chain_matches_cold() {
+    let (dep, cfg) = nids_setup();
+    under_thread_counts(|| {
+        let (cold_base, _) = solve_nids_lp_warm(&dep, &cfg, None).unwrap();
+        let mut warm = None;
+        for j in 0..dep.num_nodes {
+            let mut c = cfg.clone();
+            c.caps[j].cpu *= 2.0;
+            c.caps[j].mem *= 2.0;
+            let (cold, _) = solve_nids_lp_warm(&dep, &c, None).unwrap();
+            let (hot, snap) = solve_nids_lp_warm(&dep, &c, warm.as_ref()).unwrap();
+            warm = snap;
+            close(cold.max_load, hot.max_load, &format!("NIDS upgrade node {j}"));
+        }
+        let (cold_again, _) = solve_nids_lp_warm(&dep, &cfg, warm.as_ref()).unwrap();
+        close(cold_base.max_load, cold_again.max_load, "NIDS baseline re-solve");
+    });
+}
+
+/// NIPS relaxation: reusing one `SolveContext` across a TCAM what-if sweep
+/// (rhs-only changes) must match fresh row generation per instance.
+#[test]
+fn relaxation_ctx_reuse_matches_cold() {
+    let inst = nips_setup(5, 0.3, 7);
+    let opts = RowGenOpts::default();
+    under_thread_counts(|| {
+        let mut ctx = SolveContext::new();
+        for extra in [0.0, 1.0, 2.0, 4.0] {
+            let mut inst2 = inst.clone();
+            for c in inst2.cam_cap.iter_mut() {
+                *c += extra;
+            }
+            let cold = solve_relaxation(&inst2, &opts).unwrap();
+            let warm = solve_relaxation_ctx(&inst2, &opts, &mut ctx).unwrap();
+            close(cold.objective, warm.objective, &format!("relaxation cam+{extra}"));
+        }
+    });
+}
+
+/// Rounding refinements: `warm_start` on/off must pick the same best
+/// placement (same trials, same inner optima, same tie-breaks).
+#[test]
+fn rounding_warm_start_matches_cold() {
+    let mut inst = nips_setup(5, 0.4, 11);
+    // Heterogeneous requirements force the simplex inner path (the
+    // proportional fast path never touches the warm-start machinery).
+    for (i, r) in inst.rules.iter_mut().enumerate() {
+        r.cpu_per_pkt *= 1.0 + 0.15 * i as f64;
+        r.mem_per_item *= 1.0 + 0.10 * i as f64;
+    }
+    let relax = solve_relaxation(&inst, &RowGenOpts::default()).unwrap();
+    for strategy in [Strategy::LpResolve, Strategy::GreedyLpResolve] {
+        under_thread_counts(|| {
+            let run = |warm: bool| {
+                let opts = RoundingOpts {
+                    strategy,
+                    iterations: 4,
+                    seed: 23,
+                    warm_start: warm,
+                    ..Default::default()
+                };
+                round_best_of(&inst, &relax, &opts).unwrap()
+            };
+            let cold = run(false);
+            let warm = run(true);
+            close(cold.objective, warm.objective, &format!("rounding {strategy:?}"));
+            assert_eq!(cold.e, warm.e, "same placement chosen ({strategy:?})");
+        });
+    }
+}
+
+/// FPL epochs: re-pricing one flow network per epoch is bit-identical to
+/// rebuilding it from scratch, so every reported series must match.
+#[test]
+fn fpl_oracle_reuse_matches_cold_over_50_epochs() {
+    let mut inst = nips_setup(4, 1.0, 3);
+    inst.cam_cap = vec![f64::INFINITY; inst.num_nodes];
+    under_thread_counts(|| {
+        let run = |reuse: bool| {
+            let mut adv = StochasticUniform::new(4, inst.paths.len(), 0.01, 0xfee1);
+            let cfg = FplConfig { epochs: 50, seed: 29, reuse_oracle: reuse, ..Default::default() };
+            run_fpl(&inst, &mut adv, &cfg)
+        };
+        let cold = run(false);
+        let warm = run(true);
+        assert_eq!(cold.fpl_value, warm.fpl_value, "per-epoch FPL values must be bit-identical");
+        assert_eq!(cold.static_prefix_value, warm.static_prefix_value);
+        let cold_total: f64 = cold.fpl_value.iter().sum();
+        let warm_total: f64 = warm.fpl_value.iter().sum();
+        close(cold_total, warm_total, "FPL 50-epoch total");
+    });
+}
