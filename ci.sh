@@ -16,6 +16,37 @@ echo "== warm-start equivalence (thread counts 1 and 4) =="
 NWDP_THREADS=1 cargo test -q --test warmstart_equivalence
 NWDP_THREADS=4 cargo test -q --test warmstart_equivalence
 
+echo "== resilience suites (thread counts 1 and 4) =="
+# Manifest repair and the resilient replay must be bit-identical under any
+# fan-out width: the property suite checks repaired manifests (zero gap,
+# no overlap, load within the greedy bound) and the engine suite checks
+# end-to-end alert recovery after single-node crashes.
+NWDP_THREADS=1 cargo test -q -p nwdp-engine --test resilience
+NWDP_THREADS=4 cargo test -q -p nwdp-engine --test resilience
+NWDP_THREADS=1 cargo test -q --test proptest_resilience
+NWDP_THREADS=4 cargo test -q --test proptest_resilience
+
+# Repair code must never unwrap a hash-range lookup: a missing
+# (unit, node) entry is a legal state (node not assigned, node failed),
+# not a bug to panic on. Same rule for the resilience library sources
+# (test modules below #[cfg(test)] are exempt, as in the NaN lint).
+echo "== resilience panic-path grep lint =="
+range_hits="$(grep -rnE '\.range\([^)]*\)[[:space:]]*\.(unwrap|expect)\(' crates/ src/ --include='*.rs' | grep -vE '^[^:]*:[0-9]+:[[:space:]]*//' || true)"
+if [ -n "$range_hits" ]; then
+  echo "found unwrap()/expect() on Option<&RangeSet> lookups:" >&2
+  echo "$range_hits" >&2
+  exit 1
+fi
+res_hits="$(for f in crates/core/src/resilience/*.rs; do
+  awk '/#\[cfg\(test\)\]/{exit} /\.(unwrap|expect)\(/ && $0 !~ /^[[:space:]]*\/\//{print FILENAME":"FNR": "$0}' "$f"
+done)"
+if [ -n "$res_hits" ]; then
+  echo "found unwrap()/expect() in resilience library code:" >&2
+  echo "$res_hits" >&2
+  exit 1
+fi
+echo "resilience lint OK"
+
 echo "== fmt =="
 cargo fmt --check
 

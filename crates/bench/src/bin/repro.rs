@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //!   repro [--quick] [--out DIR] [--metrics-out FILE] [--fig N]...
-//!         [fig5 fig6 fig7 fig8 fig10 fig11 opt-time ext warm | all]
+//!         [fig5 fig6 fig7 fig8 fig10 fig11 opt-time ext warm resilience | all]
 //!
 //! Results are written as CSV files under `--out` (default `results/`) and
 //! printed as ASCII tables. `--fig 5` is shorthand for the `fig5`
@@ -64,10 +64,21 @@ fn parse_args(args: &[String]) -> Cli {
         i += 1;
     }
     if cli.wanted.is_empty() || cli.wanted.iter().any(|w| w == "all") {
-        cli.wanted = ["fig5", "fig6", "fig7", "fig8", "fig10", "fig11", "opt-time", "ext", "warm"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        cli.wanted = [
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig10",
+            "fig11",
+            "opt-time",
+            "ext",
+            "warm",
+            "resilience",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     cli
 }
@@ -156,6 +167,15 @@ fn main() {
                     warmstart::provisioning_cold_vs_warm(2.0),
                 ];
                 emit(&warmstart::table(&rows), &cli.out, "warmstart_cold_vs_warm");
+            }
+            "resilience" => {
+                let pts = nwdp_bench::resilience::run(scale);
+                emit(&nwdp_bench::resilience::table(&pts), &cli.out, "resilience_crash_sweep");
+                emit(
+                    &nwdp_bench::resilience::summary(&pts),
+                    &cli.out,
+                    "resilience_detection_tradeoff",
+                );
             }
             "opt-time" => {
                 let mut rows = vec![opttime::nids_lp_time(50, 50)];

@@ -20,7 +20,10 @@
 //!   small instances exactly via branch-and-bound.
 //! - [`provision`]: the §5 what-if upgrade analysis;
 //! - [`migration`]: the §5 routing-change transition planner (drain vs
-//!   state-transfer).
+//!   state-transfer);
+//! - [`resilience`]: node-failure detection windows, manifest repair
+//!   (greedy fast path + warm-started LP slow path), and graceful
+//!   degradation under overload.
 
 pub mod class;
 pub mod migration;
@@ -28,6 +31,7 @@ pub mod nids;
 pub mod nips;
 pub mod parallel;
 pub mod provision;
+pub mod resilience;
 pub mod units;
 
 /// Workspace observability layer (metrics + JSON export), re-exported so

@@ -48,7 +48,11 @@ pub struct TransitionPlan {
 }
 
 /// Fraction of `[0, 1)` where the owner under `old` differs from the owner
-/// under `new`, estimated on a probe grid.
+/// under `new`, computed exactly by sweeping the elementary intervals
+/// induced by both manifests' segment endpoints (ownership is constant on
+/// each). The owner of a point is the first covering node in the unit's
+/// eligible-node order (the unique owner at redundancy 1; the same
+/// deterministic representative either way at higher redundancy).
 fn moved_fraction(
     old: &SamplingManifest,
     old_unit: usize,
@@ -56,28 +60,49 @@ fn moved_fraction(
     new: &SamplingManifest,
     new_unit: usize,
     new_nodes: &[NodeId],
-    grid: usize,
 ) -> f64 {
-    let mut moved = 0usize;
-    for g in 0..grid {
-        let h = (g as f64 + 0.5) / grid as f64;
+    let mut cuts: Vec<f64> = vec![0.0, 1.0];
+    let mut push_cuts = |m: &SamplingManifest, u: usize, nodes: &[NodeId]| {
+        for &j in nodes {
+            if let Some(ranges) = m.range(u, j) {
+                for seg in ranges.segments() {
+                    cuts.push(seg.lo.clamp(0.0, 1.0));
+                    cuts.push(seg.hi.clamp(0.0, 1.0));
+                }
+            }
+        }
+    };
+    push_cuts(old, old_unit, old_nodes);
+    push_cuts(new, new_unit, new_nodes);
+    cuts.sort_by(f64::total_cmp);
+    let mut moved = 0.0;
+    for w in 0..cuts.len() - 1 {
+        let (a, b) = (cuts[w], cuts[w + 1]);
+        if b <= a {
+            continue;
+        }
+        let h = 0.5 * (a + b);
         let old_owner = old_nodes.iter().find(|&&n| old.should_analyze(old_unit, n, h));
         let new_owner = new_nodes.iter().find(|&&n| new.should_analyze(new_unit, n, h));
         if old_owner != new_owner {
-            moved += 1;
+            moved += b - a;
         }
     }
-    moved as f64 / grid as f64
+    moved
 }
 
 /// Compare two compiled deployments (same class list, possibly different
 /// routing) and plan the transition.
+///
+/// `_grid` is vestigial: moved fractions are now computed by an exact
+/// endpoint sweep rather than grid sampling (the argument is kept so the
+/// many existing call sites keep compiling).
 pub fn plan_transition(
     old_dep: &NidsDeployment,
     old_manifest: &SamplingManifest,
     new_dep: &NidsDeployment,
     new_manifest: &SamplingManifest,
-    grid: usize,
+    _grid: usize,
 ) -> TransitionPlan {
     assert_eq!(
         old_dep.classes.len(),
@@ -99,7 +124,7 @@ pub fn plan_transition(
         matched += 1;
         let old_unit = &old_dep.units[ou];
         let moved =
-            moved_fraction(old_manifest, ou, &old_unit.nodes, new_manifest, nu, &unit.nodes, grid);
+            moved_fraction(old_manifest, ou, &old_unit.nodes, new_manifest, nu, &unit.nodes);
         moved_total += moved;
         if moved == 0.0 {
             continue;
@@ -153,6 +178,107 @@ mod tests {
         let a = solve_nids_lp(&dep, &cfg).unwrap();
         let m = generate_manifests(&dep, &a.d);
         (dep, m)
+    }
+
+    /// A one-unit deployment over a 3-node line with an explicit split.
+    fn line_unit_manifest(
+        nodes: &[usize],
+        ranges: &[(usize, f64, f64)],
+    ) -> (NidsDeployment, SamplingManifest) {
+        use crate::nids::ManifestEntry;
+        use nwdp_hash::RangeSet;
+        let topo = nwdp_topo::line(3);
+        let paths = PathDb::shortest_paths(&topo);
+        let tm = nwdp_traffic::TrafficMatrix::uniform(&topo);
+        let vol = VolumeModel::internet2_baseline();
+        let classes = vec![AnalysisClass::standard_set().remove(0)];
+        let mut dep = build_units(&topo, &paths, &tm, &vol, &classes);
+        dep.units.truncate(1);
+        dep.units[0].nodes = nodes.iter().map(|&j| NodeId(j)).collect();
+        let entries: Vec<_> = ranges
+            .iter()
+            .map(|&(j, lo, hi)| {
+                (
+                    NodeId(j),
+                    ManifestEntry {
+                        class: dep.units[0].class,
+                        unit: 0,
+                        key: dep.units[0].key,
+                        ranges: RangeSet::interval(lo, hi),
+                    },
+                )
+            })
+            .collect();
+        let m = SamplingManifest::from_entries(dep.num_nodes, entries);
+        (dep, m)
+    }
+
+    #[test]
+    fn handcrafted_swap_moves_exact_fraction_and_classifies_owners() {
+        // Old: node 0 owns [0, 0.25), node 1 owns [0.25, 1).
+        let (old_dep, old_man) = line_unit_manifest(&[0, 1, 2], &[(0, 0.0, 0.25), (1, 0.25, 1.0)]);
+        // New: node 0 dropped off the path; node 1 owns [0, 0.75),
+        // node 2 owns [0.75, 1).
+        let (new_dep, new_man) = line_unit_manifest(&[1, 2], &[(1, 0.0, 0.75), (2, 0.75, 1.0)]);
+        let plan = plan_transition(&old_dep, &old_man, &new_dep, &new_man, 31);
+        assert_eq!(plan.units.len(), 1);
+        let t = &plan.units[0];
+        // Owner changes exactly on [0, 0.25) (0 → 1) and [0.75, 1) (1 → 2).
+        assert!((t.moved_fraction - 0.5).abs() < 1e-12, "moved {}", t.moved_fraction);
+        assert!((plan.mean_moved_fraction - 0.5).abs() < 1e-12);
+        // Node 1 is still on the new path: it drains in place. Node 0 is
+        // not: its live state must be transferred.
+        assert_eq!(t.drain_at, vec![NodeId(1)]);
+        assert_eq!(t.transfer_from, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn moved_fraction_is_a_fraction() {
+        // Per-unit and mean moved fractions live in [0, 1] by construction;
+        // pin it on a real reroute (the exact sweep must not double-count
+        // elementary intervals).
+        let topo = internet2();
+        let (old_dep, old_man) = compile(&topo);
+        let mut rerouted = Topology::new("Internet2-rerouted");
+        for n in topo.nodes() {
+            rerouted.add_node(topo.node(n).name.clone(), topo.population(n));
+        }
+        let chi = topo.find("Chicago").unwrap();
+        let nyc = topo.find("NewYork").unwrap();
+        for l in topo.links() {
+            let w = if (l.a == chi && l.b == nyc) || (l.a == nyc && l.b == chi) {
+                l.weight * 10.0
+            } else {
+                l.weight
+            };
+            rerouted.add_link(l.a, l.b, w);
+        }
+        let (new_dep, new_man) = compile(&rerouted);
+        let plan = plan_transition(&old_dep, &old_man, &new_dep, &new_man, 31);
+        for t in &plan.units {
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&t.moved_fraction),
+                "unit {}: moved {}",
+                t.new_unit,
+                t.moved_fraction
+            );
+            // A listed transition really moved something.
+            assert!(t.moved_fraction > 0.0);
+        }
+        assert!((0.0..=1.0).contains(&plan.mean_moved_fraction));
+    }
+
+    #[test]
+    fn same_assignment_different_manifest_objects_is_all_zero() {
+        // The degenerate case at the unit level: byte-identical splits
+        // compiled into two distinct manifest objects plan an all-zero
+        // transition (no drains, no transfers, nothing moved).
+        let (dep, man_a) = line_unit_manifest(&[0, 1], &[(0, 0.0, 0.5), (1, 0.5, 1.0)]);
+        let (_, man_b) = line_unit_manifest(&[0, 1], &[(0, 0.0, 0.5), (1, 0.5, 1.0)]);
+        let plan = plan_transition(&dep, &man_a, &dep, &man_b, 7);
+        assert_eq!(plan.mean_moved_fraction, 0.0);
+        assert!(plan.units.is_empty(), "zero-move units are elided from the plan");
+        assert_eq!((plan.new_units, plan.retired_units), (0, 0));
     }
 
     #[test]

@@ -94,8 +94,38 @@ pub fn solve_nids_lp_warm(
     cfg: &NidsLpConfig,
     warm: Option<&WarmStart>,
 ) -> Result<(NidsAssignment, Option<WarmStart>), NidsError> {
+    solve_nids_lp_excluding(dep, cfg, &[], warm).map(|(a, w, degraded)| {
+        debug_assert!(degraded.is_empty(), "no exclusions, no degraded units");
+        (a, w)
+    })
+}
+
+/// [`solve_nids_lp_warm`] with a set of **excluded** (failed) nodes.
+///
+/// The failure repair slow path re-optimizes on the surviving node set.
+/// Rather than rebuilding a structurally smaller LP — which would
+/// invalidate the pre-failure warm basis (the simplex warm-start gate
+/// requires an identical variable count) — the full-shape LP is kept and
+/// failures are expressed as *data*: excluded nodes' `d` variables are
+/// clamped to `[0, 0]`, and a unit whose surviving eligible set is too
+/// small for redundancy `r` has its coverage right-hand side relaxed to
+/// the surviving count (down to 0 for fully orphaned units) instead of
+/// going infeasible. The problem shape is therefore identical across
+/// *every* failure what-if on the same deployment, so one basis chains
+/// through a whole `N × failure` sweep.
+///
+/// Returns the assignment, the final basis, and the indices of *degraded*
+/// units — those whose coverage RHS was relaxed below `r` and which the
+/// caller must account as (partially) uncovered.
+pub fn solve_nids_lp_excluding(
+    dep: &NidsDeployment,
+    cfg: &NidsLpConfig,
+    excluded: &[NodeId],
+    warm: Option<&WarmStart>,
+) -> Result<(NidsAssignment, Option<WarmStart>, Vec<usize>), NidsError> {
     assert_eq!(cfg.caps.len(), dep.num_nodes, "capacity vector size mismatch");
     assert!(cfg.redundancy >= 1.0, "redundancy below 1 abandons coverage");
+    let is_excluded = |j: NodeId| excluded.contains(&j);
 
     let mut p = Problem::new(Sense::Min);
     let load = p.add_var("L", 0.0, f64::INFINITY, 1.0);
@@ -104,18 +134,30 @@ pub fn solve_nids_lp_warm(
     let mut dvars: Vec<Vec<VarId>> = Vec::with_capacity(dep.units.len());
     let mut cpu_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); dep.num_nodes];
     let mut mem_terms: Vec<Vec<(VarId, f64)>> = vec![Vec::new(); dep.num_nodes];
+    let mut degraded: Vec<usize> = Vec::new();
     for (u, unit) in dep.units.iter().enumerate() {
         let class = &dep.classes[unit.class];
         let mut vars = Vec::with_capacity(unit.nodes.len());
         for &j in &unit.nodes {
-            let v = p.add_var(format!("d_{u}_{}", j.index()), 0.0, 1.0, 0.0);
+            let hi = if is_excluded(j) { 0.0 } else { 1.0 };
+            let v = p.add_var(format!("d_{u}_{}", j.index()), 0.0, hi, 0.0);
             cpu_terms[j.index()].push((v, class.cpu_per_pkt * unit.pkts / cfg.caps[j.index()].cpu));
             mem_terms[j.index()]
                 .push((v, class.mem_per_item * unit.items / cfg.caps[j.index()].mem));
             vars.push(v);
         }
+        // A unit touched by the exclusion keeps as much coverage as its
+        // survivors allow; untouched units keep the strict `= r` row so
+        // genuine infeasibility (r beyond the eligible set) still errors.
+        let survivors = unit.nodes.iter().filter(|&&j| !is_excluded(j)).count() as f64;
+        let rhs = if survivors < (unit.nodes.len() as f64) && survivors < cfg.redundancy {
+            degraded.push(u);
+            survivors
+        } else {
+            cfg.redundancy
+        };
         let cover: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
-        p.add_con(format!("cover_{u}"), &cover, Cmp::Eq, cfg.redundancy);
+        p.add_con(format!("cover_{u}"), &cover, Cmp::Eq, rhs);
         dvars.push(vars);
     }
     for j in 0..dep.num_nodes {
@@ -152,7 +194,7 @@ pub fn solve_nids_lp_warm(
         mem_load,
         lp_iterations: sol.iterations,
     };
-    Ok((assignment, snapshot))
+    Ok((assignment, snapshot, degraded))
 }
 
 /// Per-node loads induced by a fractional assignment.

@@ -64,10 +64,42 @@ pub fn generate_manifests(dep: &NidsDeployment, d: &[Vec<(NodeId, f64)>]) -> Sam
     SamplingManifest { per_node, index }
 }
 
+/// Seam tolerance for the exact coverage sweep: ~4 ulps of the 2⁻³² hash
+/// lattice the engine quantizes to. Endpoints closer than this are one
+/// seam; intervals narrower than this carry no representable hash value.
+pub const SWEEP_EPS: f64 = 1e-9;
+
 impl SamplingManifest {
+    /// Rebuild a manifest from explicit per-node entries (one entry per
+    /// `(unit, node)` pair at most). This is how the resilience repair
+    /// paths construct manifests: they move *specific hash segments*
+    /// between nodes, which the fractional [`generate_manifests`] walk
+    /// cannot express.
+    pub fn from_entries(
+        num_nodes: usize,
+        entries: impl IntoIterator<Item = (NodeId, ManifestEntry)>,
+    ) -> SamplingManifest {
+        let mut per_node: Vec<Vec<ManifestEntry>> = vec![Vec::new(); num_nodes];
+        let mut index = HashMap::new();
+        for (node, entry) in entries {
+            if entry.ranges.is_empty() {
+                continue;
+            }
+            let prev = index.insert((entry.unit, node.index()), per_node[node.index()].len());
+            assert!(prev.is_none(), "duplicate manifest entry for unit {} at {node:?}", entry.unit);
+            per_node[node.index()].push(entry);
+        }
+        SamplingManifest { per_node, index }
+    }
+
     /// All of `node`'s responsibilities.
     pub fn node_entries(&self, node: NodeId) -> &[ManifestEntry] {
         &self.per_node[node.index()]
+    }
+
+    /// Number of nodes the manifest was compiled for.
+    pub fn num_nodes(&self) -> usize {
+        self.per_node.len()
     }
 
     /// The hash range `HashRange(i, k, j)` for unit `u` at `node`, if any.
@@ -88,27 +120,69 @@ impl SamplingManifest {
 
     /// Verify the manifest invariants for every unit:
     /// 1. the ranges of distinct nodes are disjoint within each unit
-    ///    (checked on a grid), and
+    ///    (multiplicity never exceeds the redundancy level), and
     /// 2. every point of the hash space is covered exactly `r` times by
     ///    `r` distinct nodes.
     ///
-    /// Returns the observed coverage multiplicity (min, max) over a probe
-    /// grid of `grid` points.
-    pub fn verify_coverage(&self, dep: &NidsDeployment, grid: usize) -> (usize, usize) {
+    /// Thin wrapper over [`verify_coverage_exact`]: historically this
+    /// probed a midpoint grid of `grid` points, which could miss gaps or
+    /// overlaps narrower than a grid cell; the check is now an exact
+    /// interval sweep and the `grid` argument is ignored (kept for API
+    /// compatibility).
+    ///
+    /// [`verify_coverage_exact`]: SamplingManifest::verify_coverage_exact
+    pub fn verify_coverage(&self, dep: &NidsDeployment, _grid: usize) -> (usize, usize) {
+        self.verify_coverage_exact(dep)
+    }
+
+    /// Exact coverage check: for every unit, sweep the *elementary
+    /// intervals* induced by the segment endpoints of all of the unit's
+    /// node ranges. Coverage multiplicity is constant on each elementary
+    /// interval, so probing one interior point per interval is exact — no
+    /// gap or overlap can hide between probe points, unlike the old grid
+    /// sampling. Endpoints within [`SWEEP_EPS`] collapse into one seam
+    /// (FP drift from the running-range walk in [`generate_manifests`]
+    /// lives below the hash lattice and is not a real gap).
+    ///
+    /// Returns the coverage multiplicity (min, max) over all units.
+    pub fn verify_coverage_exact(&self, dep: &NidsDeployment) -> (usize, usize) {
         let mut lo = usize::MAX;
         let mut hi = 0usize;
-        for (u, unit) in dep.units.iter().enumerate() {
-            for g in 0..grid {
-                let h = (g as f64 + 0.5) / grid as f64;
-                let mut covers = 0usize;
-                for &j in &unit.nodes {
-                    if self.should_analyze(u, j, h) {
-                        covers += 1;
-                    }
+        for u in 0..dep.units.len() {
+            let (ulo, uhi) = self.unit_coverage_exact(dep, u);
+            lo = lo.min(ulo);
+            hi = hi.max(uhi);
+        }
+        (lo, hi)
+    }
+
+    /// The exact-sweep coverage multiplicity (min, max) of one unit. The
+    /// resilience layer uses this to verify repaired units individually
+    /// while failed single-node units are accounted as shed rather than
+    /// flagged as gaps.
+    pub fn unit_coverage_exact(&self, dep: &NidsDeployment, u: usize) -> (usize, usize) {
+        let unit = &dep.units[u];
+        let mut cuts: Vec<f64> = vec![0.0, 1.0];
+        for &j in &unit.nodes {
+            if let Some(ranges) = self.range(u, j) {
+                for seg in ranges.segments() {
+                    cuts.push(seg.lo.clamp(0.0, 1.0));
+                    cuts.push(seg.hi.clamp(0.0, 1.0));
                 }
-                lo = lo.min(covers);
-                hi = hi.max(covers);
             }
+        }
+        cuts.sort_by(f64::total_cmp);
+        let mut lo = usize::MAX;
+        let mut hi = 0usize;
+        for w in 0..cuts.len() - 1 {
+            let (a, b) = (cuts[w], cuts[w + 1]);
+            if b - a <= SWEEP_EPS {
+                continue; // sub-lattice sliver: no representable hash
+            }
+            let h = 0.5 * (a + b);
+            let covers = unit.nodes.iter().filter(|&&j| self.should_analyze(u, j, h)).count();
+            lo = lo.min(covers);
+            hi = hi.max(covers);
         }
         (lo, hi)
     }
@@ -172,6 +246,72 @@ mod tests {
         let m = generate_manifests(&d2, &a.d);
         let (lo, hi) = m.verify_coverage(&d2, 101);
         assert_eq!((lo, hi), (2, 2), "every point covered exactly twice");
+    }
+
+    /// One-unit deployment over the first `n` nodes of a line topology,
+    /// with explicit per-node range sets.
+    fn manifest_of(ranges: Vec<RangeSet>) -> (NidsDeployment, SamplingManifest) {
+        let d0 = dep();
+        let mut d = d0.clone();
+        d.units.truncate(1);
+        d.units[0].nodes = (0..ranges.len()).map(NodeId).collect();
+        let entries = ranges.into_iter().enumerate().map(|(j, r)| {
+            (
+                NodeId(j),
+                ManifestEntry { class: d.units[0].class, unit: 0, key: d.units[0].key, ranges: r },
+            )
+        });
+        let m = SamplingManifest::from_entries(d.num_nodes, entries);
+        (d, m)
+    }
+
+    #[test]
+    fn exact_sweep_catches_sub_grid_gap() {
+        // A gap of width 2e-4 straddling no midpoint of a 101-point grid:
+        // the old grid check reported (1, 1); the exact sweep must not.
+        let (d, m) =
+            manifest_of(vec![RangeSet::interval(0.0, 0.49505), RangeSet::interval(0.49525, 1.0)]);
+        let mut grid_lo = usize::MAX;
+        for g in 0..101 {
+            let h = (g as f64 + 0.5) / 101.0;
+            let covers = (0..2).filter(|&j| m.should_analyze(0, NodeId(j), h)).count();
+            grid_lo = grid_lo.min(covers);
+        }
+        assert_eq!(grid_lo, 1, "the grid probe misses the gap");
+        assert_eq!(m.verify_coverage_exact(&d), (0, 1), "the sweep finds it");
+    }
+
+    #[test]
+    fn exact_sweep_catches_sub_grid_overlap() {
+        let (d, m) =
+            manifest_of(vec![RangeSet::interval(0.0, 0.49535), RangeSet::interval(0.49515, 1.0)]);
+        assert_eq!(m.verify_coverage_exact(&d), (1, 2));
+    }
+
+    #[test]
+    fn exact_sweep_tolerates_sub_lattice_drift() {
+        // Endpoints 3e-10 apart (under the 2^-32 hash lattice) are one
+        // seam, not a gap.
+        let (d, m) =
+            manifest_of(vec![RangeSet::interval(0.0, 0.5), RangeSet::interval(0.5 + 3e-10, 1.0)]);
+        assert_eq!(m.verify_coverage_exact(&d), (1, 1));
+    }
+
+    #[test]
+    fn from_entries_round_trips_generated_manifest() {
+        let d = dep();
+        let cfg = NidsLpConfig::homogeneous(d.num_nodes, NodeCaps { cpu: 2e8, mem: 4e9 });
+        let a = solve_nids_lp(&d, &cfg).unwrap();
+        let m = generate_manifests(&d, &a.d);
+        let entries = (0..d.num_nodes)
+            .flat_map(|j| m.node_entries(NodeId(j)).iter().cloned().map(move |e| (NodeId(j), e)));
+        let rebuilt = SamplingManifest::from_entries(d.num_nodes, entries.collect::<Vec<_>>());
+        assert_eq!(rebuilt.verify_coverage_exact(&d), (1, 1));
+        for (u, _) in d.units.iter().enumerate() {
+            for j in 0..d.num_nodes {
+                assert_eq!(m.range(u, NodeId(j)), rebuilt.range(u, NodeId(j)));
+            }
+        }
     }
 
     #[test]

@@ -6,8 +6,8 @@ pub mod manifest;
 pub mod manifest_io;
 
 pub use lp::{
-    edge_only_loads, loads_from_assignment, solve_nids_lp, solve_nids_lp_warm, NidsAssignment,
-    NidsError, NidsLpConfig, NodeCaps,
+    edge_only_loads, loads_from_assignment, solve_nids_lp, solve_nids_lp_excluding,
+    solve_nids_lp_warm, NidsAssignment, NidsError, NidsLpConfig, NodeCaps,
 };
 pub use manifest::{generate_manifests, ManifestEntry, SamplingManifest};
 pub use manifest_io::{node_manifest_from_text, node_manifest_to_text, NodeManifest};

@@ -106,6 +106,7 @@ mod tests {
     use super::*;
     use crate::class::AnalysisClass;
     use crate::nids::lp::NodeCaps;
+    use crate::nips::solve_relaxation;
     use crate::units::build_units;
     use nwdp_topo::{internet2, PathDb};
     use nwdp_traffic::{MatchRates, TrafficMatrix, VolumeModel};

@@ -181,6 +181,18 @@ impl<'a> Engine<'a> {
         self.costs = costs;
     }
 
+    /// Swap the live sampling manifest mid-replay (coordinated placements
+    /// only). This is how the resilience runner applies a repaired
+    /// manifest once a failure is detected: connections whose module
+    /// enablement was already decided keep their old decisions — the
+    /// paper's drain semantics, where existing assignments persist until
+    /// the connections expire — while new connections consult the
+    /// repaired ranges. Panics if the engine runs without coordination.
+    pub fn set_manifest(&mut self, manifest: &'a SamplingManifest) {
+        let coord = self.coord.as_mut().expect("manifest swap needs a coordinated engine");
+        coord.manifest = manifest;
+    }
+
     /// Enable the §2.5 fine-grained coordination extension (effective
     /// under [`Placement::EventEngine`]): modules that only need
     /// connection-level events (Scan, SYNFlood) no longer force full

@@ -13,12 +13,16 @@
 
 use crate::engine::{CoordContext, Engine, Placement, RunStats};
 use crate::modules::{Alert, EngineError};
-use nwdp_core::nids::SamplingManifest;
+use nwdp_core::nids::{NodeCaps, SamplingManifest};
+use nwdp_core::resilience::{
+    distance_weighted_values, greedy_repair, manifest_gap_fraction, shed_overload, FailureKind,
+    FailureSchedule, HealthConfig,
+};
 use nwdp_core::{parallel, NidsDeployment};
 use nwdp_hash::KeyedHasher;
 use nwdp_obs as obs;
 use nwdp_topo::{NodeId, PathDb};
-use nwdp_traffic::NetTrace;
+use nwdp_traffic::{FaultInjector, NetTrace};
 use std::collections::BTreeSet;
 
 /// Results of running one deployment scenario across all nodes.
@@ -131,6 +135,190 @@ pub fn run_coordinated(
         }
         Ok(engine.stats())
     })
+}
+
+/// Edge-only deployment under fault injection: every node replays its own
+/// edge traffic through the (possibly degraded) capture point. With a
+/// [`NodeBlackout`](nwdp_traffic::NodeBlackout) this shows the paper's
+/// brittleness baseline — nobody covers for a blind edge node.
+pub fn run_edge_only_faulty(
+    dep: &NidsDeployment,
+    trace: &NetTrace,
+    hasher: KeyedHasher,
+    faults: &FaultInjector,
+) -> Result<NetworkRun, EngineError> {
+    let names = class_names(dep);
+    let n_total = trace.sessions.len().max(1) as f64;
+    replay_nodes("edge_only_faulty", dep.num_nodes, |node| {
+        let mut engine = Engine::new(node, Placement::Unmodified, &names, None, hasher)?;
+        for s in trace.edge_sessions(node) {
+            let now = s.id as f64 / n_total;
+            for pkt in faults.apply_at(s, s.packets(), node, now) {
+                engine.process_packet(&pkt);
+            }
+        }
+        Ok(engine.stats())
+    })
+}
+
+/// Failure handling configuration for [`run_coordinated_resilient`].
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig<'a> {
+    /// Per-node capacities (drives greedy repair placement and shedding).
+    pub caps: &'a [NodeCaps],
+    /// Failure/overload events on the replay-fraction clock.
+    pub schedule: &'a FailureSchedule,
+    /// Heartbeat detection parameters.
+    pub health: HealthConfig,
+}
+
+/// One span of the repaired-manifest timeline: from replay fraction
+/// `from` (inclusive) until the next epoch, every node consults
+/// `manifest` for new connections.
+#[derive(Debug, Clone)]
+pub struct ManifestEpoch {
+    pub from: f64,
+    /// Nodes detected as failed (crashed, or inside a detected partition)
+    /// at this epoch's start.
+    pub failed: Vec<NodeId>,
+    /// Traffic fraction shed to fit degraded capacities in this epoch.
+    pub shed_fraction: f64,
+    /// Traffic-weighted coverage gap that remains while `failed` nodes
+    /// stay blind under this (repaired) manifest.
+    pub residual_gap: f64,
+    pub manifest: SamplingManifest,
+}
+
+/// A coordinated replay under failures, plus the manifest timeline it
+/// executed.
+#[derive(Debug, Clone)]
+pub struct ResilientRun {
+    pub run: NetworkRun,
+    pub epochs: Vec<ManifestEpoch>,
+}
+
+/// Compile a failure schedule into the manifest timeline the network
+/// executes: one epoch per detection/recovery boundary, each repaired
+/// from the *original* manifest for the then-detected failure set (so
+/// epochs are independent of event order) and then value-order shed to
+/// fit any capacity degradation in force.
+pub fn plan_manifest_epochs(
+    dep: &NidsDeployment,
+    manifest: &SamplingManifest,
+    cfg: &ResilienceConfig,
+) -> Vec<ManifestEpoch> {
+    let mut bounds = vec![0.0f64];
+    for e in &cfg.schedule.events {
+        match e.kind {
+            FailureKind::Crash => bounds.push(cfg.health.detect_at(e.at)),
+            FailureKind::Partition { until } => {
+                let d = cfg.health.detect_at(e.at);
+                // Partitions shorter than the detection window never
+                // trigger a repair; detected ones heal at `until`.
+                if d < until {
+                    bounds.push(d);
+                    bounds.push(until);
+                }
+            }
+            // Degradation is declared, not heartbeat-detected: capacity
+            // loss is visible immediately to the control plane.
+            FailureKind::CapacityDegraded { .. } => bounds.push(e.at),
+        }
+    }
+    bounds.sort_by(f64::total_cmp);
+    bounds.dedup();
+    // Boundaries at or past the end of the replay never activate.
+    bounds.retain(|&t| t < 1.0);
+    let values = distance_weighted_values(dep);
+    let mut epochs = Vec::with_capacity(bounds.len());
+    for &from in &bounds {
+        let mut failed: Vec<NodeId> = cfg
+            .schedule
+            .events
+            .iter()
+            .filter(|e| match e.kind {
+                FailureKind::Crash => cfg.health.detect_at(e.at) <= from,
+                FailureKind::Partition { until } => {
+                    cfg.health.detect_at(e.at) <= from && from < until
+                }
+                FailureKind::CapacityDegraded { .. } => false,
+            })
+            .map(|e| e.node)
+            .collect();
+        failed.sort();
+        failed.dedup();
+        let t0 = obs::now_if_enabled();
+        let repaired = if failed.is_empty() {
+            None
+        } else {
+            Some(greedy_repair(dep, manifest, cfg.caps, &failed))
+        };
+        let base = repaired.as_ref().map_or(manifest, |r| &r.manifest);
+        let mut scaled: Vec<NodeCaps> = Vec::new();
+        for (j, caps) in cfg.caps.iter().enumerate() {
+            let f = cfg.schedule.capacity_factor(NodeId(j), from);
+            scaled.push(NodeCaps { cpu: caps.cpu * f, mem: caps.mem * f });
+        }
+        let shed = shed_overload(dep, base, &scaled, 1.0, &values);
+        let residual_gap = manifest_gap_fraction(dep, &shed.manifest, &failed);
+        if obs::enabled() {
+            let s = obs::Scope::new("resilience");
+            s.counter("epochs").inc();
+            if repaired.is_some() {
+                s.counter("repairs").inc();
+                s.timer("repair_ns").observe_since(t0);
+            }
+            s.gauge("shed_fraction").set_max(shed.shed_fraction);
+            s.gauge("residual_gap").set_max(residual_gap);
+        }
+        epochs.push(ManifestEpoch {
+            from,
+            failed,
+            shed_fraction: shed.shed_fraction,
+            residual_gap,
+            manifest: shed.manifest,
+        });
+    }
+    epochs
+}
+
+/// Coordinated network-wide deployment under a failure schedule: blind
+/// nodes skip the sessions they cannot see, and every node swaps to the
+/// repaired manifest at each epoch boundary (new connections follow the
+/// repaired ranges; connections already enabled keep their engines, the
+/// paper's drain semantics).
+pub fn run_coordinated_resilient(
+    dep: &NidsDeployment,
+    manifest: &SamplingManifest,
+    paths: &PathDb,
+    trace: &NetTrace,
+    placement: Placement,
+    hasher: KeyedHasher,
+    cfg: &ResilienceConfig,
+) -> Result<ResilientRun, EngineError> {
+    assert_ne!(placement, Placement::Unmodified, "coordinated run needs a coordinated placement");
+    let epochs = plan_manifest_epochs(dep, manifest, cfg);
+    assert!(!epochs.is_empty() && epochs[0].from == 0.0, "epoch timeline must start at 0");
+    let names = class_names(dep);
+    let n_total = trace.sessions.len().max(1) as f64;
+    let run = replay_nodes("coordinated_resilient", dep.num_nodes, |node| {
+        let coord = CoordContext::new(dep, &epochs[0].manifest);
+        let mut engine = Engine::new(node, placement, &names, Some(coord), hasher)?;
+        let mut k = 0;
+        for s in trace.onpath_sessions(paths, node) {
+            let now = s.id as f64 / n_total;
+            while k + 1 < epochs.len() && epochs[k + 1].from <= now {
+                k += 1;
+                engine.set_manifest(&epochs[k].manifest);
+            }
+            if cfg.schedule.events.iter().any(|e| e.node == node && e.blind_at(now)) {
+                continue;
+            }
+            engine.process_session(s);
+        }
+        Ok(engine.stats())
+    })?;
+    Ok(ResilientRun { run, epochs })
 }
 
 /// A single standalone NIDS over the entire trace (the logical reference

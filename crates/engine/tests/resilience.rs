@@ -1,0 +1,320 @@
+//! Node-failure resilience, end to end at the engine layer.
+//!
+//! The paper's static sampling manifests make coordination free at
+//! runtime — and make a crashed node's hash ranges silently unobserved.
+//! These tests drive the full replay harness through failures:
+//!
+//! - edge-only deployments have no one to cover for a blind node, so
+//!   coverage simply drops (the brittleness baseline);
+//! - a coordinated deployment running `plan_manifest_epochs` +
+//!   `run_coordinated_resilient` loses exactly the crashed node's
+//!   single-node (ingress/egress) units and recovers everything else,
+//!   exact-sweep verified, for *every* single Internet2 node crash;
+//! - detection delay costs exactly the blind-window alerts, never more.
+
+use nwdp_core::nids::{generate_manifests, solve_nids_lp, NidsLpConfig, NodeCaps};
+use nwdp_core::resilience::{
+    manifest_gap_fraction, manifest_loads, FailureKind, FailureScenario, FailureSchedule,
+    HealthConfig,
+};
+use nwdp_core::{build_units, AnalysisClass, NidsDeployment};
+use nwdp_engine::{
+    run_coordinated, run_coordinated_resilient, run_edge_only, run_edge_only_faulty,
+    run_standalone_reference, Alert, Placement, ResilienceConfig,
+};
+use nwdp_hash::KeyedHasher;
+use nwdp_topo::{internet2, NodeId, PathDb, Topology};
+use nwdp_traffic::{
+    generate_trace, node_of_ip, FaultInjector, NetTrace, TraceConfig, TrafficMatrix, VolumeModel,
+};
+use std::collections::BTreeSet;
+
+fn setup(sessions: usize, seed: u64) -> (Topology, PathDb, NidsDeployment, NetTrace) {
+    let topo = internet2();
+    let paths = PathDb::shortest_paths(&topo);
+    let tm = TrafficMatrix::gravity(&topo);
+    let vol = VolumeModel::internet2_baseline();
+    let dep = build_units(&topo, &paths, &tm, &vol, &AnalysisClass::standard_set());
+    let trace = generate_trace(&topo, &tm, &TraceConfig::new(sessions, seed));
+    (topo, paths, dep, trace)
+}
+
+fn lp_caps(dep: &NidsDeployment) -> NidsLpConfig {
+    NidsLpConfig::homogeneous(dep.num_nodes, NodeCaps { cpu: 2e8, mem: 4e9 })
+}
+
+fn manifest_for(dep: &NidsDeployment) -> nwdp_core::nids::SamplingManifest {
+    let assignment = solve_nids_lp(dep, &lp_caps(dep)).expect("NIDS LP solves");
+    generate_manifests(dep, &assignment.d)
+}
+
+/// Alerts only the crashed node could ever raise: its ingress-scoped Scan
+/// aggregation and egress-scoped SYN-flood aggregation. Everything else is
+/// path-scoped and must survive repair.
+fn scoped_to(alert: &Alert, node: NodeId) -> bool {
+    (alert.kind == "address_scan" || alert.kind == "syn_flood")
+        && node_of_ip(alert.subject as u32) == node
+}
+
+/// Heartbeat config that detects a crash at `t = 0` immediately.
+fn instant_detection() -> HealthConfig {
+    HealthConfig { heartbeat_interval: 0.01, miss_threshold: 1, phase: 0.0 }
+}
+
+/// Heartbeat config whose detection window never closes within the
+/// replay: a crash stays unrepaired for the whole run.
+fn never_detects() -> HealthConfig {
+    HealthConfig { heartbeat_interval: 10.0, miss_threshold: 2, phase: 0.0 }
+}
+
+#[test]
+fn edge_only_coverage_drops_while_coordinated_repair_restores_it() {
+    let (_t, paths, dep, trace) = setup(2500, 42);
+    let manifest = manifest_for(&dep);
+    let h = KeyedHasher::with_key(0xA11CE);
+
+    // Edge-only baseline; blind the home node of some scanner so the
+    // blackout is guaranteed to cost at least that scan alert (only the
+    // ingress vantage point can aggregate a source across destinations).
+    let edge = run_edge_only(&dep, &trace, h).unwrap();
+    let x = edge
+        .alerts
+        .iter()
+        .find(|a| a.kind == "address_scan")
+        .map(|a| node_of_ip(a.subject as u32))
+        .expect("workload must contain a scan");
+    let faults = FaultInjector::node_blackout(x, 0.0, 1.0);
+    let edge_blind = run_edge_only_faulty(&dep, &trace, h, &faults).unwrap();
+    assert!(edge_blind.alerts.is_subset(&edge.alerts), "a blind node cannot add alerts");
+    let edge_lost: BTreeSet<_> = edge.alerts.difference(&edge_blind.alerts).cloned().collect();
+    assert!(!edge_lost.is_empty(), "blinding an edge node must cost alerts");
+    for a in &edge_lost {
+        assert!(scoped_to(a, x), "edge loss not attributable to the blind node: {a:?}");
+    }
+
+    // Coordinated deployment, same crash, but *undetected*: node `x` also
+    // takes its share of everyone's path units down with it.
+    let schedule = FailureSchedule::single_crash(x, 0.0);
+    let reference = run_standalone_reference(&dep, &trace, h).unwrap();
+    let caps = lp_caps(&dep).caps;
+    let unrepaired = run_coordinated_resilient(
+        &dep,
+        &manifest,
+        &paths,
+        &trace,
+        Placement::EventEngine,
+        h,
+        &ResilienceConfig { caps: &caps, schedule: &schedule, health: never_detects() },
+    )
+    .unwrap();
+    assert_eq!(unrepaired.epochs.len(), 1, "no detection, no repair epoch");
+    assert!(unrepaired.epochs[0].failed.is_empty());
+
+    // Coordinated deployment with detection and greedy repair: only the
+    // provably unrecoverable alerts (scoped to `x`) are lost.
+    let repaired = run_coordinated_resilient(
+        &dep,
+        &manifest,
+        &paths,
+        &trace,
+        Placement::EventEngine,
+        h,
+        &ResilienceConfig { caps: &caps, schedule: &schedule, health: instant_detection() },
+    )
+    .unwrap();
+    assert_eq!(repaired.epochs.len(), 1);
+    assert_eq!(repaired.epochs[0].failed, vec![x], "instant detection repairs from t = 0");
+    let expected: BTreeSet<_> =
+        reference.alerts.iter().filter(|a| !scoped_to(a, x)).cloned().collect();
+    assert_eq!(
+        repaired.run.alerts, expected,
+        "repair must restore every alert except the crashed node's own aggregations"
+    );
+
+    // The regression claim itself: the unrepaired network misses alerts
+    // the repaired one finds, and finds nothing the repaired one lacks.
+    assert!(unrepaired.run.alerts.is_subset(&repaired.run.alerts));
+    assert!(
+        unrepaired.run.alerts.len() < repaired.run.alerts.len(),
+        "repair must recover path-unit alerts the crashed node abandoned"
+    );
+}
+
+#[test]
+fn any_single_internet2_crash_recovers_everything_recoverable() {
+    nwdp_obs::set_enabled(true);
+    nwdp_obs::reset();
+    let (_t, paths, dep, trace) = setup(1500, 7);
+    let manifest = manifest_for(&dep);
+    let caps = lp_caps(&dep).caps;
+    let h = KeyedHasher::with_key(0xFEED);
+    let reference = run_standalone_reference(&dep, &trace, h).unwrap();
+    let total_pkts: f64 = dep.units.iter().map(|u| u.pkts).sum();
+
+    for j in 0..dep.num_nodes {
+        let x = NodeId(j);
+
+        // Blind-window accounting: the coverage gap while `x` is down and
+        // undetected is exactly its traffic-weighted manifest share.
+        let gap = manifest_gap_fraction(&dep, &manifest, &[x]);
+        let share: f64 = dep
+            .units
+            .iter()
+            .enumerate()
+            .map(|(u, unit)| manifest.share(u, x) * unit.pkts)
+            .sum::<f64>()
+            / total_pkts;
+        assert!((gap - share).abs() < 1e-9, "node {j}: gap {gap} vs share {share}");
+
+        // Engine replay with instant detection: the repaired network's
+        // alert set equals the standalone reference minus the alerts only
+        // `x` could raise.
+        let schedule = FailureSchedule::single_crash(x, 0.0);
+        let resilient = run_coordinated_resilient(
+            &dep,
+            &manifest,
+            &paths,
+            &trace,
+            Placement::EventEngine,
+            h,
+            &ResilienceConfig { caps: &caps, schedule: &schedule, health: instant_detection() },
+        )
+        .unwrap();
+        let repaired_manifest = &resilient.epochs[0].manifest;
+
+        // Exact-sweep verification: every multi-node unit is back to full
+        // coverage under the repaired manifest; only `x`'s own
+        // single-node units stay dark.
+        for (u, unit) in dep.units.iter().enumerate() {
+            let (lo, hi) = repaired_manifest.unit_coverage_exact(&dep, u);
+            if unit.nodes == [x] {
+                assert_eq!((lo, hi), (0, 0), "node {j} unit {u}: nobody can cover a dead vantage");
+            } else {
+                assert_eq!((lo, hi), (1, 1), "node {j} unit {u} has a gap or overlap");
+            }
+        }
+        assert!(
+            manifest_gap_fraction(&dep, repaired_manifest, &[x])
+                < manifest_gap_fraction(&dep, &manifest, &[x]),
+            "node {j}: repair must shrink the gap"
+        );
+
+        let expected: BTreeSet<_> =
+            reference.alerts.iter().filter(|a| !scoped_to(a, x)).cloned().collect();
+        assert_eq!(resilient.run.alerts, expected, "node {j}: repair left alerts missing");
+    }
+
+    // Acceptance: repair latency and shed fraction are exported via
+    // nwdp-obs by the epoch planner.
+    let snap = nwdp_obs::snapshot();
+    let get = |name: &str| snap.iter().find(|(n, _)| n == name).map(|(_, v)| v.clone());
+    match get("resilience.repair_ns") {
+        Some(nwdp_obs::SnapshotValue::Timer { count, .. }) => {
+            assert!(count >= dep.num_nodes as u64, "one timed repair per crash")
+        }
+        other => panic!("resilience.repair_ns missing or mistyped: {other:?}"),
+    }
+    // Other tests in this binary may run concurrently and shed for real,
+    // so only assert the gauge is exported and sane, not its exact value.
+    match get("resilience.shed_fraction") {
+        Some(nwdp_obs::SnapshotValue::Gauge(v)) => {
+            assert!((0.0..=1.0).contains(&v), "shed fraction out of range: {v}")
+        }
+        other => panic!("resilience.shed_fraction missing or mistyped: {other:?}"),
+    }
+    match get("resilience.repairs") {
+        Some(nwdp_obs::SnapshotValue::Counter(c)) => assert!(c >= dep.num_nodes as u64),
+        other => panic!("resilience.repairs missing or mistyped: {other:?}"),
+    }
+    nwdp_obs::set_enabled(false);
+}
+
+#[test]
+fn detection_delay_costs_exactly_the_blind_window() {
+    let (_t, paths, dep, trace) = setup(2000, 23);
+    let manifest = manifest_for(&dep);
+    let caps = lp_caps(&dep).caps;
+    let h = KeyedHasher::with_key(0xDE1A7);
+    let x = NodeId(3);
+    let schedule = FailureSchedule::single_crash(x, 0.0);
+
+    let run_with = |health: HealthConfig| {
+        run_coordinated_resilient(
+            &dep,
+            &manifest,
+            &paths,
+            &trace,
+            Placement::EventEngine,
+            h,
+            &ResilienceConfig { caps: &caps, schedule: &schedule, health },
+        )
+        .unwrap()
+    };
+    let instant = run_with(instant_detection());
+    // Detection after half the replay: until then the original manifest
+    // runs with `x` blind.
+    let delayed =
+        run_with(HealthConfig { heartbeat_interval: 0.25, miss_threshold: 3, phase: 0.0 });
+
+    assert_eq!(delayed.epochs.len(), 2);
+    assert!(delayed.epochs[0].failed.is_empty(), "blind window runs the original manifest");
+    assert!((delayed.epochs[1].from - 0.5).abs() < 1e-12);
+    assert_eq!(delayed.epochs[1].failed, vec![x]);
+    assert!(
+        delayed.epochs[1].residual_gap < manifest_gap_fraction(&dep, &manifest, &[x]),
+        "the repaired epoch must close most of the gap"
+    );
+
+    // Greedy repair only ever *adds* ranges to survivors, so every session
+    // the delayed run analyzes is analyzed by the same owner in the
+    // instant run: delayed alerts are a strict subset.
+    assert!(delayed.run.alerts.is_subset(&instant.run.alerts));
+    assert!(
+        delayed.run.alerts.len() < instant.run.alerts.len(),
+        "half a replay of blindness must cost some alerts"
+    );
+}
+
+#[test]
+fn capacity_degradation_sheds_and_still_runs() {
+    let (_t, paths, dep, trace) = setup(1500, 99);
+    let manifest = manifest_for(&dep);
+    let caps = lp_caps(&dep).caps;
+    let h = KeyedHasher::with_key(0x0DD);
+    let x = NodeId(2);
+
+    // Scale the degradation so the node ends up 2x over its shrunken
+    // capacity: factor = half its current bottleneck utilisation.
+    let (cpu, mem) = manifest_loads(&dep, &caps, &manifest);
+    let util = cpu[x.index()].max(mem[x.index()]);
+    assert!(util > 0.0, "an Internet2 node always carries load");
+    let schedule = FailureSchedule {
+        events: vec![FailureScenario {
+            node: x,
+            at: 0.4,
+            kind: FailureKind::CapacityDegraded { factor: util / 2.0 },
+        }],
+    };
+
+    let baseline =
+        run_coordinated(&dep, &manifest, &paths, &trace, Placement::EventEngine, h).unwrap();
+    let degraded = run_coordinated_resilient(
+        &dep,
+        &manifest,
+        &paths,
+        &trace,
+        Placement::EventEngine,
+        h,
+        &ResilienceConfig { caps: &caps, schedule: &schedule, health: instant_detection() },
+    )
+    .unwrap();
+
+    assert_eq!(degraded.epochs.len(), 2);
+    assert_eq!(degraded.epochs[0].shed_fraction, 0.0, "full capacity until the event");
+    assert!(degraded.epochs[1].shed_fraction > 0.0, "an overloaded node must shed");
+    assert!(degraded.epochs[1].failed.is_empty(), "degradation is not a crash");
+    // Shedding only removes analysis; it never invents alerts. The node
+    // itself keeps watching (degraded, not blind), so nothing outside the
+    // shed ranges is lost.
+    assert!(degraded.run.alerts.is_subset(&baseline.alerts));
+}

@@ -100,6 +100,53 @@ impl RangeSet {
         self
     }
 
+    /// Build a set from arbitrary segments: empties dropped, the rest
+    /// sorted and coalesced where they touch exactly (abutting endpoints
+    /// within 1e-12 merge into one segment, so measure is preserved).
+    /// Panics (debug) when two inputs genuinely overlap.
+    pub fn from_segments(mut segments: Vec<Segment>) -> Self {
+        segments.retain(|s| !s.is_empty());
+        segments.sort_by(|a, b| a.lo.total_cmp(&b.lo));
+        let mut out: Vec<Segment> = Vec::with_capacity(segments.len());
+        for s in segments {
+            match out.last_mut() {
+                Some(prev) if s.lo <= prev.hi + 1e-12 => {
+                    debug_assert!(
+                        s.lo >= prev.hi - 1e-12,
+                        "overlapping segments: {prev:?} and {s:?}"
+                    );
+                    prev.hi = prev.hi.max(s.hi);
+                }
+                _ => out.push(s),
+            }
+        }
+        RangeSet { segments: out }
+    }
+
+    /// The prefix of this set (in unit-interval order) with total measure
+    /// `keep`. Used by graceful degradation to shed an *exact* fraction of
+    /// a responsibility: the kept prefix has measure `min(keep, measure)`,
+    /// the remainder is the shed part.
+    pub fn take_measure(&self, keep: f64) -> RangeSet {
+        assert!(keep >= 0.0, "cannot keep a negative measure");
+        let mut left = keep;
+        let mut segments = Vec::with_capacity(self.segments.len());
+        for s in &self.segments {
+            if left <= 0.0 {
+                break;
+            }
+            let len = s.len();
+            if len <= left {
+                segments.push(*s);
+                left -= len;
+            } else {
+                segments.push(Segment::new(s.lo, s.lo + left));
+                left = 0.0;
+            }
+        }
+        RangeSet { segments }
+    }
+
     /// Does the unit-interval point `u` fall inside this set?
     pub fn contains(&self, u: f64) -> bool {
         // Few segments (1-2 in practice): linear scan beats binary search.
@@ -188,6 +235,33 @@ mod tests {
         for i in 0..100 {
             assert!(r.contains(i as f64 / 100.0));
         }
+    }
+
+    #[test]
+    fn from_segments_sorts_and_coalesces_abutting() {
+        let r = RangeSet::from_segments(vec![
+            Segment::new(0.5, 0.7),
+            Segment::new(0.1, 0.3),
+            Segment::new(0.3, 0.5),
+            Segment::new(0.9, 0.9), // empty, dropped
+        ]);
+        assert_eq!(r.segments().len(), 1);
+        assert!((r.measure() - 0.6).abs() < 1e-12);
+        assert!(r.contains(0.1) && r.contains(0.699));
+        assert!(!r.contains(0.7));
+    }
+
+    #[test]
+    fn take_measure_keeps_exact_prefix() {
+        let r = RangeSet::interval(0.0, 0.2).union(&RangeSet::interval(0.5, 0.8));
+        let kept = r.take_measure(0.3);
+        assert!((kept.measure() - 0.3).abs() < 1e-12);
+        assert!(kept.contains(0.1));
+        assert!(kept.contains(0.55));
+        assert!(!kept.contains(0.65));
+        // Keeping more than everything is the identity; keeping zero is empty.
+        assert!((r.take_measure(2.0).measure() - r.measure()).abs() < 1e-12);
+        assert!(r.take_measure(0.0).is_empty());
     }
 
     /// Regression: a NaN segment endpoint used to trip

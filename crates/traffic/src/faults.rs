@@ -7,10 +7,28 @@
 //! coordinated-equals-standalone equivalence property must survive.
 
 use crate::session::{Packet, Session};
+use nwdp_topo::NodeId;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-/// Fault injection configuration (probabilities per packet).
+/// A whole-node observation outage: `node` sees *nothing* over the
+/// half-open replay-fraction window `[from, until)`. Unlike the per-packet
+/// faults — which every on-path observer sees identically — a blackout is
+/// a property of one capture point: the packets still flow, but this node
+/// is not watching. This is the traffic-layer view of a node crash
+/// (`until = 1.0`) or partition used by the resilience tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeBlackout {
+    pub node: NodeId,
+    /// Start of the outage, as a fraction of the replay (`session.id /
+    /// total sessions`).
+    pub from: f64,
+    /// End of the outage (exclusive); `1.0` means it never ends.
+    pub until: f64,
+}
+
+/// Fault injection configuration (probabilities per packet, plus an
+/// optional node blackout).
 #[derive(Debug, Clone, Copy)]
 pub struct FaultInjector {
     pub drop_p: f64,
@@ -18,6 +36,8 @@ pub struct FaultInjector {
     /// Probability that a packet is swapped with its successor.
     pub reorder_p: f64,
     pub seed: u64,
+    /// Optional whole-node outage (see [`NodeBlackout`]).
+    pub blackout: Option<NodeBlackout>,
 }
 
 impl FaultInjector {
@@ -25,12 +45,44 @@ impl FaultInjector {
         for p in [drop_p, dup_p, reorder_p] {
             assert!((0.0..=1.0).contains(&p), "probability out of range");
         }
-        FaultInjector { drop_p, dup_p, reorder_p, seed }
+        FaultInjector { drop_p, dup_p, reorder_p, seed, blackout: None }
     }
 
     /// No faults (identity transform).
     pub fn none() -> Self {
-        FaultInjector { drop_p: 0.0, dup_p: 0.0, reorder_p: 0.0, seed: 0 }
+        FaultInjector { drop_p: 0.0, dup_p: 0.0, reorder_p: 0.0, seed: 0, blackout: None }
+    }
+
+    /// A pure node blackout (no packet-level faults).
+    pub fn node_blackout(node: NodeId, from: f64, until: f64) -> Self {
+        assert!((0.0..=1.0).contains(&from) && from <= until, "blackout window out of order");
+        FaultInjector { blackout: Some(NodeBlackout { node, from, until }), ..Self::none() }
+    }
+
+    /// Does `node` observe anything at replay fraction `now`? `false`
+    /// exactly inside the blackout window of a blacked-out node; the
+    /// caller skips the whole session for that observer.
+    pub fn observes(&self, node: NodeId, now: f64) -> bool {
+        match self.blackout {
+            Some(b) => node != b.node || now < b.from || now >= b.until,
+            None => true,
+        }
+    }
+
+    /// Apply the faults to a session as seen by `node` at replay fraction
+    /// `now`: an empty stream during a blackout, the packet-level faults
+    /// of [`FaultInjector::apply`] otherwise.
+    pub fn apply_at<'a>(
+        &self,
+        session: &Session,
+        packets: Vec<Packet<'a>>,
+        node: NodeId,
+        now: f64,
+    ) -> Vec<Packet<'a>> {
+        if !self.observes(node, now) {
+            return Vec::new();
+        }
+        self.apply(session, packets)
     }
 
     /// Apply the faults to a session's packets. Deterministic in
@@ -120,6 +172,25 @@ mod tests {
         }
         let rate = 1.0 - kept as f64 / total as f64;
         assert!((rate - 0.3).abs() < 0.05, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn blackout_blinds_one_node_for_its_window() {
+        let f = FaultInjector::node_blackout(NodeId(2), 0.25, 0.75);
+        let s = session(9);
+        // The blacked-out node sees nothing inside the window...
+        assert!(f.apply_at(&s, s.packets(), NodeId(2), 0.5).is_empty());
+        assert!(!f.observes(NodeId(2), 0.25));
+        assert!(!f.observes(NodeId(2), 0.74999));
+        // ...and everything outside it; other nodes are untouched.
+        assert!(f.observes(NodeId(2), 0.2));
+        assert!(f.observes(NodeId(2), 0.75));
+        assert_eq!(f.apply_at(&s, s.packets(), NodeId(1), 0.5).len(), s.packets().len());
+        // Packet-level faults still compose with the blackout for
+        // sighted observers.
+        let mut g = FaultInjector::new(1.0, 0.0, 0.0, 1);
+        g.blackout = Some(NodeBlackout { node: NodeId(2), from: 0.0, until: 1.0 });
+        assert!(g.apply_at(&s, s.packets(), NodeId(1), 0.5).is_empty(), "all dropped");
     }
 
     #[test]

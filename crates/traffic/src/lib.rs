@@ -17,7 +17,7 @@ pub mod profile;
 pub mod session;
 pub mod volume;
 
-pub use faults::FaultInjector;
+pub use faults::{FaultInjector, NodeBlackout};
 pub use generator::{generate_trace, host_ip, node_of_ip, AnomalyConfig, NetTrace, TraceConfig};
 pub use matchrate::{Distribution, MatchRates};
 pub use matrix::TrafficMatrix;

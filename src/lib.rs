@@ -61,15 +61,24 @@ pub mod prelude {
     pub use nwdp_core::nips::{
         round_best_of, solve_relaxation, NipsInstance, RoundError, RoundingOpts, Strategy,
     };
+    pub use nwdp_core::resilience::{
+        covered_fraction, distance_weighted_values, greedy_repair, lp_repair,
+        manifest_gap_fraction, manifest_loads, shed_overload, simulate_node_failure,
+        DegradeOutcome, FailureKind, FailureReport, FailureScenario, FailureSchedule,
+        FailureTimeline, HealthConfig, RepairOutcome,
+    };
     pub use nwdp_core::{build_units, AnalysisClass, ClassScope, NidsDeployment, UnitKey};
     pub use nwdp_engine::{
-        run_coordinated, run_edge_only, run_standalone_reference, CoordContext, Engine, Placement,
+        plan_manifest_epochs, run_coordinated, run_coordinated_resilient, run_edge_only,
+        run_edge_only_faulty, run_standalone_reference, CoordContext, Engine, ManifestEpoch,
+        Placement, ResilienceConfig, ResilientRun,
     };
     pub use nwdp_hash::{FiveTuple, FlowKeyKind, KeyedHasher, RangeSet};
     pub use nwdp_lp::rowgen::RowGenOpts;
     pub use nwdp_online::{run_fpl, FplConfig, StochasticUniform};
     pub use nwdp_topo::{NodeId, Path, PathDb, Topology};
     pub use nwdp_traffic::{
-        generate_trace, AppProtocol, MatchRates, NetTrace, TraceConfig, TrafficMatrix, VolumeModel,
+        generate_trace, node_of_ip, AppProtocol, FaultInjector, MatchRates, NetTrace, NodeBlackout,
+        TraceConfig, TrafficMatrix, VolumeModel,
     };
 }
