@@ -73,10 +73,24 @@ if [ -n "$nan_hits" ]; then
 fi
 echo "NaN lint OK"
 
-echo "== metrics smoke =="
+# Diagnostics in the solver crates must go through the structured trace
+# layer (obs::trace_event!/span!), never bare eprintln!: trace events are
+# env-gated (zero output and ~zero cost when off) and machine-parseable.
+# Comment lines are exempt (docs may mention the pattern).
+echo "== eprintln grep lint (lp, core) =="
+eprintln_hits="$(grep -rn 'eprintln!' crates/lp/src crates/core/src --include='*.rs' \
+  | grep -vE '^[^:]*:[0-9]+:[[:space:]]*(//|///|//!)' || true)"
+if [ -n "$eprintln_hits" ]; then
+  echo "found bare eprintln! in solver library code (use obs::trace_event!):" >&2
+  echo "$eprintln_hits" >&2
+  exit 1
+fi
+echo "eprintln lint OK"
+
+echo "== metrics + trace smoke =="
 metrics_tmp="$(mktemp -d)"
 trap 'rm -rf "$metrics_tmp"' EXIT
-./target/release/repro --quick --fig 5 \
+NWDP_TRACE="$metrics_tmp/trace.jsonl" ./target/release/repro --quick --fig 5 \
   --metrics-out "$metrics_tmp/metrics.json" --out "$metrics_tmp/results" \
   > /dev/null
 python3 - "$metrics_tmp/metrics.json" <<'PY'
@@ -88,7 +102,38 @@ for key in ("simplex.solves", "simplex.iterations", "round.trials", "rowgen.solv
     assert c.get(key, 0) > 0, f"missing or zero counter: {key}"
 assert any(k.startswith("engine.packets{") and v > 0 for k, v in c.items()), \
     "no per-node engine packet counters"
+for name, h in d.get("histograms", {}).items():
+    for q in ("p50", "p95", "p99"):
+        assert q in h, f"histogram {name} lacks {q}"
 print(f"metrics smoke OK ({len(c)} counters)")
 PY
+python3 - "$metrics_tmp/trace.jsonl" <<'PY'
+import json, sys
+open_ids, spans, events = set(), 0, 0
+with open(sys.argv[1]) as f:
+    for n, line in enumerate(f, 1):
+        rec = json.loads(line)  # every journal line must be valid JSON
+        ev = rec["ev"]
+        if ev == "B":
+            assert rec["id"] not in open_ids, f"line {n}: duplicate span id"
+            open_ids.add(rec["id"])
+            spans += 1
+        elif ev == "E":
+            assert rec["id"] in open_ids, f"line {n}: close without open"
+            open_ids.discard(rec["id"])
+        elif ev == "I":
+            events += 1
+        else:
+            raise AssertionError(f"line {n}: unknown record type {ev!r}")
+assert not open_ids, f"unbalanced journal: {len(open_ids)} spans left open"
+assert spans > 0, "journal recorded no spans"
+print(f"trace journal OK ({spans} spans, {events} events, balanced)")
+PY
+./target/release/repro report --trace "$metrics_tmp/trace.jsonl" \
+  --metrics "$metrics_tmp/metrics.json" > "$metrics_tmp/report.txt"
+grep -q "phase breakdown" "$metrics_tmp/report.txt"
+grep -q "hottest spans" "$metrics_tmp/report.txt"
+grep -q "warm-start hit rates" "$metrics_tmp/report.txt"
+echo "repro report OK"
 
 echo "CI OK"

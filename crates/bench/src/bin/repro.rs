@@ -3,6 +3,7 @@
 //! Usage:
 //!   repro [--quick] [--out DIR] [--metrics-out FILE] [--fig N]...
 //!         [fig5 fig6 fig7 fig8 fig10 fig11 opt-time ext warm resilience | all]
+//!   repro report --trace FILE [--metrics FILE] [--top N] [--chrome FILE]
 //!
 //! Results are written as CSV files under `--out` (default `results/`) and
 //! printed as ASCII tables. `--fig 5` is shorthand for the `fig5`
@@ -10,12 +11,17 @@
 //!
 //! `--metrics-out FILE` (or the `NWDP_METRICS=FILE` environment variable)
 //! enables the `nwdp-obs` metrics layer and writes a JSON dump of every
-//! counter/gauge/timer/histogram on exit. A miniature end-to-end pipeline
+//! counter/gauge/timer/histogram on exit, plus a `timeseries.csv` of the
+//! replay-clock series under `--out`. A miniature end-to-end pipeline
 //! runs first so the dump always carries simplex, rounding and per-node
 //! engine series, even for experiments that exercise only one subsystem.
+//!
+//! `NWDP_TRACE=FILE` additionally journals every span/event to a JSONL
+//! file; `repro report` turns that journal (and optionally the metrics
+//! dump) into per-phase wall-time, hottest-span and warm-start tables.
 
 use nwdp_bench::output::Table;
-use nwdp_bench::{fig10, fig11, fig5, fig678, opttime, selftest, warmstart, Scale};
+use nwdp_bench::{fig10, fig11, fig5, fig678, opttime, report, selftest, warmstart, Scale};
 use nwdp_core::obs;
 use std::path::PathBuf;
 use std::process::exit;
@@ -27,19 +33,83 @@ struct Cli {
     wanted: Vec<String>,
 }
 
+/// Flushes the metrics sink and the trace journal no matter how `main`
+/// unwinds; paired with `obs::install_panic_flush` so even a panicking
+/// run leaves valid artifacts behind.
+struct FlushGuard;
+
+impl Drop for FlushGuard {
+    fn drop(&mut self) {
+        let _ = obs::flush();
+        obs::flush_trace();
+    }
+}
+
+fn value_of(args: &[String], i: usize, flag: &str) -> String {
+    match args.get(i + 1) {
+        Some(v) => v.clone(),
+        None => {
+            eprintln!("repro: {flag} requires a value");
+            exit(2);
+        }
+    }
+}
+
+/// `repro report --trace FILE [--metrics FILE] [--top N] [--chrome FILE]`.
+fn report_main(args: &[String]) -> ! {
+    let mut trace: Option<PathBuf> = None;
+    let mut metrics: Option<PathBuf> = None;
+    let mut chrome: Option<PathBuf> = None;
+    let mut top = 10usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => {
+                trace = Some(PathBuf::from(value_of(args, i, "--trace")));
+                i += 1;
+            }
+            "--metrics" => {
+                metrics = Some(PathBuf::from(value_of(args, i, "--metrics")));
+                i += 1;
+            }
+            "--chrome" => {
+                chrome = Some(PathBuf::from(value_of(args, i, "--chrome")));
+                i += 1;
+            }
+            "--top" => {
+                top = match value_of(args, i, "--top").parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("repro report: --top takes a number");
+                        exit(2);
+                    }
+                };
+                i += 1;
+            }
+            other => {
+                eprintln!("repro report: unknown argument {other}");
+                exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(trace) = trace else {
+        eprintln!("repro report: --trace FILE is required");
+        exit(2);
+    };
+    match report::run(&trace, metrics.as_deref(), top, chrome.as_deref()) {
+        Ok(()) => exit(0),
+        Err(e) => {
+            eprintln!("repro report: {e}");
+            exit(1);
+        }
+    }
+}
+
 fn parse_args(args: &[String]) -> Cli {
     let mut cli =
         Cli { quick: false, out: PathBuf::from("results"), metrics_out: None, wanted: Vec::new() };
     let mut i = 0;
-    let value_of = |args: &[String], i: usize, flag: &str| -> String {
-        match args.get(i + 1) {
-            Some(v) => v.clone(),
-            None => {
-                eprintln!("repro: {flag} requires a value");
-                exit(2);
-            }
-        }
-    };
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => cli.quick = true,
@@ -85,6 +155,9 @@ fn parse_args(args: &[String]) -> Cli {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("report") {
+        report_main(&args[1..]);
+    }
     let cli = parse_args(&args);
     let scale = Scale::from_flag(cli.quick);
 
@@ -95,9 +168,21 @@ fn main() {
     if cli.metrics_out.is_some() {
         obs::set_enabled(true);
     }
+    // Tracing: NWDP_TRACE=FILE journals spans/events as JSONL;
+    // NWDP_LP_TRACE streams them to stderr. The panic hook and the drop
+    // guard make both sinks survive a mid-run panic with valid (partial)
+    // contents.
+    let trace_path = obs::init_trace_from_env();
+    obs::install_panic_flush();
+    let _flush_guard = FlushGuard;
     let metrics_on = obs::enabled();
+    if let Some(p) = &trace_path {
+        println!("repro: tracing to {}", p.display());
+    }
+    let root_span = obs::span!("repro");
     if metrics_on {
         println!("repro: metrics enabled, running pipeline selftest");
+        let _span = obs::span!("phase.selftest");
         selftest::metrics_selftest();
     }
 
@@ -110,6 +195,7 @@ fn main() {
 
     for w in &cli.wanted {
         let started = std::time::Instant::now();
+        let _span = obs::span(&format!("phase.{w}"));
         match w.as_str() {
             "fig5" => {
                 let r = fig5::run(scale);
@@ -176,6 +262,11 @@ fn main() {
                     &cli.out,
                     "resilience_detection_tradeoff",
                 );
+                emit(
+                    &nwdp_bench::resilience::coverage_timeseries(&pts),
+                    &cli.out,
+                    "resilience_coverage_timeseries",
+                );
             }
             "opt-time" => {
                 let mut rows = vec![opttime::nids_lp_time(50, 50)];
@@ -187,6 +278,8 @@ fn main() {
         }
         println!("[{w} done in {:.1}s]\n", started.elapsed().as_secs_f64());
     }
+
+    drop(root_span);
 
     if metrics_on {
         if let Some(path) = &cli.metrics_out {
@@ -208,6 +301,17 @@ fn main() {
                 }
             }
         }
+        // Replay-clock series (coverage, regret, re-solve iterations, …)
+        // collected during the run.
+        let ts_path = cli.out.join("timeseries.csv");
+        match obs::write_series_csv(&ts_path) {
+            Ok(true) => println!("time series written to {}", ts_path.display()),
+            Ok(false) => {}
+            Err(e) => eprintln!("repro: failed to write {}: {e}", ts_path.display()),
+        }
+    }
+    if trace_path.is_some() {
+        obs::flush_trace();
     }
 }
 

@@ -22,6 +22,9 @@ pub struct ResiliencePoint {
     /// in replay fractions.
     pub detection_window: f64,
     pub node: usize,
+    /// The coverage step function over the replay clock, sampled at its
+    /// breakpoints (start, failure, repair, end of replay).
+    pub coverage: Vec<(f64, f64)>,
     /// Traffic-weighted coverage gap while the crash is undetected.
     pub blind_gap: f64,
     /// Gap remaining after greedy repair (unrecoverable units).
@@ -53,9 +56,19 @@ pub fn run(scale: Scale) -> Vec<ResiliencePoint> {
         for j in 0..dep.num_nodes {
             let report =
                 simulate_node_failure(&dep, &manifest, &cfg.caps, NodeId(j), fail_at, &health);
+            // Sample the coverage step function at its breakpoints: the
+            // run's start, the failure, the repair, and the end of replay.
+            let tl = &report.timeline;
+            let mut breaks = vec![0.0, tl.fail_at, tl.repaired_at, 1.0];
+            breaks.sort_by(f64::total_cmp);
+            breaks.dedup();
+            breaks.retain(|&t| (0.0..=1.0).contains(&t));
+            let coverage: Vec<(f64, f64)> =
+                breaks.iter().map(|&t| (t, tl.coverage_at(t))).collect();
             points.push(ResiliencePoint {
                 detection_window: w,
                 node: j,
+                coverage,
                 blind_gap: report.timeline.blind_gap,
                 residual_gap: report.timeline.residual_gap,
                 lost_coverage_time: report.timeline.lost_coverage_time(1.0),
@@ -94,6 +107,22 @@ pub fn table(points: &[ResiliencePoint]) -> Table {
             f2(p.load_after),
             f2(p.load_bound),
         ]);
+    }
+    t
+}
+
+/// Replay-clock coverage time series: one row per breakpoint of each
+/// (window, node) crash's coverage step function — the CSV counterpart of
+/// the `resilience.coverage` obs series.
+pub fn coverage_timeseries(points: &[ResiliencePoint]) -> Table {
+    let mut t = Table::new(
+        "Coverage over the replay clock per crash (step-function breakpoints)",
+        &["detect_window", "node", "t", "coverage"],
+    );
+    for p in points {
+        for &(at, cov) in &p.coverage {
+            t.row(vec![f3(p.detection_window), p.node.to_string(), f4(at), f4(cov)]);
+        }
     }
     t
 }
@@ -141,5 +170,28 @@ mod tests {
         }
         let s = summary(&pts);
         assert_eq!(s.rows.len(), 3);
+    }
+
+    #[test]
+    fn coverage_series_reproduces_the_blind_window() {
+        let pts = run(Scale::Quick);
+        for p in &pts {
+            // Breakpoints: 0, fail (0.25), repair, 1 — repair may merge
+            // with fail for an instant detector, never with the ends.
+            assert!(p.coverage.len() >= 3 && p.coverage.len() <= 4, "{:?}", p.coverage);
+            assert_eq!(p.coverage.first().unwrap(), &(0.0, 1.0), "full coverage before crash");
+            let blind = p.coverage.iter().find(|(t, _)| *t == 0.25).expect("crash breakpoint");
+            assert!((blind.1 - (1.0 - p.blind_gap)).abs() < 1e-12);
+            let end = p.coverage.last().unwrap();
+            assert_eq!(end.0, 1.0);
+            assert!((end.1 - (1.0 - p.residual_gap)).abs() < 1e-12, "repair holds to the end");
+            // The step function only moves at breakpoints and never dips
+            // below the repaired level.
+            for w in p.coverage.windows(2) {
+                assert!(w[0].0 < w[1].0);
+            }
+        }
+        let t = coverage_timeseries(&pts);
+        assert_eq!(t.rows.len(), pts.iter().map(|p| p.coverage.len()).sum::<usize>());
     }
 }

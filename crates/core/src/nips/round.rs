@@ -141,7 +141,14 @@ pub fn round_best_of(
     } else {
         None
     };
+    let _span = obs::span!(
+        "rounding.best_of",
+        trials = opts.iterations.max(1),
+        rules = inst.rules.len(),
+        nodes = inst.num_nodes
+    );
     let trials = crate::parallel::par_map_n(opts.iterations.max(1), |it| {
+        let _span = obs::span!("rounding.trial", trial = it);
         let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(it as u64 * 7919));
         let mut ctx = baseline.clone().unwrap_or_default();
         round_once_ctx(inst, relax, opts, &mut rng, &mut ctx)

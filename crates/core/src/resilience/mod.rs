@@ -123,9 +123,19 @@ pub fn simulate_node_failure(
 ) -> FailureReport {
     let detected_at = health.detect_at(at);
     let blind_gap = manifest_gap_fraction(dep, manifest, &[node]);
+    let _span = obs::span!("resilience.repair", node = node.0, fail_at = at);
     let t0 = obs::now_if_enabled();
     let repair = greedy_repair(dep, manifest, caps, &[node]);
     let residual_gap = manifest_gap_fraction(dep, &repair.manifest, &[node]);
+    obs::trace_event!(
+        "resilience.repaired",
+        node = node.0,
+        detected_at = detected_at,
+        blind_gap = blind_gap,
+        residual_gap = residual_gap,
+        units_repaired = repair.repaired_units,
+        unrecoverable = repair.unrecoverable.len()
+    );
     if obs::enabled() {
         let s = obs::Scope::new("resilience");
         s.counter("repairs").inc();

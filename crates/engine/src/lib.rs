@@ -29,7 +29,7 @@ pub use cost::{CostModel, Meter};
 pub use engine::{standalone_coordination, CoordContext, Engine, Placement, RunStats};
 pub use modules::{module_for_class, Alert, Analyzer, EngineError, Granularity, Stage};
 pub use netwide::{
-    plan_manifest_epochs, run_coordinated, run_coordinated_resilient, run_edge_only,
-    run_edge_only_faulty, run_standalone_reference, ManifestEpoch, NetworkRun, ResilienceConfig,
-    ResilientRun,
+    coverage_timeline, plan_manifest_epochs, run_coordinated, run_coordinated_resilient,
+    run_edge_only, run_edge_only_faulty, run_standalone_reference, ManifestEpoch, NetworkRun,
+    ResilienceConfig, ResilientRun,
 };

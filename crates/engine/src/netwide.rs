@@ -58,9 +58,13 @@ fn replay_nodes(
     num_nodes: usize,
     run_node: impl Fn(NodeId) -> Result<RunStats, EngineError> + Sync,
 ) -> Result<NetworkRun, EngineError> {
-    let per_node = parallel::par_map_n(num_nodes, |j| run_node(NodeId(j)))
-        .into_iter()
-        .collect::<Result<Vec<_>, _>>()?;
+    let _span = obs::span!("engine.replay", mode = mode, nodes = num_nodes);
+    let per_node = parallel::par_map_n(num_nodes, |j| {
+        let _span = obs::span!("engine.replay_node", node = j);
+        run_node(NodeId(j))
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
     let mut alerts = BTreeSet::new();
     for stats in &per_node {
         alerts.extend(stats.alerts.iter().cloned());
@@ -207,6 +211,7 @@ pub fn plan_manifest_epochs(
     manifest: &SamplingManifest,
     cfg: &ResilienceConfig,
 ) -> Vec<ManifestEpoch> {
+    let _span = obs::span!("engine.plan_epochs", events = cfg.schedule.events.len());
     let mut bounds = vec![0.0f64];
     for e in &cfg.schedule.events {
         match e.kind {
@@ -310,6 +315,13 @@ pub fn run_coordinated_resilient(
             while k + 1 < epochs.len() && epochs[k + 1].from <= now {
                 k += 1;
                 engine.set_manifest(&epochs[k].manifest);
+                obs::trace_event!(
+                    "engine.manifest_swap",
+                    node = node.0,
+                    epoch = k,
+                    at = epochs[k].from,
+                    residual_gap = epochs[k].residual_gap
+                );
             }
             if cfg.schedule.events.iter().any(|e| e.node == node && e.blind_at(now)) {
                 continue;
@@ -319,6 +331,58 @@ pub fn run_coordinated_resilient(
         Ok(engine.stats())
     })?;
     Ok(ResilientRun { run, epochs })
+}
+
+/// The exact traffic-weighted coverage step function a resilient run
+/// executes, on the replay-fraction clock.
+///
+/// Breakpoints are every instant the covered fraction can change: failure
+/// onsets, partition heals, and the epoch boundaries where nodes swap to
+/// a repaired manifest. At each breakpoint `t` the covered fraction is
+/// `1 − manifest_gap_fraction(dep, active_manifest(t), blind_nodes(t))` —
+/// the same quantity the blind-window assertions in the resilience tests
+/// check pointwise — and holds until the next breakpoint.
+///
+/// When metric collection is on, each point is also recorded into the
+/// `resilience.coverage` time series (exported to `timeseries.csv` by the
+/// `repro` harness).
+pub fn coverage_timeline(
+    dep: &NidsDeployment,
+    cfg: &ResilienceConfig,
+    epochs: &[ManifestEpoch],
+) -> Vec<(f64, f64)> {
+    let mut breakpoints = vec![0.0f64];
+    for e in &cfg.schedule.events {
+        match e.kind {
+            FailureKind::Crash => breakpoints.push(e.at),
+            FailureKind::Partition { until } => {
+                breakpoints.push(e.at);
+                breakpoints.push(until);
+            }
+            // Degradation sheds analysis but never blinds a vantage; the
+            // covered fraction tracked here does not move.
+            FailureKind::CapacityDegraded { .. } => {}
+        }
+    }
+    breakpoints.extend(epochs.iter().map(|ep| ep.from));
+    breakpoints.sort_by(f64::total_cmp);
+    breakpoints.dedup();
+    breakpoints.retain(|&t| (0.0..1.0).contains(&t));
+    let mut out = Vec::with_capacity(breakpoints.len());
+    for &t in &breakpoints {
+        let mut blind: Vec<NodeId> =
+            cfg.schedule.events.iter().filter(|e| e.blind_at(t)).map(|e| e.node).collect();
+        blind.sort();
+        blind.dedup();
+        let active = epochs.iter().rev().find(|ep| ep.from <= t);
+        let gap = active.map_or(0.0, |ep| manifest_gap_fraction(dep, &ep.manifest, &blind));
+        let covered = 1.0 - gap;
+        if obs::enabled() {
+            obs::record_series("resilience.coverage", t, covered);
+        }
+        out.push((t, covered));
+    }
+    out
 }
 
 /// A single standalone NIDS over the entire trace (the logical reference

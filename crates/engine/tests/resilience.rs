@@ -19,8 +19,8 @@ use nwdp_core::resilience::{
 };
 use nwdp_core::{build_units, AnalysisClass, NidsDeployment};
 use nwdp_engine::{
-    run_coordinated, run_coordinated_resilient, run_edge_only, run_edge_only_faulty,
-    run_standalone_reference, Alert, Placement, ResilienceConfig,
+    coverage_timeline, run_coordinated, run_coordinated_resilient, run_edge_only,
+    run_edge_only_faulty, run_standalone_reference, Alert, Placement, ResilienceConfig,
 };
 use nwdp_hash::KeyedHasher;
 use nwdp_topo::{internet2, NodeId, PathDb, Topology};
@@ -264,6 +264,26 @@ fn detection_delay_costs_exactly_the_blind_window() {
         delayed.epochs[1].residual_gap < manifest_gap_fraction(&dep, &manifest, &[x]),
         "the repaired epoch must close most of the gap"
     );
+
+    // The coverage time series reproduces the blind window exactly: the
+    // original-manifest gap from the crash until detection at 0.5, the
+    // repaired-manifest residual gap afterwards.
+    let health = HealthConfig { heartbeat_interval: 0.25, miss_threshold: 3, phase: 0.0 };
+    let timeline = coverage_timeline(
+        &dep,
+        &ResilienceConfig { caps: &caps, schedule: &schedule, health },
+        &delayed.epochs,
+    );
+    let blind_gap = manifest_gap_fraction(&dep, &manifest, &[x]);
+    assert_eq!(timeline.len(), 2, "crash-at-0 plus one repair boundary: {timeline:?}");
+    assert_eq!(timeline[0].0, 0.0);
+    assert!((timeline[0].1 - (1.0 - blind_gap)).abs() < 1e-12, "blind window coverage");
+    assert!((timeline[1].0 - 0.5).abs() < 1e-12);
+    assert!(
+        (timeline[1].1 - (1.0 - delayed.epochs[1].residual_gap)).abs() < 1e-12,
+        "post-repair coverage"
+    );
+    assert!(timeline[1].1 > timeline[0].1, "repair must raise coverage");
 
     // Greedy repair only ever *adds* ranges to survivors, so every session
     // the delayed run analyzes is analyzed by the same owner in the

@@ -146,6 +146,13 @@ pub fn solve_with_lazy_rows_ctx(
 ) -> RowGenResult {
     let t0 = obs::now_if_enabled();
     let shape = (base.num_vars(), base.num_cons(), lazy.len());
+    let _span = obs::span!(
+        "rowgen.solve",
+        vars = shape.0,
+        base_rows = shape.1,
+        lazy_pool = shape.2,
+        primed = ctx.is_primed()
+    );
     if ctx.shape.is_some_and(|s| s != shape) {
         if obs::enabled() {
             obs::counter("rowgen.ctx_resets").inc();
@@ -219,6 +226,12 @@ pub fn solve_with_lazy_rows_ctx(
     };
 
     if obs::enabled() {
+        // Per-re-solve iteration trajectory, keyed on a process-wide solve
+        // index (ordering across threads is best-effort; the series is for
+        // eyeballing warm-start decay, not for equivalence checks).
+        static SOLVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SOLVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        obs::record_series("simplex.resolve_iterations", seq as f64, total_iters as f64);
         let s = obs::Scope::new("rowgen");
         s.counter("solves").inc();
         s.counter("rounds").add(rounds as u64);

@@ -477,9 +477,13 @@ impl<'a, B: BasisBackend> Core<'a, B> {
                 }
             }
             if self.trace && self.iterations.is_multiple_of(1000) {
-                eprintln!(
-                    "[nwdp-lp] iter {} m {} ncols {} (degen_run {} bland {})",
-                    self.iterations, self.m, self.ncols, self.degen_run, self.bland
+                obs::trace_event!(
+                    "simplex.progress",
+                    iter = self.iterations,
+                    m = self.m,
+                    ncols = self.ncols,
+                    degen_run = self.degen_run,
+                    bland = self.bland
                 );
             }
         }
@@ -865,7 +869,7 @@ fn try_solve<B: BasisBackend>(
         bland: start_bland,
         force_bland: start_bland,
         price_section: 0,
-        trace: std::env::var_os("NWDP_LP_TRACE").is_some(),
+        trace: obs::trace_enabled(),
         singular: false,
         n_pivots: 0,
         n_bound_flips: 0,
@@ -929,21 +933,28 @@ fn try_solve<B: BasisBackend>(
                     }
                 }
             }
-            eprintln!("[nwdp-lp] warm diag: {drifted} basics drifted, max {maxdrift:.3e}");
+            obs::trace_event!("simplex.warm_diag", drifted = drifted, max_drift = maxdrift);
         }
         let broken = worst > 1e-6;
         if broken {
             if core.trace {
                 let j = core.basis[worst_pos];
-                eprintln!(
-                    "[nwdp-lp] warm start rejected (m {m}, m_old {m_old}): pos {worst_pos} var {j} (n {n}) xb {} bounds [{}, {}]",
-                    core.xb[worst_pos], core.lb[j], core.ub[j]
+                obs::trace_event!(
+                    "simplex.warm_rejected",
+                    m = m,
+                    m_old = m_old,
+                    pos = worst_pos,
+                    var = j,
+                    n = n,
+                    xb = core.xb[worst_pos],
+                    lb = core.lb[j],
+                    ub = core.ub[j]
                 );
             }
             return SolveAttempt::WarmRejected;
         }
         if core.trace {
-            eprintln!("[nwdp-lp] warm start accepted: m {m} (old {m_old}), {n_art} artificials");
+            obs::trace_event!("simplex.warm_accepted", m = m, m_old = m_old, n_art = n_art);
         }
     }
 

@@ -37,14 +37,18 @@ pub fn snapshot_to_json(snap: &[(String, SnapshotValue)]) -> String {
                 );
                 push_entry(&mut timers, name, &obj);
             }
-            SnapshotValue::Histogram { bounds, counts, count, sum } => {
+            SnapshotValue::Histogram { bounds, counts, count, sum, p50, p95, p99 } => {
                 let bs: Vec<String> = bounds.iter().map(|&b| fmt_f64(b)).collect();
                 let cs: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
                 let obj = format!(
-                    "{{\"bounds\":[{}],\"counts\":[{}],\"count\":{count},\"sum\":{}}}",
+                    "{{\"bounds\":[{}],\"counts\":[{}],\"count\":{count},\"sum\":{},\
+                     \"p50\":{},\"p95\":{},\"p99\":{}}}",
                     bs.join(","),
                     cs.join(","),
-                    fmt_f64(*sum)
+                    fmt_f64(*sum),
+                    fmt_f64(*p50),
+                    fmt_f64(*p95),
+                    fmt_f64(*p99)
                 );
                 push_entry(&mut histograms, name, &obj);
             }
@@ -131,6 +135,55 @@ impl Json {
         match self {
             Json::Obj(m) => Some(m),
             _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Serialize back to JSON text. Object keys come out in `BTreeMap`
+    /// order, numbers in `{:?}` round-trip form (non-finite as `null`),
+    /// so `parse(render(v)) == v` for any finite-numbered value.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(v) => out.push_str(&fmt_f64(*v)),
+            Json::Str(s) => out.push_str(&quote(s)),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&quote(k));
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
         }
     }
 }
@@ -302,7 +355,15 @@ mod tests {
             ),
             (
                 "d.hist".to_string(),
-                V::Histogram { bounds: vec![1.0, 2.0], counts: vec![1, 0, 3], count: 4, sum: 9.25 },
+                V::Histogram {
+                    bounds: vec![1.0, 2.0],
+                    counts: vec![1, 0, 3],
+                    count: 4,
+                    sum: 9.25,
+                    p50: 2.0,
+                    p95: 2.0,
+                    p99: 2.0,
+                },
             ),
         ];
         let text = snapshot_to_json(&snap);
@@ -311,6 +372,7 @@ mod tests {
         assert_eq!(doc.get("gauges/b.gauge").and_then(Json::as_f64), Some(1.5));
         assert_eq!(doc.get("timers/c.timer/mean_ns").and_then(Json::as_f64), Some(20.0));
         assert_eq!(doc.get("histograms/d.hist/sum").and_then(Json::as_f64), Some(9.25));
+        assert_eq!(doc.get("histograms/d.hist/p95").and_then(Json::as_f64), Some(2.0));
         assert_eq!(
             doc.get("histograms/d.hist/counts"),
             Some(&Json::Arr(vec![Json::Num(1.0), Json::Num(0.0), Json::Num(3.0)]))

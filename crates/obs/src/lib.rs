@@ -30,6 +30,8 @@
 mod json;
 mod metrics;
 mod registry;
+mod series;
+mod trace;
 
 pub use json::{parse as parse_json, snapshot_to_json, Json};
 pub use metrics::{Counter, Gauge, Histogram, Timer};
@@ -37,10 +39,17 @@ pub use registry::{
     counter, counter_with, gauge, gauge_with, histogram, histogram_with, reset, snapshot, timer,
     timer_with, Scope, SnapshotValue,
 };
+pub use series::{
+    record_series, reset_series, series, series_snapshot, series_to_csv, write_series_csv, Series,
+};
+pub use trace::{
+    current_span_id, event, flush_trace, init_trace_from_env, set_trace_enabled, set_trace_writer,
+    span, span_under, span_with, trace_enabled, Span, TraceValue,
+};
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
 use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -131,6 +140,28 @@ pub fn to_json() -> String {
 /// installed sink).
 pub fn write_json(path: impl AsRef<Path>) -> std::io::Result<()> {
     std::fs::write(path, to_json())
+}
+
+/// Chain a panic hook that flushes the metrics sink and the trace
+/// journal before the default hook runs, so a mid-run panic still leaves
+/// a valid metrics snapshot and a parseable (partial) journal on disk.
+/// Idempotent: the hook installs once per process.
+///
+/// The panicking thread's *open* spans are closed by their guards during
+/// the unwind that follows the hook, and its thread-local record buffer
+/// flushes when the thread dies — the hook only has to push out whatever
+/// other threads already handed to the writer, plus the global metrics
+/// snapshot.
+pub fn install_panic_flush() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let _ = flush();
+            flush_trace();
+            prev(info);
+        }));
+    });
 }
 
 #[cfg(test)]

@@ -243,6 +243,38 @@ impl Histogram {
         f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
     }
 
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) from the bucket bounds,
+    /// Prometheus-style: find the bucket where the cumulative count
+    /// crosses `q·total` and interpolate linearly inside it. The first
+    /// bucket interpolates from `min(0, bounds[0])`; observations in the
+    /// overflow bucket clamp to the last bound (the histogram does not
+    /// track a max). Returns 0.0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            let prev = cum;
+            cum += c;
+            if (cum as f64) < rank || c == 0 {
+                continue;
+            }
+            if i >= self.bounds.len() {
+                // Overflow bucket: no upper bound to interpolate toward.
+                return self.bounds[self.bounds.len() - 1];
+            }
+            let hi = self.bounds[i];
+            let lo = if i == 0 { hi.min(0.0) } else { self.bounds[i - 1] };
+            let frac = ((rank - prev as f64) / c as f64).clamp(0.0, 1.0);
+            return lo + (hi - lo) * frac;
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+
     pub fn reset(&self) {
         for c in &self.counts {
             c.store(0, Ordering::Relaxed);
@@ -308,5 +340,57 @@ mod tests {
     fn histogram_rejects_bad_bounds() {
         let h = Histogram::new(&[1.0, 1.0, f64::NAN]);
         assert_eq!(h.bounds(), &[1.0]);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_distribution() {
+        // Unit-width buckets over [0, 100); observe 1..=100 once each so
+        // the true quantile of q is ~100q. The bucket estimate must land
+        // within one bucket width of the truth.
+        let bounds: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let h = Histogram::new(&bounds);
+        for i in 1..=100 {
+            h.observe(i as f64);
+        }
+        for (q, expect) in [(0.5, 50.0), (0.95, 95.0), (0.99, 99.0)] {
+            let got = h.quantile(q);
+            assert!((got - expect).abs() <= 1.0, "q={q}: got {got}, want ~{expect}");
+        }
+        // Quantiles are monotone in q.
+        assert!(h.quantile(0.5) <= h.quantile(0.95));
+        assert!(h.quantile(0.95) <= h.quantile(0.99));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_a_bucket() {
+        // All mass in the (1, 10] bucket: p50 interpolates to its middle.
+        let h = Histogram::new(&[1.0, 10.0]);
+        for _ in 0..10 {
+            h.observe(5.0);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((p50 - 5.5).abs() < 1e-9, "p50 {p50}");
+        // p0 pins to the bucket's lower bound, p100 to its upper.
+        assert!((h.quantile(0.0) - 1.0).abs() < 1e-9);
+        assert!((h.quantile(1.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_overflow_and_empty_edges() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        h.observe(100.0); // overflow bucket only
+        assert_eq!(h.quantile(0.5), 2.0, "overflow clamps to last bound");
+        // Known skewed distribution: 90 small, 10 large.
+        let h2 = Histogram::new(&[1.0, 10.0, 100.0]);
+        for _ in 0..90 {
+            h2.observe(0.5);
+        }
+        for _ in 0..10 {
+            h2.observe(50.0);
+        }
+        assert!(h2.quantile(0.5) <= 1.0, "p50 stays in the small bucket");
+        let p95 = h2.quantile(0.95);
+        assert!((10.0..=100.0).contains(&p95), "p95 {p95} lands in the large bucket");
     }
 }

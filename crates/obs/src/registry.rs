@@ -140,8 +140,24 @@ impl Scope {
 pub enum SnapshotValue {
     Counter(u64),
     Gauge(f64),
-    Timer { count: u64, total_ns: u64, min_ns: u64, max_ns: u64, mean_ns: f64 },
-    Histogram { bounds: Vec<f64>, counts: Vec<u64>, count: u64, sum: f64 },
+    Timer {
+        count: u64,
+        total_ns: u64,
+        min_ns: u64,
+        max_ns: u64,
+        mean_ns: f64,
+    },
+    Histogram {
+        bounds: Vec<f64>,
+        counts: Vec<u64>,
+        count: u64,
+        sum: f64,
+        /// Bucket-interpolated percentile estimates (see
+        /// [`Histogram::quantile`](crate::Histogram::quantile)).
+        p50: f64,
+        p95: f64,
+        p99: f64,
+    },
 }
 
 /// Point-in-time copy of every registered metric, in name order.
@@ -164,6 +180,9 @@ pub fn snapshot() -> Vec<(String, SnapshotValue)> {
                     counts: h.bucket_counts(),
                     count: h.count(),
                     sum: h.sum(),
+                    p50: h.quantile(0.50),
+                    p95: h.quantile(0.95),
+                    p99: h.quantile(0.99),
                 },
             };
             (name.clone(), value)

@@ -1,0 +1,154 @@
+//! Named time series keyed on an explicit clock.
+//!
+//! A network-wide deployment is a time-varying system: coverage during a
+//! failure epoch, per-epoch FPL regret, simplex iterations across
+//! warm-started re-solves. Counters and gauges collapse that structure
+//! into a final number; a [`Series`] keeps the trajectory.
+//!
+//! The x-axis is whatever clock the caller passes — the resilience
+//! subsystem uses the replay-fraction clock (the same one
+//! `resilience::FailureTimeline` runs on), the online game uses the
+//! epoch index, the LP layer uses the re-solve index. Points are
+//! recorded in call order and exported as one long CSV
+//! (`series,t,value`), deterministic given deterministic callers.
+//!
+//! Collection piggybacks on the metrics gate ([`crate::enabled`]):
+//! instrumentation sites guard with it, so a disabled run pays one
+//! relaxed atomic load per *region*, exactly like the counter layer.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One named time series: `(t, value)` points in record order.
+#[derive(Debug, Default)]
+pub struct Series {
+    points: Mutex<Vec<(f64, f64)>>,
+}
+
+impl Series {
+    /// Append one sample. Takes the series' internal lock — record per
+    /// epoch/solve/event, not per packet.
+    pub fn record(&self, t: f64, value: f64) {
+        self.points.lock().unwrap_or_else(|e| e.into_inner()).push((t, value));
+    }
+
+    /// Copy of all points recorded so far.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        self.points.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn clear(&self) {
+        self.points.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Arc<Series>>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Arc<Series>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Fetch-or-create the named series. Resolve the handle once per
+/// run/solve; the handle is an `Arc` and safe to record from scoped
+/// threads.
+pub fn series(name: &str) -> Arc<Series> {
+    let mut map = registry().lock().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(map.entry(name.to_string()).or_default())
+}
+
+/// One-shot convenience for cold call sites: fetch and record.
+pub fn record_series(name: &str, t: f64, value: f64) {
+    series(name).record(t, value);
+}
+
+/// Point-in-time copy of every registered series, in name order.
+pub fn series_snapshot() -> Vec<(String, Vec<(f64, f64)>)> {
+    let map = registry().lock().unwrap_or_else(|e| e.into_inner());
+    map.iter().map(|(name, s)| (name.clone(), s.points())).collect()
+}
+
+/// Drop every point from every registered series (tests, repeated runs).
+pub fn reset_series() {
+    let map = registry().lock().unwrap_or_else(|e| e.into_inner());
+    for s in map.values() {
+        s.clear();
+    }
+}
+
+/// Render a snapshot as CSV: `series,t,value`, one row per point, series
+/// in name order, points in record order. Non-finite samples export as
+/// empty cells (CSV has no NaN literal either).
+pub fn series_to_csv(snap: &[(String, Vec<(f64, f64)>)]) -> String {
+    let mut out = String::from("series,t,value\n");
+    let cell = |v: f64| if v.is_finite() { format!("{v:?}") } else { String::new() };
+    for (name, points) in snap {
+        let quoted = if name.contains(',') || name.contains('"') {
+            format!("\"{}\"", name.replace('"', "\"\""))
+        } else {
+            name.clone()
+        };
+        for &(t, v) in points {
+            let _ = writeln!(out, "{quoted},{},{}", cell(t), cell(v));
+        }
+    }
+    out
+}
+
+/// Write the current snapshot of every non-empty series to `path` as CSV.
+/// Returns `false` (and writes nothing) when no series has any points.
+pub fn write_series_csv(path: impl AsRef<Path>) -> std::io::Result<bool> {
+    let snap: Vec<_> = series_snapshot().into_iter().filter(|(_, pts)| !pts.is_empty()).collect();
+    if snap.is_empty() {
+        return Ok(false);
+    }
+    std::fs::write(path, series_to_csv(&snap))?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot_in_order() {
+        let s = series("test.series.basic");
+        s.clear();
+        s.record(0.0, 1.0);
+        s.record(0.5, 0.25);
+        series("test.series.basic").record(1.0, 0.75);
+        assert_eq!(s.points(), vec![(0.0, 1.0), (0.5, 0.25), (1.0, 0.75)]);
+        assert!(Arc::ptr_eq(&s, &series("test.series.basic")));
+    }
+
+    #[test]
+    fn csv_renders_rows_and_escapes() {
+        let snap = vec![
+            ("a,b".to_string(), vec![(0.0, 1.0)]),
+            ("plain".to_string(), vec![(0.25, f64::NAN), (0.5, 2.0)]),
+        ];
+        let csv = series_to_csv(&snap);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "series,t,value");
+        assert_eq!(lines[1], "\"a,b\",0.0,1.0");
+        assert_eq!(lines[2], "plain,0.25,");
+        assert_eq!(lines[3], "plain,0.5,2.0");
+    }
+
+    #[test]
+    fn reset_clears_points_but_keeps_names() {
+        let s = series("test.series.reset");
+        s.record(1.0, 1.0);
+        reset_series();
+        assert!(s.is_empty());
+        assert!(series_snapshot().iter().any(|(n, _)| n == "test.series.reset"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Satellite of the tracing layer: a mid-run panic must still leave a
+//! *valid* (if partial) journal behind. The guarantees under test:
+//!
+//! - every journal line is well-formed JSON even when the writer was
+//!   abandoned mid-run (records are buffered per thread and flushed
+//!   whole, never split);
+//! - the panicking thread's open spans are closed by their guards during
+//!   the unwind, so open/close records stay balanced;
+//! - the panic-hook + final flush push everything out of the per-thread
+//!   buffers.
+
+use nwdp_obs::{parse_json, Json};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+#[derive(Clone)]
+struct Capture(Arc<Mutex<Vec<u8>>>);
+
+impl Write for Capture {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn panic_mid_run_leaves_valid_balanced_journal() {
+    let sink = Arc::new(Mutex::new(Vec::new()));
+    nwdp_obs::set_trace_writer(Box::new(Capture(Arc::clone(&sink))));
+    nwdp_obs::set_trace_enabled(true);
+    // The default hook prints a backtrace per panic; replace it with a
+    // silent one *before* installing the flush hook, so the chain under
+    // test is flush → silence.
+    let noisy = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    nwdp_obs::install_panic_flush();
+
+    let worker = std::thread::spawn(|| {
+        let _outer = nwdp_obs::span!("work.outer", item = 1);
+        let _inner = nwdp_obs::span!("work.inner");
+        nwdp_obs::event("work.progress", &[("step", nwdp_obs::TraceValue::from(3u32))]);
+        panic!("simulated mid-run crash");
+    });
+    assert!(worker.join().is_err(), "worker must have panicked");
+
+    nwdp_obs::flush_trace();
+    nwdp_obs::set_trace_enabled(false);
+    std::panic::set_hook(noisy);
+
+    let bytes = sink.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).expect("journal is UTF-8");
+    assert!(!text.is_empty(), "panic must not swallow the journal");
+
+    // Every line parses; span opens and closes balance per id.
+    let mut open: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    let mut names = Vec::new();
+    for line in text.lines() {
+        let doc = parse_json(line).unwrap_or_else(|e| panic!("bad journal line {line:?}: {e}"));
+        let id = doc.get("id").and_then(Json::as_f64).map(|v| v as u64);
+        match doc.get("ev").and_then(Json::as_str) {
+            Some("B") => {
+                assert!(open.insert(id.expect("B record has id")), "duplicate span id");
+                names.push(doc.get("name").and_then(Json::as_str).unwrap_or("").to_string());
+            }
+            Some("E") => {
+                assert!(open.remove(&id.expect("E record has id")), "close without open");
+            }
+            Some("I") => {}
+            other => panic!("unknown record type {other:?} in {line:?}"),
+        }
+    }
+    assert!(open.is_empty(), "unwind must close every span: left open {open:?}");
+    assert!(names.iter().any(|n| n == "work.outer") && names.iter().any(|n| n == "work.inner"));
+}

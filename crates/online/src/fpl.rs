@@ -173,7 +173,9 @@ pub fn run_fpl(inst: &NipsInstance, adversary: &mut dyn Adversary, cfg: &FplConf
     // adversaries).
     let mut last_cover = vec![vec![0.0f64; np]; nr];
 
+    let _span = obs::span!("fpl.run", epochs = cfg.epochs, rules = nr, paths = np);
     for t in 0..cfg.epochs {
+        let _span = obs::span!("fpl.epoch", epoch = t);
         // --- Decide with perturbed history. ---
         // The perturbation draw stays on the sequential RNG; the two
         // oracle solves (FPL on perturbed history, FTL on raw history)
@@ -240,6 +242,9 @@ pub fn run_fpl(inst: &NipsInstance, adversary: &mut dyn Adversary, cfg: &FplConf
         let regret =
             if static_total > 1e-12 { (static_total - fpl_total) / static_total } else { 0.0 };
         normalized_regret.push(regret);
+        if obs::enabled() {
+            obs::record_series("fpl.cum_regret", t as f64, regret);
+        }
     }
 
     if obs::enabled() {
