@@ -136,4 +136,27 @@ grep -q "hottest spans" "$metrics_tmp/report.txt"
 grep -q "warm-start hit rates" "$metrics_tmp/report.txt"
 echo "repro report OK"
 
+# The NIDS upgrade sweep used to reject all of its warm bases (the 0.96x
+# negative row in EXPERIMENTS.md); the dual simplex phase repairs them.
+# Guard the repaired behavior: every warm attempt in that loop must be
+# accepted, none may fall back cold, and the warm pass must spend fewer
+# simplex iterations than cold. The gate parses the per-loop columns of
+# the warm-start CSV rather than global counters, so the FPL and rounding
+# loops in the same run can't contaminate the assertion.
+echo "== dual-phase warm-start gate (NIDS upgrade sweep) =="
+./target/release/repro warm --quick --out "$metrics_tmp/results" > /dev/null
+python3 - "$metrics_tmp/results/warmstart_cold_vs_warm.csv" <<'PY'
+import csv, sys
+rows = [r for r in csv.DictReader(open(sys.argv[1])) if r["what"].startswith("NIDS upgrade sweep")]
+assert rows, "NIDS upgrade sweep row missing from warm-start CSV"
+r = rows[0]
+hits, fallbacks = int(r["hits"]), int(r["fallbacks"])
+cold_iters, warm_iters = int(r["cold iters"]), int(r["warm iters"])
+assert hits > 0, f"NIDS sweep accepted no warm bases: {r}"
+assert fallbacks == 0, f"NIDS sweep fell back cold {fallbacks} times: {r}"
+assert warm_iters < cold_iters, f"warm pass did not save iterations: {r}"
+print(f"dual-phase gate OK ({hits} hits, {fallbacks} fallbacks, "
+      f"{cold_iters} -> {warm_iters} iterations)")
+PY
+
 echo "CI OK"

@@ -224,13 +224,36 @@ pub fn warmstart_table(metrics: &Json) -> Table {
             fmt_pct(h as f64 / a as f64)
         }
     };
+    // Fallback attribution: `warmstart_fallbacks` is the sum of the two
+    // cause counters (rejected = basis failed validation and the dual
+    // phase could not repair it; singular = factorization died).
+    let rejected = counter(metrics, "simplex.warmstart_rejected");
+    let singular = counter(metrics, "simplex.warmstart_singular");
     t.row(vec![
         "simplex basis".to_string(),
         attempts.to_string(),
         hits.to_string(),
         rate(hits, attempts),
-        format!("{} warm pivots", counter(metrics, "simplex.warmstart_iterations")),
+        format!(
+            "{} warm pivots; fallbacks: {rejected} rejected, {singular} singular",
+            counter(metrics, "simplex.warmstart_iterations")
+        ),
     ]);
+    let dual_runs = counter(metrics, "simplex.dual_phase_runs");
+    if dual_runs > 0 {
+        let repairs = counter(metrics, "simplex.dual_repairs");
+        t.row(vec![
+            "dual repair".to_string(),
+            dual_runs.to_string(),
+            repairs.to_string(),
+            rate(repairs, dual_runs),
+            format!(
+                "{} dual pivots, {} bound flips",
+                counter(metrics, "simplex.dual_pivots"),
+                counter(metrics, "simplex.dual_flips")
+            ),
+        ]);
+    }
     let ctx_hits = counter(metrics, "rowgen.ctx_hits");
     let solves = counter(metrics, "rowgen.solves");
     t.row(vec![
@@ -383,16 +406,38 @@ mod tests {
     fn warmstart_rates_from_metrics_doc() {
         let doc = parse_json(
             "{\"counters\":{\"simplex.warmstart_hits\":9,\"simplex.warmstart_fallbacks\":1,\
+             \"simplex.warmstart_rejected\":1,\"simplex.warmstart_singular\":0,\
              \"rowgen.ctx_hits\":4,\"rowgen.solves\":8,\"rowgen.iterations_saved\":123}}",
         )
         .unwrap();
         let t = warmstart_table(&doc);
         assert_eq!(t.rows[0][3], "90.0%");
+        // Fallback attribution lands in the note column.
+        assert!(t.rows[0][4].contains("1 rejected"), "note: {}", t.rows[0][4]);
+        assert!(t.rows[0][4].contains("0 singular"), "note: {}", t.rows[0][4]);
+        // No dual runs recorded → no dual-repair row.
+        assert_eq!(t.rows[1][0], "rowgen context");
         assert_eq!(t.rows[1][3], "50.0%");
         assert!(t.rows[1][4].contains("123"));
         // Empty doc: no division by zero.
         let t0 = warmstart_table(&parse_json("{}").unwrap());
         assert_eq!(t0.rows[0][3], "n/a");
+    }
+
+    #[test]
+    fn warmstart_table_attributes_dual_repairs() {
+        let doc = parse_json(
+            "{\"counters\":{\"simplex.warmstart_hits\":11,\"simplex.warmstart_fallbacks\":0,\
+             \"simplex.dual_phase_runs\":11,\"simplex.dual_repairs\":11,\
+             \"simplex.dual_pivots\":42,\"simplex.dual_flips\":3}}",
+        )
+        .unwrap();
+        let t = warmstart_table(&doc);
+        assert_eq!(t.rows[1][0], "dual repair");
+        assert_eq!(t.rows[1][1], "11");
+        assert_eq!(t.rows[1][3], "100.0%");
+        assert!(t.rows[1][4].contains("42 dual pivots"));
+        assert!(t.rows[1][4].contains("3 bound flips"));
     }
 
     #[test]

@@ -37,6 +37,12 @@ pub struct WarmComparison {
     /// Absolute objective difference between the two runs (must be ≤1e-9
     /// relative; asserted before returning).
     pub objective_delta: f64,
+    /// Warm-basis attempts accepted / fallen back during the warm run
+    /// (both 0 for loops that reuse something other than a basis).
+    pub warm_hits: u64,
+    pub warm_fallbacks: u64,
+    /// Dual-repair pivots spent during the warm run.
+    pub dual_pivots: u64,
     pub detail: String,
 }
 
@@ -109,6 +115,9 @@ pub fn fpl_cold_vs_warm(epochs: usize, n_rules: usize, seed: u64) -> WarmCompari
         cold_iters,
         warm_iters,
         objective_delta: delta,
+        warm_hits: 0,
+        warm_fallbacks: 0,
+        dual_pivots: 0,
         detail: format!("flow-oracle reuse, total value {warm_total:.1}"),
     }
 }
@@ -137,7 +146,13 @@ pub fn rounding_cold_vs_warm(iterations: usize, n_rules: usize, seed: u64) -> Wa
         round_best_of(&inst, &relax, &opts).expect("rounding solves")
     };
     let (cold, cold_secs, cold_iters) = measured(|| run(false));
+    let hits0 = counter_snapshot("simplex.warmstart_hits");
+    let falls0 = counter_snapshot("simplex.warmstart_fallbacks");
+    let duals0 = counter_snapshot("simplex.dual_pivots");
     let (warm, warm_secs, warm_iters) = measured(|| run(true));
+    let warm_hits = counter_snapshot("simplex.warmstart_hits") - hits0;
+    let warm_fallbacks = counter_snapshot("simplex.warmstart_fallbacks") - falls0;
+    let dual_pivots = counter_snapshot("simplex.dual_pivots") - duals0;
     let delta = (cold.objective - warm.objective).abs();
     assert!(
         delta <= 1e-9 * (1.0 + cold.objective.abs()),
@@ -152,6 +167,9 @@ pub fn rounding_cold_vs_warm(iterations: usize, n_rules: usize, seed: u64) -> Wa
         cold_iters,
         warm_iters,
         objective_delta: delta,
+        warm_hits,
+        warm_fallbacks,
+        dual_pivots,
         detail: format!("shared-baseline basis, best {:.1}", warm.objective),
     }
 }
@@ -159,13 +177,14 @@ pub fn rounding_cold_vs_warm(iterations: usize, n_rules: usize, seed: u64) -> Wa
 /// NIDS what-if upgrade sweep (one LP re-solve per node): cold solves vs
 /// basis chained through the sweep.
 ///
-/// This is the *fallback* showcase, not a speedup: upgrading a node
-/// rescales that node's constraint coefficients, which perturbs the basis
-/// values far past feasibility, so validation rejects the warm basis and
-/// every solve falls back cold (`simplex.warmstart_fallbacks` counts
-/// them). The comparison pins two things: the fallback penalty (one
-/// failed factorization per solve) stays in the noise, and the chained
-/// sweep still matches cold objectives exactly.
+/// This used to be the fallback showcase: upgrading a node rescales that
+/// node's constraint coefficients, which perturbs the basic values far
+/// past primal feasibility, so validation rejected every warm basis. The
+/// dual simplex phase now repairs those bases in place (the old basis
+/// stays dual feasible under the rescaled columns), so the sweep is a
+/// genuine warm-start win; `warm_hits` / `warm_fallbacks` / `dual_pivots`
+/// report the repair economics, and the chained sweep must still match
+/// cold objectives exactly.
 pub fn provisioning_cold_vs_warm(factor: f64) -> WarmComparison {
     let t = internet2();
     let paths = PathDb::shortest_paths(&t);
@@ -194,10 +213,12 @@ pub fn provisioning_cold_vs_warm(factor: f64) -> WarmComparison {
     let (cold, cold_secs, cold_iters) = measured(cold_plan);
     let hits0 = counter_snapshot("simplex.warmstart_hits");
     let falls0 = counter_snapshot("simplex.warmstart_fallbacks");
+    let duals0 = counter_snapshot("simplex.dual_pivots");
     let (warm, warm_secs, warm_iters) =
         measured(|| nids_upgrade_plan(&dep, &cfg, factor).expect("solves"));
     let hits = counter_snapshot("simplex.warmstart_hits") - hits0;
     let fallbacks = counter_snapshot("simplex.warmstart_fallbacks") - falls0;
+    let dual_pivots = counter_snapshot("simplex.dual_pivots") - duals0;
     let delta = (cold.0 - warm.base_max_load).abs();
     assert!(
         delta <= 1e-9 * (1.0 + cold.0.abs()),
@@ -212,6 +233,9 @@ pub fn provisioning_cold_vs_warm(factor: f64) -> WarmComparison {
         cold_iters,
         warm_iters,
         objective_delta: delta,
+        warm_hits: hits,
+        warm_fallbacks: fallbacks,
+        dual_pivots,
         detail: format!(
             "basis chained across {} re-solves ({hits} warm hits, {fallbacks} fallbacks)",
             dep.num_nodes
@@ -222,7 +246,18 @@ pub fn provisioning_cold_vs_warm(factor: f64) -> WarmComparison {
 pub fn table(results: &[WarmComparison]) -> Table {
     let mut t = Table::new(
         "Warm-start: cold vs warm repeated solves (objectives equal to 1e-9)",
-        &["what", "cold s", "warm s", "speedup", "cold iters", "warm iters", "detail"],
+        &[
+            "what",
+            "cold s",
+            "warm s",
+            "speedup",
+            "cold iters",
+            "warm iters",
+            "hits",
+            "fallbacks",
+            "dual pivots",
+            "detail",
+        ],
     );
     for r in results {
         t.row(vec![
@@ -232,6 +267,9 @@ pub fn table(results: &[WarmComparison]) -> Table {
             format!("{:.2}x", r.speedup()),
             r.cold_iters.to_string(),
             r.warm_iters.to_string(),
+            r.warm_hits.to_string(),
+            r.warm_fallbacks.to_string(),
+            r.dual_pivots.to_string(),
             r.detail.clone(),
         ]);
     }

@@ -89,6 +89,9 @@ pub fn solve_nids_lp(
 /// final basis for the next solve. What-if sweeps (capacity upgrades,
 /// redundancy scans) change only LP coefficients, not the problem shape,
 /// so chaining the returned snapshot re-solves in a handful of iterations.
+/// Coefficient changes that push the old basis out of primal feasibility
+/// (a capacity rescale does) are repaired by the simplex dual phase
+/// rather than falling back to a cold solve.
 pub fn solve_nids_lp_warm(
     dep: &NidsDeployment,
     cfg: &NidsLpConfig,

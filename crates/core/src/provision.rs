@@ -49,7 +49,10 @@ pub fn nids_upgrade_plan(
     assert!(factor > 1.0, "an upgrade must increase capacity");
     // Chain the basis through the sweep: each re-solve changes only LP
     // coefficients (one node's capacities), so the previous optimum is an
-    // excellent starting basis.
+    // excellent starting basis. The capacity rescale leaves the old basis
+    // dual feasible but primal infeasible; the simplex dual phase repairs
+    // it in a handful of pivots instead of rejecting it, so every step of
+    // the sweep is a warm-start hit.
     let (base, mut warm) = solve_nids_lp_warm(dep, cfg, None)?;
     let mut gain = Vec::with_capacity(dep.num_nodes);
     for j in 0..dep.num_nodes {

@@ -341,7 +341,10 @@ pub struct LpRepair {
 
 /// Slow-path repair: re-solve the NIDS LP with the failed nodes excluded
 /// (full problem shape retained, so `warm` — typically the pre-failure
-/// basis — applies) and plan the migration from the old manifest.
+/// basis — applies) and plan the migration from the old manifest. Losing
+/// a node clamps its variables to zero, which usually leaves the old
+/// basis dual feasible; the simplex dual phase then repairs it in place
+/// instead of re-solving cold.
 pub fn lp_repair(
     dep: &NidsDeployment,
     old_manifest: &SamplingManifest,

@@ -56,8 +56,10 @@ pub fn solve_milp(p: &Problem, opts: &MilpOpts) -> MilpResult {
     // Stack holds subproblems as bound-override lists (var, lb, ub) plus
     // the parent relaxation's final basis: a child differs from its
     // parent only in one variable's bounds, so the parent basis is an
-    // excellent warm-start guess (the simplex re-validates it and falls
-    // back to a cold solve if branching made it infeasible).
+    // excellent warm-start guess. Tightening a bound keeps the parent
+    // basis dual feasible (costs are untouched), which is exactly the
+    // case the simplex dual phase repairs in place; it falls back to a
+    // cold solve only when branching broke both feasibility senses.
     type Node = (Vec<(usize, f64, f64)>, Option<Rc<WarmStart>>);
     let mut stack: Vec<Node> = vec![(Vec::new(), None)];
     let mut incumbent: Option<Solution> = None;
@@ -98,7 +100,7 @@ pub fn solve_milp(p: &Problem, opts: &MilpOpts) -> MilpResult {
                 }
                 continue;
             }
-            Status::IterLimit => {
+            Status::IterLimit | Status::NumericalFailure => {
                 exhausted = true;
                 continue;
             }

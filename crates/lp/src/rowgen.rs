@@ -95,9 +95,11 @@ impl Default for RowGenOpts {
 /// Coefficients, costs, bounds and right-hand sides of both the base
 /// problem and the pooled rows may change freely between calls — rows are
 /// re-read from the pool on every call and the basis is re-validated by
-/// the simplex (falling back to a cold start when it no longer fits; see
-/// the `simplex` module docs). A shape change resets the context
-/// (`rowgen.ctx_resets`) rather than erroring.
+/// the simplex. A basis the changes pushed out of primal feasibility is
+/// first offered to the dual repair phase and only falls back to a cold
+/// start when it is feasible in neither sense (see the `simplex` module
+/// docs). A shape change resets the context (`rowgen.ctx_resets`) rather
+/// than erroring.
 #[derive(Debug, Clone, Default)]
 pub struct SolveContext {
     warm: Option<WarmStart>,

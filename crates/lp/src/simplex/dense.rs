@@ -119,6 +119,15 @@ impl BasisBackend for DenseInverse {
         }
     }
 
+    fn btran_unit(&self, r: usize, out: &mut [f64]) {
+        // Row `r` of the explicit inverse, read straight out of the
+        // column-major store — no BTRAN pass needed.
+        let m = self.m;
+        for (k, o) in out.iter_mut().enumerate().take(m) {
+            *o = self.binv[k * m + r];
+        }
+    }
+
     fn update(&mut self, pivot_row: usize, y: &[f64]) {
         let m = self.m;
         let yr = y[pivot_row];
@@ -181,6 +190,29 @@ mod tests {
         fresh.ftran(&probe, &mut y2);
         for (a, c) in y1.iter().zip(&y2) {
             assert!((a - c).abs() < 1e-12, "{y1:?} vs {y2:?}");
+        }
+    }
+
+    #[test]
+    fn btran_unit_matches_btran_of_unit_vector() {
+        // Same non-trivial basis as `update_matches_refactor`: row
+        // extraction must agree with BTRAN applied to a materialized eᵣ.
+        let mut b = DenseInverse::new();
+        let c0: Vec<(usize, f64)> = vec![(0, 1.0), (2, 0.5)];
+        let c1: Vec<(usize, f64)> = vec![(0, 1.0), (1, 2.0)];
+        let c2: Vec<(usize, f64)> = vec![(1, -0.3), (2, 1.0)];
+        let basis_cols: Vec<&[(usize, f64)]> = vec![&c0, &c1, &c2];
+        b.refactor(3, &basis_cols).unwrap();
+        for r in 0..3 {
+            let mut e = vec![0.0; 3];
+            e[r] = 1.0;
+            let mut via_btran = vec![0.0; 3];
+            b.btran(&e, &mut via_btran);
+            let mut direct = vec![0.0; 3];
+            b.btran_unit(r, &mut direct);
+            for (a, c) in direct.iter().zip(&via_btran) {
+                assert!((a - c).abs() < 1e-12, "row {r}: {direct:?} vs {via_btran:?}");
+            }
         }
     }
 

@@ -33,16 +33,34 @@
 //! ## Fallback semantics
 //!
 //! A warm start is **never trusted blindly**; it falls back to a cold
-//! solve (and bumps `simplex.warmstart_fallbacks`) when
+//! solve (and bumps `simplex.warmstart_fallbacks`, attributed to
+//! `simplex.warmstart_rejected` or `simplex.warmstart_singular`) when
 //!
 //! 1. the dimensions changed (`n` differs, or rows were removed),
 //! 2. the snapshot is internally inconsistent (basic-variable count does
 //!    not match the basis size),
 //! 3. the restored basis matrix is singular under the new coefficients,
 //! 4. the recomputed basic values are non-finite or violate the new
-//!    bounds beyond tolerance (primal infeasible under changed
-//!    bounds/rhs — a dual-simplex restart is future work; today we redo
-//!    the solve cold).
+//!    bounds beyond tolerance **and** the basis is not dual feasible
+//!    either (see below) — feasible in neither sense, nothing to repair.
+//!
+//! Case 4 used to cover every primal-infeasible restart; since the dual
+//! phase landed it is the last resort only. A validated basis that is
+//! primal infeasible under the new bounds/rhs/coefficients but *dual
+//! feasible* under the new costs (possibly after flipping boxed nonbasic
+//! variables to the bound their reduced cost points at) is **repaired in
+//! place by dual simplex pivots**: leaving-variable pricing picks the
+//! most-violating basic variable, a BTRAN row extraction
+//! ([`BasisBackend::btran_unit`]) prices the pivot row, and the dual
+//! ratio test picks the entering column that preserves dual feasibility.
+//! A bounded anti-cycling rule mirrors the primal one (Bland-style
+//! smallest-index selection after a run of degenerate dual pivots). The
+//! repair is observable as `simplex.dual_phase_runs` / `dual_repairs` /
+//! `dual_pivots` / `dual_flips`; a dual phase that stalls (iteration
+//! limit, no admissible pivot, singular basis) falls back cold like any
+//! other rejection. `NWDP_NO_DUAL=1` (or `SolverOpts::dual_phase =
+//! false`) disables the phase entirely, restoring the old reject-to-cold
+//! behavior.
 //!
 //! Accepted restarts bump `simplex.warmstart_hits` and report their
 //! pivot count under `simplex.warmstart_iterations`, so the
@@ -51,7 +69,9 @@
 //! only costs changed the old basis is still primal feasible, phase 1 is
 //! skipped entirely, and the solve resumes as if the objective had been
 //! swapped mid-run; when only new rows arrived the extended basis is
-//! block-triangular and phase 1 repairs just the new rows.
+//! block-triangular and phase 1 repairs just the new rows; when
+//! bounds/rhs/coefficients shifted the optimum away from the old vertex,
+//! the dual phase walks there without ever discarding the basis.
 
 pub mod dense;
 pub mod sparse;
@@ -95,6 +115,15 @@ pub trait BasisBackend {
     fn update_sparse(&mut self, pivot_row: usize, y: &[f64], _touched: &[usize]) {
         self.update(pivot_row, y);
     }
+    /// `out = B⁻ᵀ eᵣ` — row `r` of `B⁻¹`. The dual phase uses it to
+    /// extract the pivot row of the tableau (`αⱼ = out · aⱼ`). The
+    /// default BTRANs a materialized unit vector; backends override it
+    /// with a cheaper direct extraction.
+    fn btran_unit(&self, r: usize, out: &mut [f64]) {
+        let mut e = vec![0.0; out.len()];
+        e[r] = 1.0;
+        self.btran(&e, out);
+    }
     /// Backend suggests a refactorization would be worthwhile (e.g. the
     /// eta file grew past its budget).
     fn hint_refactor(&self) -> bool {
@@ -117,6 +146,18 @@ pub struct SolverOpts {
     pub bland_trigger: usize,
     /// Recompute basic values every this many iterations.
     pub refresh_every: usize,
+    /// Repair dual-feasible/primal-infeasible warm bases with dual
+    /// simplex pivots instead of falling back cold. Defaults to on;
+    /// `NWDP_NO_DUAL=1` flips the default off (emergency escape hatch —
+    /// objectives are unaffected either way, only the pivot path).
+    pub dual_phase: bool,
+}
+
+/// `NWDP_NO_DUAL` read once per process (same pattern as the trace env
+/// gates): set to any value to disable the dual repair phase by default.
+fn dual_phase_default() -> bool {
+    static NO_DUAL: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    !*NO_DUAL.get_or_init(|| std::env::var_os("NWDP_NO_DUAL").is_some())
 }
 
 impl Default for SolverOpts {
@@ -128,6 +169,7 @@ impl Default for SolverOpts {
             dense_row_limit: 1500,
             bland_trigger: 80,
             refresh_every: 500,
+            dual_phase: dual_phase_default(),
         }
     }
 }
@@ -160,6 +202,8 @@ struct Core<'a, B: BasisBackend> {
     y_touched: Vec<usize>,
     pi: Vec<f64>,
     cb: Vec<f64>,
+    /// BTRAN image of the leaving row's unit vector (dual pricing).
+    rho: Vec<f64>,
     degen_run: usize,
     bland: bool,
     /// Keep Bland's rule on for the whole solve (singular-restart mode).
@@ -176,12 +220,30 @@ struct Core<'a, B: BasisBackend> {
     n_bound_flips: u64,
     n_degen: u64,
     n_refactor: u64,
+    n_dual_pivots: u64,
+    n_dual_flips: u64,
+    dual_attempted: bool,
+    dual_repaired: bool,
 }
 
 enum PhaseEnd {
     Optimal,
     Unbounded,
     IterLimit,
+    /// Basis factorization went singular; restart from the slack basis.
+    Singular,
+}
+
+/// Outcome of the dual repair phase.
+enum DualEnd {
+    /// Every basic value is back inside its bounds; hand off to phase 2.
+    PrimalFeasible,
+    /// Pivot budget exhausted before feasibility was restored.
+    IterLimit,
+    /// A violated row admits no entering column (dual unbounded — the
+    /// problem is primal infeasible, or the numerics drifted). The cold
+    /// retry delivers the authoritative verdict either way.
+    NoPivot,
     /// Basis factorization went singular; restart from the slack basis.
     Singular,
 }
@@ -489,6 +551,262 @@ impl<'a, B: BasisBackend> Core<'a, B> {
         }
     }
 
+    /// Classify the current basis for dual feasibility under `self.cost`
+    /// (which must already hold the phase-2 objective). Boxed nonbasic
+    /// variables whose reduced cost points at their other bound are
+    /// *flipped* there — a legal dual-simplex move that restores their
+    /// sign condition exactly. Returns `false` when an unflippable
+    /// variable (one finite bound, or free) violates its sign condition
+    /// beyond a small absolute slack: that basis is dual infeasible and
+    /// not worth a dual phase. Flipped variables change the primal point,
+    /// so the caller must `refresh()` before pivoting when this reports
+    /// any flips.
+    fn dual_classify_and_flip(&mut self) -> bool {
+        for (pos, &j) in self.basis.iter().enumerate() {
+            self.cb[pos] = self.cost[j];
+        }
+        let (pi, cb) = (&mut self.pi, &self.cb);
+        self.backend.btran(cb, pi);
+        for j in 0..self.ncols {
+            if matches!(self.state[j], VState::Basic(_)) || self.lb[j] == self.ub[j] {
+                continue; // basic rows price themselves; fixed vars never move
+            }
+            let mut dj = self.cost[j];
+            for &(row, a) in &self.cols[j] {
+                dj -= self.pi[row] * a;
+            }
+            // Tolerated drift for violations nothing can fix: the primal
+            // phase 2 after the repair mops up reduced costs this small.
+            let slack = 1e-6 * (1.0 + self.cost[j].abs());
+            match self.state[j] {
+                VState::AtLower if dj < -self.opts.tol_dj => {
+                    if self.ub[j].is_finite() {
+                        self.state[j] = VState::AtUpper;
+                        self.n_dual_flips += 1;
+                    } else if dj < -slack {
+                        return false;
+                    }
+                }
+                VState::AtUpper if dj > self.opts.tol_dj => {
+                    if self.lb[j].is_finite() {
+                        self.state[j] = VState::AtLower;
+                        self.n_dual_flips += 1;
+                    } else if dj > slack {
+                        return false;
+                    }
+                }
+                VState::FreeZero if dj.abs() > slack => return false,
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Dual simplex phase: restore primal feasibility while preserving
+    /// dual feasibility. Each pivot picks the most-violating basic
+    /// variable (leaving-variable pricing; Bland mode switches to the
+    /// smallest-index violated row), BTRANs that row out of the basis
+    /// ([`BasisBackend::btran_unit`]), and runs the bounded dual ratio
+    /// test over the nonbasic columns: among columns whose tableau entry
+    /// moves the leaving variable toward its violated bound, the one with
+    /// the smallest |d_j|/|α_j| keeps every other reduced cost on the
+    /// right side of zero. Degenerate dual steps (ratio ≈ 0) trip the
+    /// same bounded anti-cycling rule as the primal phase: after
+    /// `bland_trigger` of them in a row, both the row choice and the
+    /// ratio-test tie-break turn into smallest-index (Bland) selection,
+    /// which cannot cycle.
+    fn iterate_dual(&mut self, max_iters: usize) -> DualEnd {
+        let mut local_iters = 0usize;
+        let mut degen_run = 0usize;
+        let mut bland = self.force_bland;
+        let mut stale_retry = false;
+        loop {
+            if local_iters >= max_iters {
+                return DualEnd::IterLimit;
+            }
+            // ---- Leaving-variable pricing. ----
+            let mut r = usize::MAX;
+            let mut worst = self.opts.tol_feas;
+            for pos in 0..self.m {
+                let bi = self.basis[pos];
+                let x = self.xb[pos];
+                if !x.is_finite() {
+                    return DualEnd::NoPivot; // poisoned values: bail cold
+                }
+                let v = (self.lb[bi] - x).max(x - self.ub[bi]);
+                if bland {
+                    if v > self.opts.tol_feas && (r == usize::MAX || bi < self.basis[r]) {
+                        r = pos;
+                    }
+                } else if v > worst {
+                    worst = v;
+                    r = pos;
+                }
+            }
+            if r == usize::MAX {
+                return DualEnd::PrimalFeasible;
+            }
+            let bi = self.basis[r];
+            let below = self.xb[r] < self.lb[bi];
+            let target = if below { self.lb[bi] } else { self.ub[bi] };
+
+            // ---- Price the pivot row: ρ = B⁻ᵀ eᵣ, π = B⁻ᵀ c_B. ----
+            self.backend.btran_unit(r, &mut self.rho);
+            for (pos, &j) in self.basis.iter().enumerate() {
+                self.cb[pos] = self.cost[j];
+            }
+            let (pi, cb) = (&mut self.pi, &self.cb);
+            self.backend.btran(cb, pi);
+
+            // ---- Dual ratio test. ----
+            let mut q = usize::MAX;
+            let mut best_ratio = f64::INFINITY;
+            let mut best_mag = 0.0f64;
+            for j in 0..self.ncols {
+                let (can_inc, can_dec) = match self.state[j] {
+                    VState::Basic(_) => continue,
+                    VState::AtLower => (true, false),
+                    VState::AtUpper => (false, true),
+                    VState::FreeZero => (true, true),
+                };
+                if self.lb[j] == self.ub[j] {
+                    continue;
+                }
+                let mut alpha = 0.0;
+                let mut dj = self.cost[j];
+                for &(row, a) in &self.cols[j] {
+                    alpha += self.rho[row] * a;
+                    dj -= self.pi[row] * a;
+                }
+                if alpha.abs() <= 1e-9 {
+                    continue;
+                }
+                // dx_B[r]/dx_j = -α_j: to move x_B[r] up (below) we need
+                // α < 0 on an increasing x_j or α > 0 on a decreasing
+                // one; the mirror for moving down.
+                let admissible = if below {
+                    (can_inc && alpha < 0.0) || (can_dec && alpha > 0.0)
+                } else {
+                    (can_inc && alpha > 0.0) || (can_dec && alpha < 0.0)
+                };
+                if !admissible {
+                    continue;
+                }
+                // |d_j| measured in the feasible direction, clamped at 0
+                // so tolerated drift never yields a negative ratio.
+                let num = match self.state[j] {
+                    VState::AtLower => dj.max(0.0),
+                    VState::AtUpper => (-dj).max(0.0),
+                    VState::FreeZero => dj.abs(),
+                    VState::Basic(_) => unreachable!(),
+                };
+                let ratio = num / alpha.abs();
+                let better = if bland {
+                    ratio < best_ratio - 1e-12
+                        || (ratio <= best_ratio + 1e-12 && (q == usize::MAX || j < q))
+                } else {
+                    ratio < best_ratio - 1e-9
+                        || (ratio <= best_ratio + 1e-9 && alpha.abs() > best_mag)
+                };
+                if better {
+                    best_ratio = best_ratio.min(ratio);
+                    best_mag = alpha.abs();
+                    q = j;
+                }
+            }
+            if q == usize::MAX {
+                return DualEnd::NoPivot;
+            }
+
+            // ---- Pivot: FTRAN the entering column, step, update. ----
+            for &i in &self.y_touched {
+                self.y[i] = 0.0;
+            }
+            let mut touched = std::mem::take(&mut self.y_touched);
+            self.backend.ftran_sparse(&self.cols[q], &mut self.y, &mut touched);
+            self.y_touched = touched;
+            let yr = self.y[r];
+            if yr.abs() < 1e-9 {
+                // BTRAN said the entry was usable, FTRAN disagrees: the
+                // factorization is stale. Refactorize once and re-price;
+                // a second disagreement gives up on the repair.
+                if stale_retry {
+                    return DualEnd::NoPivot;
+                }
+                stale_retry = true;
+                self.refresh();
+                if self.singular {
+                    return DualEnd::Singular;
+                }
+                continue;
+            }
+            stale_retry = false;
+            let dxq = (self.xb[r] - target) / yr;
+            for idx in 0..self.y_touched.len() {
+                let i = self.y_touched[idx];
+                let yi = self.y[i];
+                if yi != 0.0 {
+                    self.xb[i] -= dxq * yi;
+                }
+            }
+            let xq_new = self.var_value(q) + dxq;
+            self.state[bi] =
+                if self.lb[bi] == self.ub[bi] || below { VState::AtLower } else { VState::AtUpper };
+            self.basis[r] = q;
+            self.state[q] = VState::Basic(r);
+            self.xb[r] = xq_new;
+            self.n_pivots += 1;
+            self.n_dual_pivots += 1;
+            self.backend.update_sparse(r, &self.y, &self.y_touched);
+
+            self.iterations += 1;
+            local_iters += 1;
+            if best_ratio <= 1e-10 {
+                degen_run += 1;
+                self.n_degen += 1;
+                if degen_run >= self.opts.bland_trigger {
+                    bland = true;
+                }
+            } else {
+                degen_run = 0;
+                bland = self.force_bland;
+            }
+            if self.iterations.is_multiple_of(self.opts.refresh_every)
+                || self.backend.hint_refactor()
+            {
+                self.refresh();
+                if self.singular {
+                    return DualEnd::Singular;
+                }
+            }
+            if self.trace && self.n_dual_pivots.is_multiple_of(100) {
+                obs::trace_event!(
+                    "simplex.dual_progress",
+                    pivots = self.n_dual_pivots,
+                    m = self.m,
+                    bland = bland
+                );
+            }
+        }
+    }
+
+    /// Flush the dual-phase tallies alone. The fallback paths (dual phase
+    /// failed → cold retry builds a fresh `Core`) call this so failed
+    /// repairs still show up in the metrics; successful solves get the
+    /// same numbers through [`Self::flush_metrics`].
+    fn flush_dual_metrics(&self) {
+        if !obs::enabled() || !self.dual_attempted {
+            return;
+        }
+        let s = obs::Scope::new("simplex");
+        s.counter("dual_phase_runs").inc();
+        if self.dual_repaired {
+            s.counter("dual_repairs").inc();
+        }
+        s.counter("dual_pivots").add(self.n_dual_pivots);
+        s.counter("dual_flips").add(self.n_dual_flips);
+    }
+
     /// Flush the solve's locally-tallied metrics to the global registry.
     /// Called once per terminal solve; the hot loop itself never touches
     /// an atomic.
@@ -506,6 +824,7 @@ impl<'a, B: BasisBackend> Core<'a, B> {
         s.counter("degenerate_steps").add(self.n_degen);
         s.counter("refactorizations").add(self.n_refactor);
         s.timer("solve_ns").observe_since(t0);
+        self.flush_dual_metrics();
     }
 }
 
@@ -524,6 +843,19 @@ pub struct WarmStart {
     states: Vec<u8>,
     /// Variable values at save time (same indexing).
     values: Vec<f64>,
+}
+
+impl WarmStart {
+    /// Build a snapshot from raw parts. Test hook: lets equivalence tests
+    /// hand-craft a dual-feasible/primal-infeasible basis without running
+    /// a solve first. `states` and `values` are indexed
+    /// structural-then-slack and must have length `n + m`.
+    #[doc(hidden)]
+    pub fn from_parts(n: usize, m: usize, states: Vec<u8>, values: Vec<f64>) -> Self {
+        assert_eq!(states.len(), n + m, "states must cover n + m variables");
+        assert_eq!(values.len(), n + m, "values must cover n + m variables");
+        WarmStart { n, m, states, values }
+    }
 }
 
 /// Solve `p` with the given backend.
@@ -547,13 +879,26 @@ enum SolveAttempt {
     Singular,
 }
 
+/// Record a warm-start fallback plus its cause. `warmstart_fallbacks`
+/// stays the sum of the two cause counters so existing dashboards keep
+/// their totals; `warmstart_rejected` (basis failed validation, dual
+/// repair included) and `warmstart_singular` (factorization died) split
+/// the blame.
+fn count_fallback(cause: &'static str) {
+    if obs::enabled() {
+        obs::counter("simplex.warmstart_fallbacks").inc();
+        obs::counter(cause).inc();
+    }
+}
+
 /// [`solve_with_backend`] with warm-start support. Returns the solution
 /// plus a [`WarmStart`] snapshot when the solve ended `Optimal`.
 ///
 /// Infallible by construction: a failed warm start retries cold, a
 /// singular basis retries cold from the slack basis under Bland's rule,
-/// and if even that attempt degrades the result is a [`Status::IterLimit`]
-/// solution — never a panic.
+/// and if even that attempt degrades the result is an explicit
+/// [`Status::NumericalFailure`] solution with a finite payload — never a
+/// panic, never a NaN.
 pub fn solve_warm_with_backend<B: BasisBackend>(
     p: &Problem,
     opts: &SolverOpts,
@@ -564,20 +909,22 @@ pub fn solve_warm_with_backend<B: BasisBackend>(
     // appended rows. A mismatch is a fallback, not an error.
     let attempted = warm.is_some();
     let warm = warm.filter(|w| w.n == p.num_vars() && w.m <= p.num_cons());
-    if attempted && warm.is_none() && obs::enabled() {
-        obs::counter("simplex.warmstart_fallbacks").inc();
+    if attempted && warm.is_none() {
+        count_fallback("simplex.warmstart_rejected");
     }
     if warm.is_some() {
-        if let SolveAttempt::Done(sol, snap) = try_solve(p, opts, backend, warm, false) {
-            if obs::enabled() {
-                obs::counter("simplex.warmstart_hits").inc();
-                obs::counter("simplex.warmstart_iterations").add(sol.iterations as u64);
+        match try_solve(p, opts, backend, warm, false) {
+            SolveAttempt::Done(sol, snap) => {
+                if obs::enabled() {
+                    obs::counter("simplex.warmstart_hits").inc();
+                    obs::counter("simplex.warmstart_iterations").add(sol.iterations as u64);
+                }
+                return (sol, snap);
             }
-            return (sol, snap);
-        }
-        // The warm basis failed validation (or went singular); redo cold.
-        if obs::enabled() {
-            obs::counter("simplex.warmstart_fallbacks").inc();
+            // The warm basis failed validation (and the dual phase could
+            // not repair it), or went singular; redo cold.
+            SolveAttempt::WarmRejected => count_fallback("simplex.warmstart_rejected"),
+            SolveAttempt::Singular => count_fallback("simplex.warmstart_singular"),
         }
     }
     match try_solve(p, opts, backend, None, false) {
@@ -589,17 +936,26 @@ pub fn solve_warm_with_backend<B: BasisBackend>(
             match try_solve(p, opts, backend, None, true) {
                 SolveAttempt::Done(sol, snap) => (sol, snap),
                 // Even the Bland restart hit a singular basis: report the
-                // numerical failure instead of aborting the process.
-                _ => (
-                    Solution {
-                        status: Status::IterLimit,
-                        objective: f64::NAN,
-                        x: vec![0.0; p.num_vars()],
-                        duals: vec![0.0; p.num_cons()],
-                        iterations: 0,
-                    },
-                    None,
-                ),
+                // numerical failure explicitly. The payload is the origin
+                // point with its true (finite) objective so callers that
+                // compare objectives never ingest a NaN.
+                _ => {
+                    if obs::enabled() {
+                        obs::counter("simplex.numerical_failures").inc();
+                    }
+                    let x = vec![0.0; p.num_vars()];
+                    let objective = p.objective_value(&x);
+                    (
+                        Solution {
+                            status: Status::NumericalFailure,
+                            objective,
+                            x,
+                            duals: vec![0.0; p.num_cons()],
+                            iterations: 0,
+                        },
+                        None,
+                    )
+                }
             }
         }
     }
@@ -865,6 +1221,7 @@ fn try_solve<B: BasisBackend>(
         y_touched: Vec::new(),
         pi: vec![0.0; m],
         cb: vec![0.0; m],
+        rho: vec![0.0; m],
         degen_run: 0,
         bland: start_bland,
         force_bland: start_bland,
@@ -875,6 +1232,10 @@ fn try_solve<B: BasisBackend>(
         n_bound_flips: 0,
         n_degen: 0,
         n_refactor: 0,
+        n_dual_pivots: 0,
+        n_dual_flips: 0,
+        dual_attempted: false,
+        dual_repaired: false,
     };
 
     let fail = |core: &Core<B>, status: Status| Solution {
@@ -936,7 +1297,61 @@ fn try_solve<B: BasisBackend>(
             obs::trace_event!("simplex.warm_diag", drifted = drifted, max_drift = maxdrift);
         }
         let broken = worst > 1e-6;
-        if broken {
+        let mut repaired = false;
+        // Primal-infeasible warm basis: before discarding it, try a dual
+        // simplex repair. The old basis was optimal for the previous
+        // instance, so its reduced costs under the *phase-2* objective are
+        // usually still sign-correct (dual feasible) even after the
+        // coefficient or bound change knocked the basic values out of
+        // range — exactly the case the dual ratio test fixes in a handful
+        // of pivots. Only meaningful when the warm build needed no
+        // artificials (artificial columns carry phase-1 costs, which would
+        // poison the classification).
+        if broken && worst.is_finite() && n_art == 0 && opts.dual_phase {
+            core.dual_attempted = true;
+            core.cost = obj2.clone();
+            if core.dual_classify_and_flip() {
+                if core.n_dual_flips > 0 {
+                    // Bound flips moved nonbasic values; recompute x_B.
+                    core.refresh();
+                }
+                if core.singular {
+                    core.flush_dual_metrics();
+                    return SolveAttempt::Singular;
+                }
+                if core.trace {
+                    obs::trace_event!(
+                        "simplex.dual_start",
+                        m = m,
+                        viol = worst,
+                        flips = core.n_dual_flips
+                    );
+                }
+                match core.iterate_dual(max_iters) {
+                    DualEnd::PrimalFeasible => {
+                        repaired = true;
+                        core.dual_repaired = true;
+                        if core.trace {
+                            obs::trace_event!(
+                                "simplex.dual_repaired",
+                                pivots = core.n_dual_pivots,
+                                flips = core.n_dual_flips
+                            );
+                        }
+                    }
+                    DualEnd::Singular => {
+                        core.flush_dual_metrics();
+                        return SolveAttempt::Singular;
+                    }
+                    DualEnd::IterLimit | DualEnd::NoPivot => {
+                        if core.trace {
+                            obs::trace_event!("simplex.dual_failed", pivots = core.n_dual_pivots);
+                        }
+                    }
+                }
+            }
+        }
+        if broken && !repaired {
             if core.trace {
                 let j = core.basis[worst_pos];
                 obs::trace_event!(
@@ -951,9 +1366,10 @@ fn try_solve<B: BasisBackend>(
                     ub = core.ub[j]
                 );
             }
+            core.flush_dual_metrics();
             return SolveAttempt::WarmRejected;
         }
-        if core.trace {
+        if core.trace && !repaired {
             obs::trace_event!("simplex.warm_accepted", m = m, m_old = m_old, n_art = n_art);
         }
     }

@@ -290,6 +290,27 @@ impl BasisBackend for SparseFactors {
         }
     }
 
+    fn btran_unit(&self, r: usize, out: &mut [f64]) {
+        // Same pass as `btran` but seeded with eᵣ in place — no
+        // materialized unit vector, and the transposed eta file starts
+        // from a single nonzero.
+        out[..self.m].fill(0.0);
+        out[r] = 1.0;
+        for eta in self.etas_post.iter().rev() {
+            eta.apply_transposed(out);
+        }
+        if let Some(perm) = &self.perm {
+            let mut tmp = vec![0.0f64; self.m];
+            for (pos, &pr) in perm.iter().enumerate() {
+                tmp[pr] = out[pos];
+            }
+            out[..self.m].copy_from_slice(&tmp);
+        }
+        for eta in self.etas_pre.iter().rev() {
+            eta.apply_transposed(out);
+        }
+    }
+
     fn update(&mut self, pivot_row: usize, y: &[f64]) {
         self.etas_post.push(Eta::from_dense(pivot_row, y));
     }
@@ -450,6 +471,38 @@ mod tests {
             de.ftran(&probe, &mut b);
             for i in 0..m {
                 assert!((a[i] - b[i]).abs() < 1e-8, "step {step} row {i}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn btran_unit_matches_dense_rows() {
+        // Row extraction must agree with the dense backend across a
+        // permuted refactorization plus a few update etas.
+        let m = 13;
+        let cols = random_basis(m, 7);
+        let refs: Vec<&[(usize, f64)]> = cols.iter().map(|c| c.as_slice()).collect();
+        let mut sp = SparseFactors::new();
+        let mut de = DenseInverse::new();
+        sp.refactor(m, &refs).unwrap();
+        de.refactor(m, &refs).unwrap();
+        for step in 0..3usize {
+            let entering: Vec<(usize, f64)> = vec![(step, 2.0), ((step + 5) % m, 0.5)];
+            let mut ys = vec![0.0; m];
+            let mut yd = vec![0.0; m];
+            sp.ftran(&entering, &mut ys);
+            de.ftran(&entering, &mut yd);
+            let r = (0..m).max_by(|&a, &b| ys[a].abs().total_cmp(&ys[b].abs())).unwrap();
+            sp.update(r, &ys);
+            de.update(r, &yd);
+        }
+        for r in 0..m {
+            let mut rs = vec![0.0; m];
+            let mut rd = vec![0.0; m];
+            sp.btran_unit(r, &mut rs);
+            de.btran_unit(r, &mut rd);
+            for i in 0..m {
+                assert!((rs[i] - rd[i]).abs() < 1e-9, "row {r} col {i}: {rs:?} vs {rd:?}");
             }
         }
     }

@@ -13,6 +13,12 @@ pub enum Status {
     Unbounded,
     /// The iteration limit was hit before convergence.
     IterLimit,
+    /// The basis factorization failed on every attempt (warm, cold, and
+    /// the Bland restart). The payload is finite — the origin point and
+    /// its true objective — so callers that rank candidates by objective
+    /// never ingest a NaN; they must still check the status before
+    /// trusting the point.
+    NumericalFailure,
 }
 
 /// Result of solving a [`crate::Problem`].

@@ -1,0 +1,128 @@
+//! Dual simplex repair phase: a validated-but-primal-infeasible warm
+//! basis that is still dual feasible must be repaired in place (counted
+//! as a warm-start hit), not discarded for a cold re-solve.
+//!
+//! The obs counters these tests assert are process-global, so every test
+//! that reads them serializes on one mutex; the delta-based assertions
+//! then see only their own solve.
+
+use nwdp_lp::model::{Cmp, Problem, Sense};
+use nwdp_lp::simplex::{solve_warm, SolverOpts, WarmStart};
+use nwdp_lp::Status;
+use nwdp_obs as obs;
+use std::sync::Mutex;
+
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+fn ctr(name: &str) -> u64 {
+    obs::snapshot()
+        .iter()
+        .find_map(|(n, v)| match v {
+            obs::SnapshotValue::Counter(c) if n == name => Some(*c),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+/// min x1 + x2  s.t.  x1 + x2 ≥ rhs, with `ub1` capping x1.
+fn cover_lp(rhs: f64, ub1: f64) -> Problem {
+    let mut p = Problem::new(Sense::Min);
+    let x1 = p.add_var("x1", 0.0, ub1, 1.0);
+    let x2 = p.add_var("x2", 0.0, 10.0, 1.0);
+    p.add_con("cover", &[(x1, 1.0), (x2, 1.0)], Cmp::Ge, rhs);
+    p
+}
+
+/// A hand-built basis that is dual feasible but primal infeasible for the
+/// target problem: `{x1}` basic was optimal for `cover_lp(2.0, 10.0)`
+/// (x1 = 2, x2 at lower, Ge-slack at its upper bound 0), but against
+/// `cover_lp(5.0, 3.0)` it puts x1 = 5 > 3. The costs are unchanged, so
+/// the reduced costs keep their signs — exactly the case the dual phase
+/// repairs with one pivot (x2 enters, x1 leaves to its upper bound).
+fn stale_optimal_basis() -> WarmStart {
+    WarmStart::from_parts(2, 1, vec![3, 0, 1], vec![2.0, 0.0, 0.0])
+}
+
+#[test]
+fn dual_feasible_primal_infeasible_basis_repaired_without_fallback() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let was = obs::enabled();
+    obs::set_enabled(true);
+
+    let p = cover_lp(5.0, 3.0);
+    let cold = solve_warm(&p, &SolverOpts::default(), None).0;
+    assert_eq!(cold.status, Status::Optimal);
+
+    let hits0 = ctr("simplex.warmstart_hits");
+    let falls0 = ctr("simplex.warmstart_fallbacks");
+    let runs0 = ctr("simplex.dual_phase_runs");
+    let repairs0 = ctr("simplex.dual_repairs");
+    let pivots0 = ctr("simplex.dual_pivots");
+
+    let warm = stale_optimal_basis();
+    let (sol, snap) = solve_warm(&p, &SolverOpts::default(), Some(&warm));
+    obs::set_enabled(was);
+
+    assert_eq!(sol.status, Status::Optimal);
+    assert!(
+        (sol.objective - cold.objective).abs() <= 1e-9 * (1.0 + cold.objective.abs()),
+        "repaired warm solve diverged: {} vs cold {}",
+        sol.objective,
+        cold.objective
+    );
+    assert!(snap.is_some(), "optimal solve must produce a snapshot");
+    assert_eq!(ctr("simplex.warmstart_hits") - hits0, 1, "repair must count as a hit");
+    assert_eq!(ctr("simplex.warmstart_fallbacks") - falls0, 0, "no cold fallback");
+    assert_eq!(ctr("simplex.dual_phase_runs") - runs0, 1);
+    assert_eq!(ctr("simplex.dual_repairs") - repairs0, 1);
+    assert!(ctr("simplex.dual_pivots") - pivots0 >= 1, "repair must pivot");
+}
+
+#[test]
+fn dual_phase_can_be_disabled_per_solve() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let was = obs::enabled();
+    obs::set_enabled(true);
+
+    let p = cover_lp(5.0, 3.0);
+    let hits0 = ctr("simplex.warmstart_hits");
+    let falls0 = ctr("simplex.warmstart_fallbacks");
+    let rej0 = ctr("simplex.warmstart_rejected");
+
+    let opts = SolverOpts { dual_phase: false, ..Default::default() };
+    let (sol, _) = solve_warm(&p, &opts, Some(&stale_optimal_basis()));
+    obs::set_enabled(was);
+
+    // Same answer, but via the old reject-and-restart path.
+    assert_eq!(sol.status, Status::Optimal);
+    assert_eq!(ctr("simplex.warmstart_hits") - hits0, 0);
+    assert_eq!(ctr("simplex.warmstart_fallbacks") - falls0, 1);
+    assert_eq!(ctr("simplex.warmstart_rejected") - rej0, 1);
+}
+
+#[test]
+fn dimension_mismatch_attributed_as_rejected() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let was = obs::enabled();
+    obs::set_enabled(true);
+
+    let p = cover_lp(5.0, 3.0);
+    let falls0 = ctr("simplex.warmstart_fallbacks");
+    let rej0 = ctr("simplex.warmstart_rejected");
+    let sing0 = ctr("simplex.warmstart_singular");
+
+    // Snapshot for a 3-variable problem against a 2-variable one.
+    let wrong = WarmStart::from_parts(3, 1, vec![3, 0, 0, 1], vec![2.0, 0.0, 0.0, 0.0]);
+    let (sol, _) = solve_warm(&p, &SolverOpts::default(), Some(&wrong));
+    obs::set_enabled(was);
+
+    assert_eq!(sol.status, Status::Optimal, "cold retry still solves");
+    assert_eq!(ctr("simplex.warmstart_fallbacks") - falls0, 1);
+    assert_eq!(ctr("simplex.warmstart_rejected") - rej0, 1);
+    assert_eq!(ctr("simplex.warmstart_singular") - sing0, 0);
+    // Invariant: the legacy counter stays the sum of the cause split.
+    assert_eq!(
+        ctr("simplex.warmstart_fallbacks"),
+        ctr("simplex.warmstart_rejected") + ctr("simplex.warmstart_singular"),
+    );
+}

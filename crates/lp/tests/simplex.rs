@@ -243,6 +243,7 @@ fn randomized_lps_kkt_certified_dense() {
                 panic!("trial {trial}: feasible-by-construction LP reported infeasible")
             }
             Status::IterLimit => panic!("trial {trial}: iteration limit"),
+            Status::NumericalFailure => panic!("trial {trial}: numerical failure"),
         }
     }
     assert!(optimal > 60, "too few optimal instances: {optimal}");
@@ -424,7 +425,8 @@ fn singular_refactor_restarts_and_recovers() {
 
 /// Backend whose refactorizations are *always* singular: both the primary
 /// attempt and the slack-basis restart fail, which must degrade to an
-/// `IterLimit` result — not a panic.
+/// explicit `NumericalFailure` result with a finite payload — not a panic
+/// and not a NaN objective.
 struct AlwaysSingular {
     inner: DenseInverse,
 }
@@ -451,11 +453,18 @@ impl BasisBackend for AlwaysSingular {
 }
 
 #[test]
-fn doubly_singular_solve_degrades_to_iterlimit() {
+fn doubly_singular_solve_reports_numerical_failure() {
     let mut p = Problem::new(Sense::Max);
     let x = p.add_var("x", 0.0, 4.0, 1.0);
     p.add_con("c", &[(x, 1.0)], Cmp::Le, 3.0);
     let mut backend = AlwaysSingular { inner: DenseInverse::new() };
     let s = solve_with_backend(&p, &opts(), &mut backend);
-    assert_eq!(s.status, Status::IterLimit);
+    assert_eq!(s.status, Status::NumericalFailure);
+    // Callers rank candidates by objective; the failure payload must never
+    // leak a NaN into those comparisons (regression: the old path
+    // fabricated `IterLimit` with `objective: f64::NAN`).
+    assert!(s.objective.is_finite(), "objective must be finite, got {}", s.objective);
+    assert!(s.x.iter().all(|v| v.is_finite()), "primal point must be finite");
+    assert!(s.duals.iter().all(|v| v.is_finite()), "duals must be finite");
+    assert!(!s.is_optimal());
 }

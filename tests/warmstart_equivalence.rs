@@ -69,6 +69,71 @@ fn nids_lp_warm_chain_matches_cold() {
     });
 }
 
+/// Coefficient-rescaled LP family (the dual-phase stress case): a
+/// miniature load-balancing LP in the NIDS shape — minimize the max load
+/// `L`, each node row carrying `-cap_k · L`. Doubling a node's capacity
+/// rescales that coefficient, which leaves the chained basis dual
+/// feasible but knocks its basic values out of range; the dual phase
+/// must repair it, and warm objectives must match cold to 1e-9 at every
+/// step and thread count.
+#[test]
+fn rescaled_family_dual_warm_matches_cold() {
+    use nwdp::lp::{solve_warm, Cmp, Problem, Sense, SolverOpts};
+
+    let nodes = 5usize;
+    let units = 12usize;
+    // Deterministic pseudo-random weights and capacities (xorshift).
+    let mut s = 0x2458_71d3_9e37_79b9u64;
+    let mut r = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s >> 40) as f64 / (1u64 << 24) as f64
+    };
+    let w: Vec<f64> = (0..units).map(|_| 1.0 + 4.0 * r()).collect();
+    let caps0: Vec<f64> = (0..nodes).map(|_| 4.0 + 2.0 * r()).collect();
+
+    // Unit `u` splits its weight between two nodes: fraction `d_u` on
+    // `u % nodes`, the rest on `(u + 3) % nodes`. Node row k:
+    //   Σ±w_u d_u − cap_k · L ≤ −(weight parked on k when all d_u = 0).
+    let build = |caps: &[f64]| {
+        let mut p = Problem::new(Sense::Min);
+        let l = p.add_var("L", 0.0, 1e9, 1.0);
+        let d: Vec<_> = (0..units).map(|u| p.add_var(format!("d{u}"), 0.0, 1.0, 0.0)).collect();
+        for (k, &cap) in caps.iter().enumerate() {
+            let mut terms = vec![(l, -cap)];
+            let mut parked = 0.0;
+            for u in 0..units {
+                if u % nodes == k {
+                    terms.push((d[u], w[u]));
+                }
+                if (u + 3) % nodes == k {
+                    parked += w[u];
+                    terms.push((d[u], -w[u]));
+                }
+            }
+            p.add_con(format!("load{k}"), &terms, Cmp::Le, -parked);
+        }
+        p
+    };
+
+    under_thread_counts(|| {
+        let opts = SolverOpts::default();
+        let (base, mut warm) = solve_warm(&build(&caps0), &opts, None);
+        assert!(base.is_optimal());
+        for k in 0..nodes {
+            let mut caps = caps0.clone();
+            caps[k] *= 2.0; // upgrade node k, as the NIDS sweep does
+            let p = build(&caps);
+            let cold = solve_warm(&p, &opts, None).0;
+            let (hot, snap) = solve_warm(&p, &opts, warm.as_ref());
+            warm = snap;
+            assert!(cold.is_optimal() && hot.is_optimal(), "step {k} must solve");
+            close(cold.objective, hot.objective, &format!("rescaled family node {k}"));
+        }
+    });
+}
+
 /// NIPS relaxation: reusing one `SolveContext` across a TCAM what-if sweep
 /// (rhs-only changes) must match fresh row generation per instance.
 #[test]
