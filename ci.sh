@@ -159,4 +159,32 @@ print(f"dual-phase gate OK ({hits} hits, {fallbacks} fallbacks, "
       f"{cold_iters} -> {warm_iters} iterations)")
 PY
 
+# Streaming data plane: the sharded stream must stay bit-identical to the
+# batch replay at any thread/shard count (the equivalence suite pins the
+# full RunStats, the bench asserts it again internally), and the
+# throughput artifacts must parse with a positive rate. The bench runs
+# from the temp dir so its trajectory entry lands there, not on the
+# committed repo-root BENCH_throughput.json.
+echo "== streaming throughput gate =="
+NWDP_THREADS=1 cargo test -q --test parallel_equivalence
+NWDP_THREADS=4 cargo test -q --test parallel_equivalence
+repo_root="$PWD"
+(cd "$metrics_tmp" && NWDP_SHARDS=3 "$repo_root/target/release/repro" throughput --quick \
+  --out "$metrics_tmp/results" > /dev/null)
+python3 - "$metrics_tmp/BENCH_throughput.json" "$metrics_tmp/results/throughput.csv" <<'PY'
+import csv, json, sys
+d = json.load(open(sys.argv[1]))
+assert d["version"] == 1, d.get("version")
+runs = d["runs"]
+assert runs, "trajectory has no runs"
+r = runs[-1]
+assert r["sessions_per_sec"] > 0, r
+assert r["p99_pkt_ns"] >= r["p50_pkt_ns"] > 0, r
+assert r["shards"] == 3, r
+rows = list(csv.DictReader(open(sys.argv[2])))
+assert rows and float(rows[0]["sessions/s"]) > 0, rows
+print(f"throughput gate OK ({r['sessions_per_sec']:.0f} sessions/s, "
+      f"p99 {r['p99_pkt_ns']:.0f} ns, {int(r['shards'])} shards)")
+PY
+
 echo "CI OK"

@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //!   repro [--quick] [--out DIR] [--metrics-out FILE] [--fig N]...
-//!         [fig5 fig6 fig7 fig8 fig10 fig11 opt-time ext warm resilience | all]
+//!         [fig5 fig6 fig7 fig8 fig10 fig11 opt-time ext warm resilience throughput | all]
 //!   repro report --trace FILE [--metrics FILE] [--top N] [--chrome FILE]
 //!
 //! Results are written as CSV files under `--out` (default `results/`) and
@@ -21,7 +21,9 @@
 //! dump) into per-phase wall-time, hottest-span and warm-start tables.
 
 use nwdp_bench::output::Table;
-use nwdp_bench::{fig10, fig11, fig5, fig678, opttime, report, selftest, warmstart, Scale};
+use nwdp_bench::{
+    fig10, fig11, fig5, fig678, opttime, report, selftest, throughput, warmstart, Scale,
+};
 use nwdp_core::obs;
 use std::path::PathBuf;
 use std::process::exit;
@@ -145,6 +147,7 @@ fn parse_args(args: &[String]) -> Cli {
             "ext",
             "warm",
             "resilience",
+            "throughput",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -267,6 +270,18 @@ fn main() {
                     &cli.out,
                     "resilience_coverage_timeseries",
                 );
+            }
+            "throughput" => {
+                let r = throughput::run(scale);
+                emit(&throughput::table(&r), &cli.out, "throughput");
+                let traj = std::path::Path::new("BENCH_throughput.json");
+                match throughput::append_trajectory(traj, &r) {
+                    Ok(seq) => println!("trajectory entry #{seq} appended to {}", traj.display()),
+                    Err(e) => {
+                        eprintln!("repro: failed to write {}: {e}", traj.display());
+                        exit(1);
+                    }
+                }
             }
             "opt-time" => {
                 let mut rows = vec![opttime::nids_lp_time(50, 50)];

@@ -65,6 +65,7 @@ pub fn fine_grained_ablation(scale: Scale) -> Table {
 pub fn redundancy_cost(_scale: Scale) -> Table {
     let ctx = NidsContext::internet2();
     let classes: Vec<AnalysisClass> = AnalysisClass::scaled_set(21)
+        .expect("21 is within the paper's range")
         .into_iter()
         .filter(|c| c.scope == ClassScope::PerPath)
         .collect();

@@ -15,6 +15,7 @@ pub mod report;
 pub mod resilience;
 pub mod scenario;
 pub mod selftest;
+pub mod throughput;
 pub mod warmstart;
 
 pub use scenario::Scale;

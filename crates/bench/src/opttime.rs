@@ -29,7 +29,7 @@ pub fn nids_lp_time(n: usize, seed: u64) -> OptTime {
     let paths = PathDb::shortest_paths(&topo);
     let tm = TrafficMatrix::gravity(&topo);
     let vol = VolumeModel::scaled_for(&topo);
-    let classes = AnalysisClass::scaled_set(21);
+    let classes = AnalysisClass::scaled_set(21).expect("21 is within the paper's range");
     let dep = build_units(&topo, &paths, &tm, &vol, &classes);
     let cfg = NidsLpConfig::homogeneous(dep.num_nodes, NodeCaps { cpu: 2e8, mem: 4e9 });
     let start = Instant::now();

@@ -204,6 +204,49 @@ pub fn hottest_table(j: &Journal, top: usize) -> Table {
     t
 }
 
+/// Shard utilization of streaming data-plane runs: for every
+/// `engine.stream` span, the `engine.stream_shard` workers that ran inside
+/// its wall-clock window (time containment, not span ancestry — the shard
+/// spans sit under `parallel.worker` parents when the fan-out is
+/// threaded). Busy is the summed shard wall time; idle is the rest of the
+/// `workers × wall` slot area, i.e. time workers spent waiting on the
+/// slowest shard. Returns `None` when the journal has no streaming runs.
+pub fn stream_shard_table(j: &Journal) -> Option<Table> {
+    let streams: Vec<&SpanRec> = j.spans.iter().filter(|s| s.name == "engine.stream").collect();
+    if streams.is_empty() {
+        return None;
+    }
+    let mut t = Table::new(
+        "stream shard utilization",
+        &["run", "workers", "wall_s", "busy_s", "idle_s", "busy_pct"],
+    );
+    for (i, run) in streams.iter().enumerate() {
+        let shard_durs: Vec<u64> = j
+            .spans
+            .iter()
+            .filter(|s| {
+                s.name == "engine.stream_shard"
+                    && s.start_ns >= run.start_ns
+                    && s.start_ns <= run.end_ns
+            })
+            .map(SpanRec::dur_ns)
+            .collect();
+        let workers = shard_durs.len() as u64;
+        let busy: u64 = shard_durs.iter().sum();
+        let slots = workers * run.dur_ns();
+        let idle = slots.saturating_sub(busy);
+        t.row(vec![
+            (i + 1).to_string(),
+            workers.to_string(),
+            fmt_secs(run.dur_ns()),
+            fmt_secs(busy),
+            fmt_secs(idle),
+            if slots > 0 { fmt_pct(busy as f64 / slots as f64) } else { "n/a".to_string() },
+        ]);
+    }
+    Some(t)
+}
+
 fn counter(doc: &Json, name: &str) -> u64 {
     doc.get(&format!("counters/{name}")).and_then(Json::as_f64).unwrap_or(0.0) as u64
 }
@@ -310,6 +353,9 @@ pub fn run(
         None => println!("(no root `repro` span — phase breakdown unavailable)\n"),
     }
     println!("{}", hottest_table(&j, top).ascii());
+    if let Some(t) = stream_shard_table(&j) {
+        println!("{}", t.ascii());
+    }
     if let Some(mpath) = metrics {
         let mtext = std::fs::read_to_string(mpath)
             .map_err(|e| format!("cannot read metrics {}: {e}", mpath.display()))?;
@@ -438,6 +484,32 @@ mod tests {
         assert_eq!(t.rows[1][3], "100.0%");
         assert!(t.rows[1][4].contains("42 dual pivots"));
         assert!(t.rows[1][4].contains("3 bound flips"));
+    }
+
+    #[test]
+    fn stream_shard_utilization_attributes_busy_and_idle() {
+        // One streaming run 0–10ms with two shard workers: 8ms and 4ms.
+        // Slot area = 2 × 10ms = 20ms, busy = 12ms → 60% busy, 8ms idle.
+        let text = concat!(
+            "{\"ev\":\"B\",\"name\":\"engine.stream\",\"id\":1,\"parent\":null,\"tid\":0,\"ts\":0}\n",
+            "{\"ev\":\"B\",\"name\":\"parallel.worker\",\"id\":2,\"parent\":1,\"tid\":1,\"ts\":100000}\n",
+            "{\"ev\":\"B\",\"name\":\"engine.stream_shard\",\"id\":3,\"parent\":2,\"tid\":1,\"ts\":1000000}\n",
+            "{\"ev\":\"E\",\"id\":3,\"tid\":1,\"ts\":9000000}\n",
+            "{\"ev\":\"B\",\"name\":\"engine.stream_shard\",\"id\":4,\"parent\":2,\"tid\":2,\"ts\":2000000}\n",
+            "{\"ev\":\"E\",\"id\":4,\"tid\":2,\"ts\":6000000}\n",
+            "{\"ev\":\"E\",\"id\":2,\"tid\":1,\"ts\":9500000}\n",
+            "{\"ev\":\"E\",\"id\":1,\"tid\":0,\"ts\":10000000}\n",
+        );
+        let j = parse_journal(text);
+        let t = stream_shard_table(&j).expect("journal has a streaming run");
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0][1], "2");
+        assert_eq!(t.rows[0][2], "0.010");
+        assert_eq!(t.rows[0][3], "0.012");
+        assert_eq!(t.rows[0][4], "0.008");
+        assert_eq!(t.rows[0][5], "60.0%");
+        // A journal without streaming runs yields no table.
+        assert!(stream_shard_table(&parse_journal(synthetic())).is_none());
     }
 
     #[test]

@@ -136,7 +136,7 @@ impl NidsContext {
             c.truncate(n_modules);
             c
         } else {
-            AnalysisClass::scaled_set(n_modules)
+            AnalysisClass::scaled_set(n_modules).expect("scaled set within the paper's range")
         };
         build_units(&self.topo, &self.paths, &self.tm, &self.vol, &classes)
     }

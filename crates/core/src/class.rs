@@ -8,6 +8,37 @@
 //! item (connection, source, destination).
 
 use nwdp_hash::FlowKeyKind;
+use std::fmt;
+
+/// Why a scaled class set could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassSetError {
+    /// A duplicate-cycle base class (HTTP/IRC/Login/TFTP) is absent from
+    /// the set being scaled.
+    MissingBase { base: &'static str },
+    /// Fewer modules requested than the set already contains.
+    TooFew { requested: usize, minimum: usize },
+    /// More modules requested than the paper's evaluation covers.
+    TooMany { requested: usize, maximum: usize },
+}
+
+impl fmt::Display for ClassSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassSetError::MissingBase { base } => {
+                write!(f, "duplicate base class {base} is missing from the set")
+            }
+            ClassSetError::TooFew { requested, minimum } => {
+                write!(f, "scaled set needs at least {minimum} modules, got {requested}")
+            }
+            ClassSetError::TooMany { requested, maximum } => {
+                write!(f, "the paper's evaluation tops out at {maximum} modules, got {requested}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClassSetError {}
 
 /// Where a class's coordination units live (§2.1's placement affinity).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,22 +129,38 @@ impl AnalysisClass {
     /// The Fig 6 module-scaling set: the standard nine plus duplicate
     /// instances of HTTP, IRC, Login and TFTP (the paper adds "fake"
     /// duplicates of exactly these), up to `total` modules (max 21).
-    pub fn scaled_set(total: usize) -> Vec<AnalysisClass> {
-        let mut set = Self::standard_set();
-        assert!(total >= set.len(), "scaled_set needs at least the standard 9 modules");
-        assert!(total <= 21, "the paper's evaluation tops out at 21 modules");
+    pub fn scaled_set(total: usize) -> Result<Vec<AnalysisClass>, ClassSetError> {
+        Self::scaled_from(Self::standard_set(), total)
+    }
+
+    /// Scale an arbitrary base `set` up to `total` modules with the Fig 6
+    /// duplicate cycle. Errors instead of panicking when the request is
+    /// out of the paper's range or a cycle base class is missing.
+    pub fn scaled_from(
+        mut set: Vec<AnalysisClass>,
+        total: usize,
+    ) -> Result<Vec<AnalysisClass>, ClassSetError> {
+        if total < set.len() {
+            return Err(ClassSetError::TooFew { requested: total, minimum: set.len() });
+        }
+        if total > 21 {
+            return Err(ClassSetError::TooMany { requested: total, maximum: 21 });
+        }
         let dup_names = ["HTTP", "IRC", "Login", "TFTP"];
         let mut gen = 0usize;
         while set.len() < total {
             let base_name = dup_names[gen % dup_names.len()];
-            let base =
-                set.iter().find(|c| c.name == base_name).expect("duplicate base present").clone();
+            let base = set
+                .iter()
+                .find(|c| c.name == base_name)
+                .ok_or(ClassSetError::MissingBase { base: base_name })?
+                .clone();
             let mut dup = base;
             gen += 1;
             dup.name = format!("{base_name}-dup{gen}");
             set.push(dup);
         }
-        set
+        Ok(set)
     }
 }
 
@@ -148,7 +195,7 @@ mod tests {
 
     #[test]
     fn scaled_set_reaches_21() {
-        let set = AnalysisClass::scaled_set(21);
+        let set = AnalysisClass::scaled_set(21).expect("21 is within the paper's range");
         assert_eq!(set.len(), 21);
         // Duplicates come only from the four designated modules.
         for c in set.iter().skip(9) {
@@ -169,8 +216,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn scaled_set_rejects_over_21() {
-        AnalysisClass::scaled_set(22);
+    fn scaled_set_rejects_out_of_range_totals() {
+        assert_eq!(
+            AnalysisClass::scaled_set(22).expect_err("over the 21-module cap"),
+            ClassSetError::TooMany { requested: 22, maximum: 21 }
+        );
+        assert_eq!(
+            AnalysisClass::scaled_set(4).expect_err("under the standard nine"),
+            ClassSetError::TooFew { requested: 4, minimum: 9 }
+        );
+    }
+
+    #[test]
+    fn scaling_without_a_dup_base_is_an_error_not_a_panic() {
+        // Drop HTTP — the first base in the duplicate cycle — and ask for
+        // more modules than the remaining eight.
+        let set: Vec<_> =
+            AnalysisClass::standard_set().into_iter().filter(|c| c.name != "HTTP").collect();
+        let err = AnalysisClass::scaled_from(set, 12).expect_err("HTTP base is missing");
+        assert_eq!(err, ClassSetError::MissingBase { base: "HTTP" });
+        assert!(err.to_string().contains("HTTP"));
     }
 }

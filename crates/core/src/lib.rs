@@ -38,5 +38,5 @@ pub mod units;
 /// downstream crates need no direct `nwdp-obs` dependency.
 pub use nwdp_obs as obs;
 
-pub use class::{AnalysisClass, ClassScope};
+pub use class::{AnalysisClass, ClassScope, ClassSetError};
 pub use units::{build_units, CoordUnit, NidsDeployment, UnitKey};

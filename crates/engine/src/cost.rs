@@ -101,6 +101,16 @@ impl Meter {
         self.mem_bytes = self.mem_bytes.saturating_sub(bytes);
     }
 
+    /// Remove double-charged allocation bytes after a shard merge: per-host
+    /// state that two shards both allocated was only allocated once in the
+    /// equivalent single-engine run. Shard meters never free (the
+    /// fine-grained extension is off on the streaming path), so their peak
+    /// equals their total allocation and shrinks with it.
+    pub fn refund_alloc(&mut self, bytes: u64) {
+        self.mem_bytes = self.mem_bytes.saturating_sub(bytes);
+        self.mem_peak = self.mem_peak.saturating_sub(bytes);
+    }
+
     /// Merge another meter (e.g. per-module meters into a node total).
     pub fn absorb(&mut self, other: &Meter) {
         self.cpu_cycles += other.cpu_cycles;

@@ -134,6 +134,13 @@ pub struct Engine<'a> {
     /// modules all consume only connection-level events are tracked in
     /// lightweight records and skip per-packet analysis.
     fine_grained: bool,
+    /// Reusable packet-synthesis buffer: `process_session` refills it in
+    /// place instead of allocating a fresh `Vec<Packet>` per session.
+    pkt_buf: Vec<Packet<'static>>,
+    /// Reusable fault-shaping buffer for `process_session_faulty`.
+    fault_buf: Vec<Packet<'static>>,
+    /// Connections counted in shard engines merged into this one.
+    absorbed_conns: usize,
 }
 
 impl<'a> Engine<'a> {
@@ -174,6 +181,9 @@ impl<'a> Engine<'a> {
             range_checks: 0,
             range_hits: 0,
             fine_grained: false,
+            pkt_buf: Vec::new(),
+            fault_buf: Vec::new(),
+            absorbed_conns: 0,
         })
     }
 
@@ -187,10 +197,17 @@ impl<'a> Engine<'a> {
     /// enablement was already decided keep their old decisions — the
     /// paper's drain semantics, where existing assignments persist until
     /// the connections expire — while new connections consult the
-    /// repaired ranges. Panics if the engine runs without coordination.
-    pub fn set_manifest(&mut self, manifest: &'a SamplingManifest) {
-        let coord = self.coord.as_mut().expect("manifest swap needs a coordinated engine");
-        coord.manifest = manifest;
+    /// repaired ranges. An engine running without coordination has no
+    /// manifest to replace; that is reported as
+    /// [`EngineError::NotCoordinated`] instead of panicking.
+    pub fn set_manifest(&mut self, manifest: &'a SamplingManifest) -> Result<(), EngineError> {
+        match self.coord.as_mut() {
+            Some(coord) => {
+                coord.manifest = manifest;
+                Ok(())
+            }
+            None => Err(EngineError::NotCoordinated),
+        }
     }
 
     /// Enable the §2.5 fine-grained coordination extension (effective
@@ -201,23 +218,92 @@ impl<'a> Engine<'a> {
         self.fine_grained = on;
     }
 
-    /// Feed one session's packets through the engine.
+    /// Feed one session's packets through the engine. Packets are
+    /// synthesized into a reusable buffer — no per-session allocation.
     pub fn process_session(&mut self, session: &Session) {
-        for pkt in session.packets() {
-            self.process_packet(&pkt);
+        let mut buf = std::mem::take(&mut self.pkt_buf);
+        session.packets_into(&mut buf);
+        for pkt in &buf {
+            self.process_packet(pkt);
         }
+        self.pkt_buf = buf;
     }
 
     /// Feed a session through a fault injector (drops / duplicates /
-    /// reordering), as seen at a lossy capture point.
+    /// reordering), as seen at a lossy capture point. Both the raw and the
+    /// degraded packet sequences live in reusable buffers.
     pub fn process_session_faulty(
         &mut self,
         session: &Session,
         faults: &nwdp_traffic::FaultInjector,
     ) {
-        for pkt in faults.apply(session, session.packets()) {
-            self.process_packet(&pkt);
+        let mut raw = std::mem::take(&mut self.pkt_buf);
+        let mut shaped = std::mem::take(&mut self.fault_buf);
+        session.packets_into(&mut raw);
+        faults.apply_into(session, &raw, &mut shaped);
+        for pkt in &shaped {
+            self.process_packet(pkt);
         }
+        self.pkt_buf = raw;
+        self.fault_buf = shaped;
+    }
+
+    /// Feed one session through the engine with the batched §2.3 fast
+    /// path: when no module's manifest range covers the session and no
+    /// connection state exists yet, the per-packet skip charges are
+    /// committed in bulk from [`Session::packet_count`] without
+    /// synthesizing a single packet. Bit-identical to
+    /// [`Engine::process_session`] — every packet of a session
+    /// canonicalizes to the session's tuple, so the per-packet fast-path
+    /// outcome is the same for all of them.
+    pub fn process_session_fast(&mut self, session: &Session) {
+        if self.try_skip_session(session) {
+            return;
+        }
+        self.process_session(session);
+    }
+
+    /// The batched membership check behind
+    /// [`Engine::process_session_fast`]. Returns `true` when the whole
+    /// session was skipped (bulk charges committed); `false` leaves the
+    /// engine untouched — the trial scan uses only locals, so a session
+    /// that turns out to be covered is processed normally with no
+    /// double-charging (its first packet re-runs the fast path itself).
+    fn try_skip_session(&mut self, session: &Session) -> bool {
+        let tuple = session.tuple;
+        let Some(coord) = self.coord.as_ref().filter(|_| self.conns.find(&tuple).is_none()) else {
+            return false;
+        };
+        let (src_node, dst_node) = (node_of_ip(tuple.src_ip), node_of_ip(tuple.dst_ip));
+        let mut hash_cache: [Option<f64>; 4] = [None; 4];
+        let mut hashed = 0u64;
+        let mut checks = 0u64;
+        for m in 0..self.modules.len() {
+            if let Some(unit) = coord.unit_for(m, src_node, dst_node) {
+                let kind = self.modules[m].key_kind();
+                let slot = kind_slot(kind);
+                let h = *hash_cache[slot].get_or_insert_with(|| {
+                    hashed += 1;
+                    self.hasher.unit_hash(&tuple, kind)
+                });
+                checks += 1;
+                if coord.manifest.should_analyze(unit, self.node, h) {
+                    return false; // some module wants it: process normally
+                }
+            }
+        }
+        // Every packet of the session takes the skip path; commit its
+        // per-packet charges in bulk.
+        let np = session.packet_count() as u64;
+        self.packets += np;
+        self.fastpath_skipped += np;
+        self.range_checks += np * checks;
+        self.base_meter.cpu(
+            np * (self.costs.pkt_base
+                + self.costs.evt_check * checks
+                + self.costs.hash_compute * hashed),
+        );
+        true
     }
 
     /// The per-packet pipeline (paper Fig 3 embedded in the Bro stages).
@@ -406,6 +492,41 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Fold another shard's engine — same node, same module list, disjoint
+    /// connections — into this one, so that `stats()` afterwards equals a
+    /// single engine having processed the union of both shards' sessions.
+    ///
+    /// Sound because shards split sessions by the keyed `BiSession` hash
+    /// (no two shards share a connection record) and all cross-connection
+    /// module state is monotone (see [`Analyzer::absorb`]). Peak memory is
+    /// additive only when meters never free, so the fine-grained extension
+    /// must be off on both sides; per-host state both shards allocated is
+    /// refunded via [`Meter::refund_alloc`].
+    pub fn absorb_shard(&mut self, mut other: Engine<'a>) {
+        assert!(
+            !self.fine_grained && !other.fine_grained,
+            "shard merge requires coarse connection records (fine_grained off)"
+        );
+        assert_eq!(self.node, other.node, "shards must belong to one node");
+        assert_eq!(self.modules.len(), other.modules.len(), "shards must run the same modules");
+        self.packets += other.packets;
+        self.fastpath_skipped += other.fastpath_skipped;
+        self.range_checks += other.range_checks;
+        self.range_hits += other.range_hits;
+        self.absorbed_conns += other.conns.len() + other.absorbed_conns;
+        self.base_meter.cpu_cycles += other.base_meter.cpu_cycles;
+        self.base_meter.mem_bytes += other.base_meter.mem_bytes;
+        self.base_meter.mem_peak += other.base_meter.mem_peak;
+        for m in 0..self.modules.len() {
+            self.module_meters[m].cpu_cycles += other.module_meters[m].cpu_cycles;
+            self.module_meters[m].mem_bytes += other.module_meters[m].mem_bytes;
+            self.module_meters[m].mem_peak += other.module_meters[m].mem_peak;
+            let state = other.modules[m].take_state();
+            let refund = self.modules[m].absorb(state, other.modules[m].alerts());
+            self.module_meters[m].refund_alloc(refund);
+        }
+    }
+
     /// Collected statistics.
     pub fn stats(&self) -> RunStats {
         let mut cpu = self.base_meter.cpu_cycles;
@@ -424,7 +545,7 @@ impl<'a> Engine<'a> {
             cpu_cycles: cpu,
             mem_peak,
             packets: self.packets,
-            connections: self.conns.len(),
+            connections: self.conns.len() + self.absorbed_conns,
             fastpath_skipped: self.fastpath_skipped,
             range_checks: self.range_checks,
             range_hits: self.range_hits,
@@ -546,6 +667,30 @@ mod tests {
         let names = vec!["HTTP".to_string()];
         let _ =
             Engine::new(NodeId(0), Placement::EventEngine, &names, None, KeyedHasher::unkeyed());
+    }
+
+    #[test]
+    fn set_manifest_on_edge_only_engine_is_an_error_not_a_panic() {
+        let (_topo, dep) = small_setup();
+        let (_solo, manifest) = standalone_coordination(&dep, NodeId(0));
+        let names = vec!["HTTP".to_string()];
+        let mut edge =
+            Engine::new(NodeId(0), Placement::Unmodified, &names, None, KeyedHasher::unkeyed())
+                .unwrap();
+        assert_eq!(edge.set_manifest(&manifest), Err(EngineError::NotCoordinated));
+        // A coordinated engine accepts the swap.
+        let (solo, manifest2) = standalone_coordination(&dep, NodeId(1));
+        let names: Vec<String> = solo.classes.iter().map(|c| c.name.clone()).collect();
+        let coord = CoordContext::new(&solo, &manifest2);
+        let mut owner = Engine::new(
+            NodeId(1),
+            Placement::EventEngine,
+            &names,
+            Some(coord),
+            KeyedHasher::unkeyed(),
+        )
+        .unwrap();
+        assert_eq!(owner.set_manifest(&manifest2), Ok(()));
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod cost;
 pub mod engine;
 pub mod modules;
 pub mod netwide;
+pub mod stream;
 
 pub use ac::AhoCorasick;
 pub use conn::{ConnRecord, ConnTable};
@@ -33,3 +34,4 @@ pub use netwide::{
     run_edge_only, run_edge_only_faulty, run_standalone_reference, ManifestEpoch, NetworkRun,
     ResilienceConfig, ResilientRun,
 };
+pub use stream::{pkt_latency_bounds, run_coordinated_stream, shard_of, stream_shards};

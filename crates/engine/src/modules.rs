@@ -46,8 +46,27 @@ pub struct Alert {
     pub subject: u64,
 }
 
+/// Mergeable cross-connection module state, moved between shards of the
+/// streaming data plane. Connections are shard-disjoint (sessions shard by
+/// the keyed `BiSession` hash), so per-connection state never needs
+/// merging; only *cross-connection* aggregates (per-host counters and
+/// sets) can straddle shards and travel through this enum.
+#[derive(Debug)]
+pub enum ModuleState {
+    /// No cross-connection state (per-connection state only).
+    Stateless,
+    /// Connection counter (Baseline).
+    ConnCount(u64),
+    /// Distinct destinations per source host (Scan).
+    ScanDests(HashMap<u32, HashSet<u32>>),
+    /// Bare-SYN counts per destination host (SYNFlood).
+    SynCounts(HashMap<u32, usize>),
+    /// Alert-dedup subjects (the app-layer analyzers).
+    Subjects(HashSet<u64>),
+}
+
 /// One analysis module.
-pub trait Analyzer {
+pub trait Analyzer: Send {
     /// Must match the corresponding `AnalysisClass` name (duplicates use
     /// the duplicate class name).
     fn class_name(&self) -> &str;
@@ -74,6 +93,19 @@ pub trait Analyzer {
         meter: &mut Meter,
     );
     fn alerts(&self) -> &BTreeSet<Alert>;
+    /// Extract the module's mergeable cross-connection state, leaving the
+    /// module empty of it. Modules without such state return
+    /// [`ModuleState::Stateless`].
+    fn take_state(&mut self) -> ModuleState {
+        ModuleState::Stateless
+    }
+    /// Fold another shard's state and alerts into this module, emitting
+    /// any alerts whose thresholds are only crossed by the merged totals
+    /// (counters are monotone, so `>= threshold` after the merge
+    /// reproduces the batch `== threshold` firing exactly). Returns the
+    /// state bytes double-charged across shards — per-host entries both
+    /// shards allocated — which the caller refunds from the merged meter.
+    fn absorb(&mut self, state: ModuleState, alerts: &BTreeSet<Alert>) -> u64;
 }
 
 fn conn_subject(conn: &ConnRecord) -> u64 {
@@ -136,6 +168,16 @@ impl Analyzer for Baseline {
     }
     fn alerts(&self) -> &BTreeSet<Alert> {
         &self.alerts
+    }
+    fn take_state(&mut self) -> ModuleState {
+        ModuleState::ConnCount(std::mem::take(&mut self.conns_seen))
+    }
+    fn absorb(&mut self, state: ModuleState, alerts: &BTreeSet<Alert>) -> u64 {
+        self.alerts.extend(alerts.iter().cloned());
+        if let ModuleState::ConnCount(c) = state {
+            self.conns_seen += c;
+        }
+        0
     }
 }
 
@@ -206,6 +248,39 @@ impl Analyzer for Scan {
     }
     fn alerts(&self) -> &BTreeSet<Alert> {
         &self.alerts
+    }
+    fn take_state(&mut self) -> ModuleState {
+        ModuleState::ScanDests(std::mem::take(&mut self.dests))
+    }
+    fn absorb(&mut self, state: ModuleState, alerts: &BTreeSet<Alert>) -> u64 {
+        self.alerts.extend(alerts.iter().cloned());
+        let ModuleState::ScanDests(dests) = state else { return 0 };
+        let threshold = self.threshold;
+        let mut refund = 0u64;
+        for (src, incoming) in dests {
+            match self.dests.entry(src) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    refund += 72; // both shards allocated this source's set
+                    let set = e.get_mut();
+                    for d in incoming {
+                        if !set.insert(d) {
+                            refund += 8; // destination seen by both shards
+                        }
+                    }
+                    if set.len() >= threshold {
+                        self.alerts.insert(Alert {
+                            module: "Scan".to_string(),
+                            kind: "address_scan",
+                            subject: src as u64,
+                        });
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(incoming);
+                }
+            }
+        }
+        refund
     }
 }
 
@@ -408,6 +483,18 @@ impl Analyzer for AppAnalyzer {
     fn alerts(&self) -> &BTreeSet<Alert> {
         &self.alerts
     }
+    fn take_state(&mut self) -> ModuleState {
+        ModuleState::Subjects(std::mem::take(&mut self.tracked))
+    }
+    fn absorb(&mut self, state: ModuleState, alerts: &BTreeSet<Alert>) -> u64 {
+        self.alerts.extend(alerts.iter().cloned());
+        if let ModuleState::Subjects(s) = state {
+            // Subject dedup is alert-level only; `tracked` carries no
+            // metered allocation, so nothing is refunded.
+            self.tracked.extend(s);
+        }
+        0
+    }
 }
 
 // ----------------------------------------------------------------- Blaster
@@ -473,6 +560,10 @@ impl Analyzer for Blaster {
     }
     fn alerts(&self) -> &BTreeSet<Alert> {
         &self.alerts
+    }
+    fn absorb(&mut self, _state: ModuleState, alerts: &BTreeSet<Alert>) -> u64 {
+        self.alerts.extend(alerts.iter().cloned());
+        0
     }
 }
 
@@ -559,6 +650,12 @@ impl Analyzer for Signature {
     fn alerts(&self) -> &BTreeSet<Alert> {
         &self.alerts
     }
+    fn absorb(&mut self, _state: ModuleState, alerts: &BTreeSet<Alert>) -> u64 {
+        // Stream-automaton state is per (connection, direction); sessions
+        // shard by connection, so no cross-shard merging is needed.
+        self.alerts.extend(alerts.iter().cloned());
+        0
+    }
 }
 
 // ---------------------------------------------------------------- SYNFlood
@@ -623,6 +720,34 @@ impl Analyzer for SynFlood {
     fn alerts(&self) -> &BTreeSet<Alert> {
         &self.alerts
     }
+    fn take_state(&mut self) -> ModuleState {
+        ModuleState::SynCounts(std::mem::take(&mut self.syns))
+    }
+    fn absorb(&mut self, state: ModuleState, alerts: &BTreeSet<Alert>) -> u64 {
+        self.alerts.extend(alerts.iter().cloned());
+        let ModuleState::SynCounts(counts) = state else { return 0 };
+        let threshold = self.threshold;
+        let mut refund = 0u64;
+        for (dst, c) in counts {
+            match self.syns.entry(dst) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    refund += 48; // both shards allocated this victim's counter
+                    *e.get_mut() += c;
+                    if *e.get() >= threshold {
+                        self.alerts.insert(Alert {
+                            module: "SYNFlood".to_string(),
+                            kind: "syn_flood",
+                            subject: dst as u64,
+                        });
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(c);
+                }
+            }
+        }
+        refund
+    }
 }
 
 /// The libpcap-style capture filter Bro derives from its loaded analyzers:
@@ -648,6 +773,10 @@ pub enum EngineError {
     /// (typically a typo in a deployment description or a class added to
     /// the optimizer without a matching analyzer).
     UnknownClass(String),
+    /// A manifest swap was requested on an engine running without a
+    /// coordination context (edge-only / unmodified placement) — there is
+    /// no manifest to replace.
+    NotCoordinated,
 }
 
 impl std::fmt::Display for EngineError {
@@ -655,6 +784,9 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::UnknownClass(name) => {
                 write!(f, "no analysis module registered for class {name:?}")
+            }
+            EngineError::NotCoordinated => {
+                write!(f, "manifest swap needs a coordinated engine (this one has no manifest)")
             }
         }
     }
@@ -880,6 +1012,64 @@ mod tests {
         };
         assert_eq!(err, EngineError::UnknownClass("NoSuchModule".to_string()));
         assert!(err.to_string().contains("NoSuchModule"));
+    }
+
+    #[test]
+    fn scan_merge_fires_alert_only_crossed_by_combined_shards() {
+        let costs = CostModel::default();
+        let mut meter = Meter::new();
+        let scanner = 0x0a000099u32;
+        let mut shard_a = Scan::new(16);
+        let mut shard_b = Scan::new(16);
+        // 10 destinations per shard (one overlapping): neither shard alone
+        // reaches the threshold of 16, the union (19 distinct) does.
+        for i in 0..10u32 {
+            let t = FiveTuple::new(scanner, 0x0a010000 + i, 41000, 445, 6);
+            shard_a.on_packet(
+                &session(SessionKind::ScanProbe, i).packets()[0],
+                &record(t),
+                true,
+                &costs,
+                &mut meter,
+            );
+            let t = FiveTuple::new(scanner, 0x0a010009 + i, 41000, 445, 6);
+            shard_b.on_packet(
+                &session(SessionKind::ScanProbe, i).packets()[0],
+                &record(t),
+                true,
+                &costs,
+                &mut meter,
+            );
+        }
+        assert!(shard_a.alerts().is_empty() && shard_b.alerts().is_empty());
+        let state = shard_b.take_state();
+        let alerts = shard_b.alerts().clone();
+        let refund = shard_a.absorb(state, &alerts);
+        assert_eq!(shard_a.alerts().len(), 1, "merged shards must cross the threshold");
+        // Duplicate source set (72) plus one shared destination (8).
+        assert_eq!(refund, 72 + 8);
+    }
+
+    #[test]
+    fn synflood_merge_sums_counts_and_refunds_duplicates() {
+        let costs = CostModel::default();
+        let mut meter = Meter::new();
+        let mut shard_a = SynFlood::new(64);
+        let mut shard_b = SynFlood::new(64);
+        for i in 0..40u32 {
+            let s = session(SessionKind::SynFloodPkt, i);
+            let mut t = s.tuple;
+            t.dst_ip = 0x0a01_0001;
+            let pkts = s.packets();
+            shard_a.on_packet(&pkts[0], &record(t), true, &costs, &mut meter);
+            shard_b.on_packet(&pkts[0], &record(t), true, &costs, &mut meter);
+        }
+        assert!(shard_a.alerts().is_empty() && shard_b.alerts().is_empty());
+        let state = shard_b.take_state();
+        let alerts = shard_b.alerts().clone();
+        let refund = shard_a.absorb(state, &alerts);
+        assert_eq!(shard_a.alerts().len(), 1, "80 merged SYNs cross the 64 threshold");
+        assert_eq!(refund, 48, "one victim counter allocated twice");
     }
 
     #[test]

@@ -77,7 +77,7 @@ fn replay_nodes(
 }
 
 /// Publish one replay's per-node load profile to the metrics registry.
-fn flush_metrics(mode: &str, run: &NetworkRun) {
+pub(crate) fn flush_metrics(mode: &str, run: &NetworkRun) {
     let s = obs::Scope::new("engine");
     s.counter_with("runs", &[("mode", mode)]).inc();
     s.gauge_with("max_cpu_cycles", &[("mode", mode)]).set_max(run.max_cpu() as f64);
@@ -314,7 +314,7 @@ pub fn run_coordinated_resilient(
             let now = s.id as f64 / n_total;
             while k + 1 < epochs.len() && epochs[k + 1].from <= now {
                 k += 1;
-                engine.set_manifest(&epochs[k].manifest);
+                engine.set_manifest(&epochs[k].manifest)?;
                 obs::trace_event!(
                     "engine.manifest_swap",
                     node = node.0,

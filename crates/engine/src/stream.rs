@@ -1,0 +1,231 @@
+//! Streaming sharded data plane.
+//!
+//! The batch runner ([`run_coordinated`](crate::netwide::run_coordinated))
+//! materializes the whole trace and replays one engine per node. This
+//! module replaces that with a pull-based pipeline: sessions are generated
+//! on demand (no materialized trace), each node's work is split across
+//! `shards` per-worker engines, and every shard engine uses the batched
+//! §2.3 membership check ([`Engine::process_session_fast`]) so traffic
+//! outside its manifest slice is charged without synthesizing packets.
+//!
+//! ## Why sharding preserves bit-identical results
+//!
+//! Sessions are assigned to shards by the keyed `BiSession` coordination
+//! hash of their canonical tuple — the same orientation-invariant hash the
+//! connection table keys on — so no two shards ever share a connection
+//! record. Per-connection work is therefore identical to the batch run;
+//! the only cross-shard state is the monotone per-host aggregates of Scan
+//! and SYNFlood, which merge exactly (see
+//! [`Analyzer`](crate::modules::Analyzer)`::absorb`). Shards merge in
+//! ascending shard order per node, so the result is deterministic for any
+//! worker count, and `tests/parallel_equivalence.rs` pins the merged
+//! [`RunStats`](crate::engine::RunStats) bit-identical to the batch run.
+
+use crate::engine::{CoordContext, Engine, Placement};
+use crate::modules::EngineError;
+use crate::netwide::{flush_metrics, NetworkRun};
+use nwdp_core::nids::SamplingManifest;
+use nwdp_core::{parallel, NidsDeployment};
+use nwdp_hash::{FlowKeyKind, KeyedHasher};
+use nwdp_obs::{self as obs, Histogram};
+use nwdp_topo::{NodeId, PathDb};
+use nwdp_traffic::Session;
+use std::collections::BTreeSet;
+
+/// Effective shard count for the streaming data plane: the `NWDP_SHARDS`
+/// environment variable when set, else the parallel worker count (see
+/// [`parallel::num_threads`]). Results are shard-count-invariant; the knob
+/// only trades per-shard state size against merge work.
+pub fn stream_shards() -> usize {
+    if let Some(v) = std::env::var_os("NWDP_SHARDS") {
+        if let Some(n) = v.to_str().and_then(|s| s.trim().parse::<usize>().ok()) {
+            return n.max(1);
+        }
+    }
+    parallel::num_threads()
+}
+
+/// Shard owning `session`: the keyed `BiSession` hash of its canonical
+/// tuple scaled to `0..shards`. `BiSession` is orientation-invariant, so
+/// every session sharing a connection-table record lands on one shard.
+pub fn shard_of(hasher: &KeyedHasher, session: &Session, shards: usize) -> usize {
+    let h = hasher.unit_hash(&session.tuple, FlowKeyKind::BiSession);
+    // unit_hash < 1.0 strictly (u32 / 2^32); min guards the cast anyway.
+    ((h * shards as f64) as usize).min(shards.saturating_sub(1))
+}
+
+/// Bucket bounds of the `engine.stream.pkt_ns` per-packet latency
+/// histogram: geometric from 20 ns spanning into the tens of milliseconds.
+/// Public so the throughput bench fetches the identical histogram.
+pub fn pkt_latency_bounds() -> Vec<f64> {
+    Histogram::exponential_bounds(20.0, 1.7, 28)
+}
+
+/// Run the coordinated deployment as a streaming data plane.
+///
+/// `source` is called once per (node, shard) worker and must return a
+/// fresh session iterator over the same sequence each time (e.g. a closure
+/// building a [`nwdp_traffic::SessionStream`]); workers filter it down to
+/// their on-path, shard-owned slice. Produces a [`NetworkRun`]
+/// bit-identical to `run_coordinated` over the materialized trace on the
+/// same seed, for any thread or shard count.
+///
+/// When metrics are enabled, per-session wall time is recorded into the
+/// `engine.stream.pkt_ns` histogram (normalized per packet) — the clock
+/// reads make that pass slower, so throughput timing runs with metrics
+/// off. Spans `engine.stream` / `engine.stream_shard` journal the fan-out
+/// for `repro report`'s shard utilization table.
+pub fn run_coordinated_stream<I, S>(
+    dep: &NidsDeployment,
+    manifest: &SamplingManifest,
+    paths: &PathDb,
+    source: S,
+    placement: Placement,
+    hasher: KeyedHasher,
+    shards: usize,
+) -> Result<NetworkRun, EngineError>
+where
+    I: Iterator<Item = Session>,
+    S: Fn() -> I + Sync,
+{
+    assert_ne!(placement, Placement::Unmodified, "streaming run needs a coordinated placement");
+    let shards = shards.max(1);
+    let names: Vec<String> = dep.classes.iter().map(|c| c.name.clone()).collect();
+    let _span = obs::span!("engine.stream", nodes = dep.num_nodes, shards = shards);
+    let lat = if obs::enabled() {
+        Some(obs::histogram("engine.stream.pkt_ns", &pkt_latency_bounds()))
+    } else {
+        None
+    };
+    let grid = parallel::par_map_grid(dep.num_nodes, shards, |j, shard| {
+        let node = NodeId(j);
+        let _span = obs::span!("engine.stream_shard", node = j, shard = shard);
+        let coord = CoordContext::new(dep, manifest);
+        let mut engine = Engine::new(node, placement, &names, Some(coord), hasher)?;
+        for session in source() {
+            if paths.path(session.src_node, session.dst_node).position(node).is_none() {
+                continue;
+            }
+            if shards > 1 && shard_of(&hasher, &session, shards) != shard {
+                continue;
+            }
+            match &lat {
+                Some(lat) => {
+                    let t0 = std::time::Instant::now();
+                    engine.process_session_fast(&session);
+                    let per_pkt =
+                        t0.elapsed().as_nanos() as f64 / session.packet_count().max(1) as f64;
+                    lat.observe(per_pkt);
+                }
+                None => engine.process_session_fast(&session),
+            }
+        }
+        Ok(engine)
+    });
+
+    // Deterministic merge: shards fold into shard 0's engine in ascending
+    // shard order, nodes stay in node order.
+    let mut per_node = Vec::with_capacity(dep.num_nodes);
+    for row in grid {
+        let mut acc: Option<Engine<'_>> = None;
+        for engine in row {
+            let engine = engine?;
+            acc = Some(match acc {
+                None => engine,
+                Some(mut merged) => {
+                    merged.absorb_shard(engine);
+                    merged
+                }
+            });
+        }
+        match acc {
+            Some(merged) => per_node.push(merged.stats()),
+            None => unreachable!("shards >= 1: every node row has an engine"),
+        }
+    }
+    let mut alerts = BTreeSet::new();
+    for st in &per_node {
+        alerts.extend(st.alerts.iter().cloned());
+    }
+    let run = NetworkRun { per_node, alerts };
+    if obs::enabled() {
+        flush_metrics("stream", &run);
+    }
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nwdp_core::nids::{generate_manifests, solve_nids_lp, NidsLpConfig, NodeCaps};
+    use nwdp_core::{build_units, AnalysisClass};
+    use nwdp_topo::internet2;
+    use nwdp_traffic::{SessionStream, TraceConfig, TrafficMatrix, VolumeModel};
+
+    // The full streaming-vs-batch bit-identity suite lives in
+    // tests/parallel_equivalence.rs (it needs the LP crate); here we pin
+    // the shard assignment itself.
+    #[test]
+    fn shard_assignment_is_orientation_invariant_and_in_range() {
+        let topo = internet2();
+        let tm = TrafficMatrix::gravity(&topo);
+        let cfg = TraceConfig::new(2000, 21);
+        let hasher = KeyedHasher::with_key(5);
+        for shards in [1usize, 2, 7] {
+            for mut s in SessionStream::new(&topo, &tm, &cfg) {
+                let fwd = shard_of(&hasher, &s, shards);
+                assert!(fwd < shards);
+                s.tuple = s.tuple.reversed();
+                assert_eq!(fwd, shard_of(&hasher, &s, shards), "BiSession must ignore direction");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_shards_cover_every_session_once() {
+        let topo = internet2();
+        let paths = nwdp_topo::PathDb::shortest_paths(&topo);
+        let tm = TrafficMatrix::gravity(&topo);
+        let vol = VolumeModel::internet2_baseline();
+        let dep = build_units(&topo, &paths, &tm, &vol, &AnalysisClass::standard_set());
+        let lp = NidsLpConfig::homogeneous(dep.num_nodes, NodeCaps { cpu: 2e8, mem: 4e9 });
+        let assignment = solve_nids_lp(&dep, &lp).expect("lp solves");
+        let manifest = generate_manifests(&dep, &assignment.d);
+        let cfg = TraceConfig::new(1500, 17);
+        let hasher = KeyedHasher::with_key(5);
+        let trace = nwdp_traffic::generate_trace(&topo, &tm, &cfg);
+
+        let one = run_coordinated_stream(
+            &dep,
+            &manifest,
+            &paths,
+            || SessionStream::new(&topo, &tm, &cfg),
+            Placement::EventEngine,
+            hasher,
+            1,
+        )
+        .expect("stream runs");
+        let four = run_coordinated_stream(
+            &dep,
+            &manifest,
+            &paths,
+            || SessionStream::new(&topo, &tm, &cfg),
+            Placement::EventEngine,
+            hasher,
+            4,
+        )
+        .expect("stream runs");
+        assert_eq!(one.alerts, four.alerts);
+        for (a, b, node) in one.per_node.iter().zip(&four.per_node).map(|(a, b)| (a, b, a.node.0)) {
+            assert_eq!(a.packets, b.packets, "node {node}");
+            // Each node sees exactly its on-path packets regardless of
+            // shard count.
+            let expect: u64 =
+                trace.onpath_sessions(&paths, a.node).map(|s| s.packet_count() as u64).sum();
+            assert_eq!(a.packets, expect, "node {node}");
+            assert_eq!(a.connections, b.connections, "node {node}");
+            assert_eq!(a.cpu_cycles, b.cpu_cycles, "node {node}");
+            assert_eq!(a.mem_peak, b.mem_peak, "node {node}");
+        }
+    }
+}

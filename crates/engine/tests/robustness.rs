@@ -70,6 +70,37 @@ fn engine_handles_pathological_streams() {
 }
 
 #[test]
+fn buffer_reuse_faulty_path_matches_owned_allocation_path() {
+    // `process_session_faulty` routes through the engine's reusable
+    // buffers (`packets_into` + `apply_into`); every stat must be
+    // identical to shaping each session into freshly allocated vectors
+    // and feeding the packets through `process_packet` (the
+    // pre-buffer-reuse behavior).
+    let topo = internet2();
+    let tm = TrafficMatrix::gravity(&topo);
+    let trace = generate_trace(&topo, &tm, &TraceConfig::new(2000, 99));
+    let names: Vec<String> = AnalysisClass::standard_set().iter().map(|c| c.name.clone()).collect();
+    let h = KeyedHasher::with_key(7);
+    let faults = FaultInjector::new(0.2, 0.15, 0.1, 99);
+
+    let mut reuse = Engine::new(NodeId(0), Placement::Unmodified, &names, None, h).unwrap();
+    let mut owned = Engine::new(NodeId(0), Placement::Unmodified, &names, None, h).unwrap();
+    for s in &trace.sessions {
+        reuse.process_session_faulty(s, &faults);
+        for pkt in &faults.apply(s, s.packets()) {
+            owned.process_packet(pkt);
+        }
+    }
+    let (a, b) = (reuse.stats(), owned.stats());
+    assert_eq!(a.packets, b.packets);
+    assert_eq!(a.connections, b.connections);
+    assert_eq!(a.cpu_cycles, b.cpu_cycles);
+    assert_eq!(a.mem_peak, b.mem_peak);
+    assert_eq!(a.per_module_cpu, b.per_module_cpu);
+    assert_eq!(a.alerts, b.alerts);
+}
+
+#[test]
 fn loss_degrades_detection_gracefully_not_catastrophically() {
     // With 30% loss some per-session detections disappear (their packets
     // were dropped) but a healthy fraction must survive.

@@ -203,6 +203,22 @@ impl Histogram {
         Histogram { bounds: clean, counts, count: AtomicU64::new(0), sum_bits: AtomicU64::new(0) }
     }
 
+    /// Geometric bucket bounds: `count` values `start, start·factor, …`.
+    /// The natural layout for latency histograms, whose spread covers
+    /// orders of magnitude (p99 interpolation error stays a constant
+    /// fraction of the value instead of blowing up in the tail).
+    /// `start` must be positive and `factor` greater than 1 for the bounds
+    /// to be valid ascending input to [`Histogram::new`].
+    pub fn exponential_bounds(start: f64, factor: f64, count: usize) -> Vec<f64> {
+        let mut bounds = Vec::with_capacity(count);
+        let mut b = start;
+        for _ in 0..count {
+            bounds.push(b);
+            b *= factor;
+        }
+        bounds
+    }
+
     pub fn observe(&self, v: f64) {
         if !v.is_finite() {
             return;
@@ -287,6 +303,19 @@ impl Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn exponential_bounds_are_valid_histogram_input() {
+        let bounds = Histogram::exponential_bounds(50.0, 2.0, 6);
+        assert_eq!(bounds, vec![50.0, 100.0, 200.0, 400.0, 800.0, 1600.0]);
+        let h = Histogram::new(&bounds);
+        h.observe(75.0);
+        h.observe(300.0);
+        h.observe(1_000_000.0); // overflow bucket
+        assert_eq!(h.count(), 3);
+        assert!(h.quantile(0.5) > 50.0);
+        assert_eq!(h.quantile(1.0), 1600.0, "overflow clamps to the last bound");
+    }
 
     #[test]
     fn counter_accumulates() {

@@ -79,10 +79,26 @@ impl FaultInjector {
         node: NodeId,
         now: f64,
     ) -> Vec<Packet<'a>> {
+        let mut out = Vec::with_capacity(packets.len() + 2);
+        self.apply_at_into(session, &packets, node, now, &mut out);
+        out
+    }
+
+    /// Buffer-reuse variant of [`FaultInjector::apply_at`]: the degraded
+    /// stream is written into `out` (cleared first).
+    pub fn apply_at_into<'a>(
+        &self,
+        session: &Session,
+        packets: &[Packet<'a>],
+        node: NodeId,
+        now: f64,
+        out: &mut Vec<Packet<'a>>,
+    ) {
         if !self.observes(node, now) {
-            return Vec::new();
+            out.clear();
+            return;
         }
-        self.apply(session, packets)
+        self.apply_into(session, packets, out);
     }
 
     /// Apply the faults to a session's packets. Deterministic in
@@ -91,16 +107,36 @@ impl FaultInjector {
         if self.drop_p == 0.0 && self.dup_p == 0.0 && self.reorder_p == 0.0 {
             return packets;
         }
+        let mut out = Vec::with_capacity(packets.len() + 2);
+        self.apply_into(session, &packets, &mut out);
+        out
+    }
+
+    /// Buffer-reuse variant of [`FaultInjector::apply`]: the degraded
+    /// stream is written into `out` (cleared first), so a caller replaying
+    /// many sessions allocates no per-session `Vec`. Identical RNG
+    /// discipline to `apply` — both consume the same draws in the same
+    /// order, so they produce the same degraded stream.
+    pub fn apply_into<'a>(
+        &self,
+        session: &Session,
+        packets: &[Packet<'a>],
+        out: &mut Vec<Packet<'a>>,
+    ) {
+        out.clear();
+        if self.drop_p == 0.0 && self.dup_p == 0.0 && self.reorder_p == 0.0 {
+            out.extend_from_slice(packets);
+            return;
+        }
         let mut rng =
             StdRng::seed_from_u64(self.seed ^ session.id.wrapping_mul(0x9e3779b97f4a7c15));
-        let mut out: Vec<Packet<'a>> = Vec::with_capacity(packets.len() + 2);
         for pkt in packets {
             if rng.random_bool(self.drop_p) {
                 continue;
             }
-            out.push(pkt);
+            out.push(*pkt);
             if rng.random_bool(self.dup_p) {
-                out.push(pkt);
+                out.push(*pkt);
             }
         }
         // Adjacent swaps.
@@ -111,7 +147,6 @@ impl FaultInjector {
                 }
             }
         }
-        out
     }
 }
 
@@ -191,6 +226,23 @@ mod tests {
         let mut g = FaultInjector::new(1.0, 0.0, 0.0, 1);
         g.blackout = Some(NodeBlackout { node: NodeId(2), from: 0.0, until: 1.0 });
         assert!(g.apply_at(&s, s.packets(), NodeId(1), 0.5).is_empty(), "all dropped");
+    }
+
+    #[test]
+    fn apply_into_matches_apply_exactly() {
+        let f = FaultInjector::new(0.2, 0.15, 0.1, 99);
+        let mut buf = Vec::new();
+        for i in 0..128 {
+            let s = session(i);
+            let fresh = f.apply(&s, s.packets());
+            f.apply_into(&s, &s.packets(), &mut buf); // clears previous contents
+            assert_eq!(buf.len(), fresh.len(), "session {i}");
+            for (a, b) in buf.iter().zip(&fresh) {
+                assert_eq!(a.tuple, b.tuple);
+                assert_eq!(a.size, b.size);
+                assert_eq!(a.payload, b.payload);
+            }
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@ use nwdp_hash::FiveTuple;
 use nwdp_topo::{NodeId, PathDb, Topology};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::collections::VecDeque;
 
 /// Anomaly injection rates.
 #[derive(Debug, Clone)]
@@ -108,113 +109,169 @@ pub fn host_ip(node: NodeId, h: u16) -> u32 {
 }
 
 /// Generate a network-wide session trace.
+///
+/// This is a materialized [`SessionStream`]: the batch trace and the
+/// streaming data plane share one generator implementation, so they can
+/// never drift apart.
 pub fn generate_trace(topo: &Topology, tm: &TrafficMatrix, cfg: &TraceConfig) -> NetTrace {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let n = topo.num_nodes();
-    assert!(n >= 2, "need at least two nodes");
-    assert_eq!(tm.num_nodes(), n, "traffic matrix size mismatch");
+    NetTrace { sessions: SessionStream::new(topo, tm, cfg).collect() }
+}
 
+/// Pull-based session stream: yields exactly the sessions of
+/// [`generate_trace`] — same seed discipline, same RNG consumption order,
+/// same sequential ids — one at a time, without materializing a
+/// [`NetTrace`].
+///
+/// Scan bursts are drawn in one RNG step and buffered internally, capped
+/// at the remaining session budget, so the stream yields exactly
+/// `cfg.sessions` sessions with ids `0..cfg.sessions` and no trailing
+/// truncation is needed.
+pub struct SessionStream {
+    cfg: TraceConfig,
+    rng: StdRng,
+    n: usize,
     // Cumulative distribution over ordered (s, d) pairs.
-    let mut pairs = Vec::with_capacity(n * (n - 1));
-    let mut cum = Vec::with_capacity(n * (n - 1));
-    let mut acc = 0.0;
-    for s in topo.nodes() {
-        for d in topo.nodes() {
-            if s != d {
-                acc += tm.frac(s, d);
-                pairs.push((s, d));
-                cum.push(acc);
+    pairs: Vec<(NodeId, NodeId)>,
+    cum: Vec<f64>,
+    acc: f64,
+    /// Sessions drawn but not yet yielded (tail of a scan burst).
+    pending: VecDeque<Session>,
+    /// Sessions drawn so far (yielded + pending); doubles as the next id.
+    generated: usize,
+}
+
+impl SessionStream {
+    pub fn new(topo: &Topology, tm: &TrafficMatrix, cfg: &TraceConfig) -> Self {
+        let n = topo.num_nodes();
+        assert!(n >= 2, "need at least two nodes");
+        assert_eq!(tm.num_nodes(), n, "traffic matrix size mismatch");
+        let mut pairs = Vec::with_capacity(n * (n - 1));
+        let mut cum = Vec::with_capacity(n * (n - 1));
+        let mut acc = 0.0;
+        for s in topo.nodes() {
+            for d in topo.nodes() {
+                if s != d {
+                    acc += tm.frac(s, d);
+                    pairs.push((s, d));
+                    cum.push(acc);
+                }
             }
         }
+        SessionStream {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg: cfg.clone(),
+            n,
+            pairs,
+            cum,
+            acc,
+            pending: VecDeque::new(),
+            generated: 0,
+        }
     }
-    let sample_pair = |rng: &mut StdRng| -> (NodeId, NodeId) {
-        let u: f64 = rng.random_range(0.0..acc);
-        let idx = cum.partition_point(|&c| c < u).min(pairs.len() - 1);
-        pairs[idx]
-    };
 
-    let a = &cfg.anomalies;
-    let mut sessions = Vec::with_capacity(cfg.sessions);
-    let mut id = 0u64;
-    let mk_tuple = |rng: &mut StdRng, s: NodeId, d: NodeId, kind: &SessionKind| -> FiveTuple {
+    fn sample_pair(&mut self) -> (NodeId, NodeId) {
+        let u: f64 = self.rng.random_range(0.0..self.acc);
+        let idx = self.cum.partition_point(|&c| c < u).min(self.pairs.len() - 1);
+        self.pairs[idx]
+    }
+
+    fn mk_tuple(&mut self, s: NodeId, d: NodeId, kind: &SessionKind) -> FiveTuple {
         let app = kind.app();
         FiveTuple::new(
-            host_ip(s, rng.random_range(1..cfg.hosts_per_node)),
-            host_ip(d, rng.random_range(1..cfg.hosts_per_node)),
-            rng.random_range(1024..65000),
+            host_ip(s, self.rng.random_range(1..self.cfg.hosts_per_node)),
+            host_ip(d, self.rng.random_range(1..self.cfg.hosts_per_node)),
+            self.rng.random_range(1024..65000),
             app.server_port(),
             app.ip_proto(),
         )
-    };
+    }
 
-    while sessions.len() < cfg.sessions {
-        let u: f64 = rng.random_range(0.0..1.0);
+    fn push(&mut self, tuple: FiveTuple, kind: SessionKind, s: NodeId, d: NodeId, exchanges: u8) {
+        let id = self.generated as u64;
+        self.pending.push_back(Session { id, tuple, kind, src_node: s, dst_node: d, exchanges });
+        self.generated += 1;
+    }
+
+    /// One draw of the generator's main loop: appends one session — or one
+    /// scan burst — to `pending`. Callers guarantee `generated <
+    /// cfg.sessions`, so at least one session is always appended.
+    fn refill(&mut self) {
+        let a = self.cfg.anomalies.clone();
+        let u: f64 = self.rng.random_range(0.0..1.0);
         if u < a.scan_fraction && a.scan_fanout > 0 {
             // A burst of probes from one scanner towards many hosts spread
             // over the network (same source node per burst).
-            let (s, _) = sample_pair(&mut rng);
-            let scanner = host_ip(s, rng.random_range(1..cfg.hosts_per_node));
-            let burst = a.scan_fanout.min(cfg.sessions - sessions.len());
+            let (s, _) = self.sample_pair();
+            let scanner = host_ip(s, self.rng.random_range(1..self.cfg.hosts_per_node));
+            let burst = a.scan_fanout.min(self.cfg.sessions - self.generated);
             for _ in 0..burst {
                 let d = loop {
-                    let c = NodeId(rng.random_range(0..n));
+                    let c = NodeId(self.rng.random_range(0..self.n));
                     if c != s {
                         break c;
                     }
                 };
                 let tuple = FiveTuple::new(
                     scanner,
-                    host_ip(d, rng.random_range(1..cfg.hosts_per_node)),
-                    rng.random_range(1024..65000),
-                    rng.random_range(1..1024), // scans sweep low ports
+                    host_ip(d, self.rng.random_range(1..self.cfg.hosts_per_node)),
+                    self.rng.random_range(1024..65000),
+                    self.rng.random_range(1..1024), // scans sweep low ports
                     6,
                 );
-                sessions.push(Session {
-                    id,
-                    tuple,
-                    kind: SessionKind::ScanProbe,
-                    src_node: s,
-                    dst_node: d,
-                    exchanges: 0,
-                });
-                id += 1;
+                self.push(tuple, SessionKind::ScanProbe, s, d, 0);
             }
         } else if u < a.scan_fraction + a.synflood_fraction {
-            let (s, d) = sample_pair(&mut rng);
+            let (s, d) = self.sample_pair();
             let kind = SessionKind::SynFloodPkt;
             // Flood: fixed victim per destination node, random spoofed srcs.
             let tuple = FiveTuple::new(
-                host_ip(s, rng.random_range(1..cfg.hosts_per_node)),
+                host_ip(s, self.rng.random_range(1..self.cfg.hosts_per_node)),
                 host_ip(d, 1), // the victim
-                rng.random_range(1024..65000),
+                self.rng.random_range(1024..65000),
                 kind.app().server_port(),
                 6,
             );
-            sessions.push(Session { id, tuple, kind, src_node: s, dst_node: d, exchanges: 0 });
-            id += 1;
+            self.push(tuple, kind, s, d, 0);
         } else if u < a.scan_fraction + a.synflood_fraction + a.blaster_fraction {
-            let (s, d) = sample_pair(&mut rng);
+            let (s, d) = self.sample_pair();
             let kind = SessionKind::Blaster;
-            let tuple = mk_tuple(&mut rng, s, d, &kind);
-            sessions.push(Session { id, tuple, kind, src_node: s, dst_node: d, exchanges: 1 });
-            id += 1;
+            let tuple = self.mk_tuple(s, d, &kind);
+            self.push(tuple, kind, s, d, 1);
         } else {
-            let (s, d) = sample_pair(&mut rng);
-            let app = cfg.profile.sample(&mut rng);
-            let kind = if rng.random_range(0.0..1.0) < a.infected_fraction {
+            let (s, d) = self.sample_pair();
+            let app = self.cfg.profile.sample(&mut self.rng);
+            let kind = if self.rng.random_range(0.0..1.0) < a.infected_fraction {
                 SessionKind::InfectedPayload(app)
             } else {
                 SessionKind::Normal(app)
             };
-            let tuple = mk_tuple(&mut rng, s, d, &kind);
-            let exchanges = 1 + rng.random_range(0..=cfg.exchanges.max(1));
-            sessions.push(Session { id, tuple, kind, src_node: s, dst_node: d, exchanges });
-            id += 1;
+            let tuple = self.mk_tuple(s, d, &kind);
+            let exchanges = 1 + self.rng.random_range(0..=self.cfg.exchanges.max(1));
+            self.push(tuple, kind, s, d, exchanges);
         }
     }
-    sessions.truncate(cfg.sessions);
-    NetTrace { sessions }
 }
+
+impl Iterator for SessionStream {
+    type Item = Session;
+
+    fn next(&mut self) -> Option<Session> {
+        while self.pending.is_empty() {
+            if self.generated >= self.cfg.sessions {
+                return None;
+            }
+            self.refill();
+        }
+        self.pending.pop_front()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.cfg.sessions - (self.generated - self.pending.len());
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for SessionStream {}
 
 impl NetTrace {
     /// Sessions observable at `node` in an **edge-only** deployment: those
@@ -311,6 +368,53 @@ mod tests {
         let at_nyc = tr.edge_sessions(nyc).count();
         let at_kc = tr.edge_sessions(kc).count();
         assert!(at_nyc > 2 * at_kc, "NYC {at_nyc} vs KC {at_kc}");
+    }
+
+    #[test]
+    fn stream_yields_exact_count_with_sequential_ids() {
+        let t = internet2();
+        let tm = TrafficMatrix::gravity(&t);
+        let cfg = TraceConfig::new(1234, 4);
+        let stream = SessionStream::new(&t, &tm, &cfg);
+        assert_eq!(stream.len(), 1234);
+        let sessions: Vec<Session> = stream.collect();
+        assert_eq!(sessions.len(), 1234);
+        for (i, s) in sessions.iter().enumerate() {
+            assert_eq!(s.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn stream_size_hint_stays_exact_while_draining() {
+        let t = internet2();
+        let tm = TrafficMatrix::gravity(&t);
+        // All-scan config so bursts fill the pending buffer.
+        let mut cfg = TraceConfig::new(50, 2);
+        cfg.anomalies.scan_fraction = 1.0;
+        let mut stream = SessionStream::new(&t, &tm, &cfg);
+        for remaining in (0..50usize).rev() {
+            assert!(stream.next().is_some());
+            assert_eq!(stream.size_hint(), (remaining, Some(remaining)));
+        }
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn stream_caps_final_scan_burst_at_session_budget() {
+        let t = internet2();
+        let tm = TrafficMatrix::gravity(&t);
+        // fanout 24 > 10 sessions: the one burst must be cut at 10, exactly
+        // like the batch generator's `min(fanout, remaining)`.
+        let mut cfg = TraceConfig::new(10, 3);
+        cfg.anomalies.scan_fraction = 1.0;
+        let sessions: Vec<Session> = SessionStream::new(&t, &tm, &cfg).collect();
+        assert_eq!(sessions.len(), 10);
+        assert!(sessions.iter().all(|s| s.kind == SessionKind::ScanProbe));
+        let batch = generate_trace(&t, &tm, &cfg);
+        assert_eq!(batch.sessions.len(), 10);
+        for (a, b) in sessions.iter().zip(&batch.sessions) {
+            assert_eq!(a.tuple, b.tuple);
+        }
     }
 
     #[test]

@@ -18,7 +18,9 @@ pub mod session;
 pub mod volume;
 
 pub use faults::{FaultInjector, NodeBlackout};
-pub use generator::{generate_trace, host_ip, node_of_ip, AnomalyConfig, NetTrace, TraceConfig};
+pub use generator::{
+    generate_trace, host_ip, node_of_ip, AnomalyConfig, NetTrace, SessionStream, TraceConfig,
+};
 pub use matchrate::{Distribution, MatchRates};
 pub use matrix::TrafficMatrix;
 pub use profile::{AppProtocol, TrafficProfile};

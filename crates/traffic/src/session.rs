@@ -124,9 +124,19 @@ impl Session {
 
     /// Synthesize the session's packet sequence.
     pub fn packets(&self) -> Vec<Packet<'static>> {
+        let mut out = Vec::with_capacity(self.packet_count());
+        self.packets_into(&mut out);
+        out
+    }
+
+    /// Synthesize the packet sequence into a reusable buffer (cleared
+    /// first). The streaming engine calls this once per session with a
+    /// long-lived buffer, eliminating the per-session `Vec` allocation of
+    /// [`Session::packets`].
+    pub fn packets_into(&self, out: &mut Vec<Packet<'static>>) {
+        out.clear();
         let fwd = self.tuple;
         let rev = self.tuple.reversed();
-        let mut out = Vec::new();
         let pkt = |tuple: FiveTuple, forward: bool, payload: &'static [u8]| Packet {
             tuple,
             forward,
@@ -175,7 +185,6 @@ impl Session {
                 }
             }
         }
-        out
     }
 
     /// Packet count without materializing the packets.
@@ -287,6 +296,27 @@ mod tests {
                 assert_eq!(p.tuple, s.tuple);
             } else {
                 assert_eq!(p.tuple, s.tuple.reversed());
+            }
+        }
+    }
+
+    #[test]
+    fn packets_into_reuses_buffer_and_matches_packets() {
+        let mut buf = Vec::new();
+        for kind in [
+            SessionKind::Normal(AppProtocol::Http),
+            SessionKind::ScanProbe,
+            SessionKind::Blaster,
+            SessionKind::Normal(AppProtocol::Dns),
+        ] {
+            let s = mk(kind);
+            s.packets_into(&mut buf); // clears previous contents
+            let fresh = s.packets();
+            assert_eq!(buf.len(), fresh.len(), "{kind:?}");
+            for (a, b) in buf.iter().zip(&fresh) {
+                assert_eq!(a.tuple, b.tuple);
+                assert_eq!(a.payload, b.payload);
+                assert_eq!((a.syn, a.ack, a.fin, a.rst), (b.syn, b.ack, b.fin, b.rst));
             }
         }
     }

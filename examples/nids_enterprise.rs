@@ -16,7 +16,7 @@ fn main() {
     let paths = PathDb::shortest_paths(&topo);
     let tm = TrafficMatrix::gravity(&topo);
     let vol = VolumeModel::internet2_baseline();
-    let classes = AnalysisClass::scaled_set(21);
+    let classes = AnalysisClass::scaled_set(21).expect("21 is within the paper's range");
     let dep = build_units(&topo, &paths, &tm, &vol, &classes);
 
     println!("enterprise NIDS: {} modules over {} sites, {sessions} sessions\n", 21, 11);

@@ -67,11 +67,14 @@ pub mod prelude {
         DegradeOutcome, FailureKind, FailureReport, FailureScenario, FailureSchedule,
         FailureTimeline, HealthConfig, RepairOutcome,
     };
-    pub use nwdp_core::{build_units, AnalysisClass, ClassScope, NidsDeployment, UnitKey};
+    pub use nwdp_core::{
+        build_units, AnalysisClass, ClassScope, ClassSetError, NidsDeployment, UnitKey,
+    };
     pub use nwdp_engine::{
-        plan_manifest_epochs, run_coordinated, run_coordinated_resilient, run_edge_only,
-        run_edge_only_faulty, run_standalone_reference, CoordContext, Engine, ManifestEpoch,
-        Placement, ResilienceConfig, ResilientRun,
+        plan_manifest_epochs, run_coordinated, run_coordinated_resilient, run_coordinated_stream,
+        run_edge_only, run_edge_only_faulty, run_standalone_reference, shard_of, stream_shards,
+        CoordContext, Engine, EngineError, ManifestEpoch, Placement, ResilienceConfig,
+        ResilientRun,
     };
     pub use nwdp_hash::{FiveTuple, FlowKeyKind, KeyedHasher, RangeSet};
     pub use nwdp_lp::rowgen::RowGenOpts;
@@ -79,6 +82,6 @@ pub mod prelude {
     pub use nwdp_topo::{NodeId, Path, PathDb, Topology};
     pub use nwdp_traffic::{
         generate_trace, node_of_ip, AppProtocol, FaultInjector, MatchRates, NetTrace, NodeBlackout,
-        TraceConfig, TrafficMatrix, VolumeModel,
+        SessionStream, TraceConfig, TrafficMatrix, VolumeModel,
     };
 }

@@ -41,6 +41,62 @@ fn nids_replay_identical_across_thread_counts() {
     assert_eq!(se.alerts, pe.alerts, "edge-only alerts must not depend on thread count");
 }
 
+/// The streaming sharded data plane must be bit-identical to the batch
+/// replay on the same seed: same alerts and the same full `RunStats` on
+/// every node, at 1 and 4 threads and across shard counts (ISSUE 7).
+#[test]
+fn streaming_replay_identical_to_batch() {
+    let topo = nwdp::topo::internet2();
+    let paths = PathDb::shortest_paths(&topo);
+    let tm = TrafficMatrix::gravity(&topo);
+    let vol = VolumeModel::internet2_baseline();
+    let dep = build_units(&topo, &paths, &tm, &vol, &AnalysisClass::standard_set());
+
+    let cfg = NidsLpConfig::homogeneous(dep.num_nodes, NodeCaps { cpu: 2e8, mem: 4e9 });
+    let assignment = solve_nids_lp(&dep, &cfg).unwrap();
+    let manifest = generate_manifests(&dep, &assignment.d);
+    let trace_cfg = TraceConfig::new(3000, 17);
+    let trace = generate_trace(&topo, &tm, &trace_cfg);
+    let h = KeyedHasher::with_key(5);
+
+    let batch =
+        run_coordinated(&dep, &manifest, &paths, &trace, Placement::EventEngine, h).unwrap();
+
+    for shards in [1usize, 3, 4] {
+        let (s, p) = both(|| {
+            run_coordinated_stream(
+                &dep,
+                &manifest,
+                &paths,
+                || SessionStream::new(&topo, &tm, &trace_cfg),
+                Placement::EventEngine,
+                h,
+                shards,
+            )
+            .unwrap()
+        });
+        for (which, stream) in [("1 thread", &s), ("4 threads", &p)] {
+            assert_eq!(
+                stream.alerts, batch.alerts,
+                "stream alerts diverged from batch ({shards} shards, {which})"
+            );
+            assert_eq!(stream.per_node.len(), batch.per_node.len());
+            for (a, b) in stream.per_node.iter().zip(&batch.per_node) {
+                let ctx = format!("node {} ({shards} shards, {which})", a.node.0);
+                assert_eq!(a.packets, b.packets, "packets, {ctx}");
+                assert_eq!(a.connections, b.connections, "connections, {ctx}");
+                assert_eq!(a.cpu_cycles, b.cpu_cycles, "cpu_cycles, {ctx}");
+                assert_eq!(a.mem_peak, b.mem_peak, "mem_peak, {ctx}");
+                assert_eq!(a.fastpath_skipped, b.fastpath_skipped, "fastpath, {ctx}");
+                assert_eq!(a.range_checks, b.range_checks, "range_checks, {ctx}");
+                assert_eq!(a.range_hits, b.range_hits, "range_hits, {ctx}");
+                assert_eq!(a.per_module_cpu, b.per_module_cpu, "per_module_cpu, {ctx}");
+                assert_eq!(a.alerts, b.alerts, "alerts, {ctx}");
+            }
+        }
+    }
+}
+
 #[test]
 fn nips_rounding_identical_across_thread_counts() {
     let topo = nwdp::topo::internet2();

@@ -14,7 +14,7 @@ fn nids_pipeline_end_to_end() {
     let paths = PathDb::shortest_paths(&topo);
     let tm = TrafficMatrix::gravity(&topo);
     let vol = VolumeModel::internet2_baseline();
-    let dep = build_units(&topo, &paths, &tm, &vol, &AnalysisClass::scaled_set(21));
+    let dep = build_units(&topo, &paths, &tm, &vol, &AnalysisClass::scaled_set(21).unwrap());
 
     let cfg = NidsLpConfig::homogeneous(dep.num_nodes, NodeCaps { cpu: 2e8, mem: 4e9 });
     let assignment = solve_nids_lp(&dep, &cfg).unwrap();
