@@ -187,4 +187,38 @@ print(f"throughput gate OK ({r['sessions_per_sec']:.0f} sessions/s, "
       f"p99 {r['p99_pkt_ns']:.0f} ns, {int(r['shards'])} shards)")
 PY
 
+# Closed-loop reload: the quick mix-shift scenario must complete its live
+# swaps without stopping replay, reject the sabotaged epoch with the old
+# manifest still serving, and never let the live manifest's coverage dip
+# below full. The bench asserts all of this internally; the gate re-checks
+# the *artifacts* (summary CSV, replay-clock coverage series, reload.*
+# counters) so a silent emit regression can't pass.
+echo "== closed-loop reload gate =="
+reload_out="$metrics_tmp/reload"
+./target/release/repro reload --quick --out "$reload_out" \
+  --metrics-out "$reload_out/metrics.json" > /dev/null
+python3 - "$reload_out" <<'PY'
+import csv, json, os, sys
+out = sys.argv[1]
+r = list(csv.DictReader(open(os.path.join(out, "reload_summary.csv"))))[0]
+swapped, rejected = int(r["swapped"]), int(r["rejected"])
+floor = float(r["coverage_floor"])
+assert swapped >= 3, f"need >= 3 live swaps, got {swapped}: {r}"
+assert rejected >= 1, f"sabotaged epoch was not rejected: {r}"
+assert floor >= 1.0 - 1e-9, f"coverage floor dipped below full: {r}"
+cov = list(csv.DictReader(open(os.path.join(out, "reload_coverage_timeseries.csv"))))
+assert cov, "coverage timeseries is empty"
+assert all(float(p["coverage"]) >= 1.0 - 1e-9 for p in cov), cov
+ts = list(csv.DictReader(open(os.path.join(out, "timeseries.csv"))))
+series = [p for p in ts if p["series"] == "resilience.coverage"]
+assert series, "no resilience.coverage replay-clock series in timeseries.csv"
+c = json.load(open(os.path.join(out, "metrics.json")))["counters"]
+assert c.get("reload.swaps", 0) >= 3, c.get("reload.swaps")
+assert c.get("reload.rejected", 0) >= 1, c.get("reload.rejected")
+assert c.get("reload.resolves", 0) == swapped + rejected + \
+    int(c.get("reload.solve_failed", 0)), c
+print(f"reload gate OK ({swapped} swaps, {rejected} rejected, "
+      f"floor {floor:.9f}, {len(series)} coverage points)")
+PY
+
 echo "CI OK"

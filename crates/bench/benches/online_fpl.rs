@@ -27,7 +27,7 @@ fn bench_fpl_epochs(c: &mut Criterion) {
         b.iter(|| {
             let mut adv = StochasticUniform::new(10, inst.paths.len(), 0.01, 5);
             let cfg = FplConfig { epochs: 10, seed: 2, ..Default::default() };
-            black_box(run_fpl(&inst, &mut adv, &cfg))
+            black_box(run_fpl(&inst, &mut adv, &cfg).expect("valid config"))
         })
     });
     g.finish();

@@ -22,7 +22,7 @@
 
 use nwdp_bench::output::Table;
 use nwdp_bench::{
-    fig10, fig11, fig5, fig678, opttime, report, selftest, throughput, warmstart, Scale,
+    fig10, fig11, fig5, fig678, opttime, reload, report, selftest, throughput, warmstart, Scale,
 };
 use nwdp_core::obs;
 use std::path::PathBuf;
@@ -148,6 +148,7 @@ fn parse_args(args: &[String]) -> Cli {
             "warm",
             "resilience",
             "throughput",
+            "reload",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -277,11 +278,29 @@ fn main() {
                 let traj = std::path::Path::new("BENCH_throughput.json");
                 match throughput::append_trajectory(traj, &r) {
                     Ok(seq) => println!("trajectory entry #{seq} appended to {}", traj.display()),
+                    // A corrupt trajectory is preserved (.bak) and the
+                    // append skipped — the bench itself succeeded, so warn
+                    // without failing the run.
+                    Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                        eprintln!("repro: {e}");
+                    }
                     Err(e) => {
                         eprintln!("repro: failed to write {}: {e}", traj.display());
                         exit(1);
                     }
                 }
+            }
+            "reload" => {
+                let b = reload::run(scale);
+                emit(&reload::table(&b), &cli.out, "reload_epochs");
+                emit(&reload::coverage_timeseries(&b), &cli.out, "reload_coverage_timeseries");
+                emit(&reload::summary(&b), &cli.out, "reload_summary");
+                println!(
+                    "reload: {} swaps, {} rejected, coverage floor {:.9}",
+                    b.run.swaps(),
+                    b.run.rejected(),
+                    b.run.coverage_floor()
+                );
             }
             "opt-time" => {
                 let mut rows = vec![opttime::nids_lp_time(50, 50)];

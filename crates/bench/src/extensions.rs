@@ -114,7 +114,8 @@ pub fn adversary_comparison(scale: Scale) -> Table {
     );
     for (name, adv) in advs.iter_mut() {
         let run =
-            run_fpl(&inst, adv.as_mut(), &FplConfig { epochs, seed: 42, ..Default::default() });
+            run_fpl(&inst, adv.as_mut(), &FplConfig { epochs, seed: 42, ..Default::default() })
+                .expect("valid config");
         let total: f64 = run.fpl_value.iter().sum();
         let static_total = *run.static_prefix_value.last().unwrap();
         t.row(vec![

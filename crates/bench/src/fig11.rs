@@ -38,7 +38,7 @@ pub fn run(scale: Scale) -> Vec<Fig11Run> {
                 seed: 900 + r as u64,
                 ..Default::default()
             };
-            let out = run_fpl(&inst, &mut adv, &cfg);
+            let out = run_fpl(&inst, &mut adv, &cfg).expect("valid config");
             Fig11Run { run: r + 1, regret: out.normalized_regret }
         })
         .collect()

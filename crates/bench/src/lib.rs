@@ -11,6 +11,7 @@ pub mod fig5;
 pub mod fig678;
 pub mod opttime;
 pub mod output;
+pub mod reload;
 pub mod report;
 pub mod resilience;
 pub mod scenario;

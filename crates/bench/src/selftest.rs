@@ -62,5 +62,5 @@ pub fn metrics_selftest() {
     fpl_inst.cam_cap = vec![f64::INFINITY; fpl_inst.num_nodes];
     let mut adv = StochasticUniform::new(n_rules, fpl_inst.paths.len(), 0.01, 7);
     let cfg = FplConfig { epochs: 3, seed: 7, ..Default::default() };
-    let _ = run_fpl(&fpl_inst, &mut adv, &cfg);
+    let _ = run_fpl(&fpl_inst, &mut adv, &cfg).expect("valid config");
 }

@@ -186,18 +186,24 @@ pub fn table(r: &ThroughputRun) -> Table {
 }
 
 /// Append `r` to the trajectory file (`{"version":1,"runs":[...]}`),
-/// creating it if absent or unreadable. Returns the new entry's 1-based
-/// sequence number.
+/// creating it if absent. Returns the new entry's 1-based sequence number.
+///
+/// A file that exists but does not parse as a trajectory is **never
+/// overwritten** (an earlier version silently reset `runs` to empty and the
+/// next write destroyed the whole bench history): the corrupt original is
+/// copied to `<path>.bak` and an `InvalidData` error names both paths, so
+/// the caller can warn and skip the append.
 pub fn append_trajectory(path: &Path, r: &ThroughputRun) -> std::io::Result<usize> {
     let mut runs: Vec<obs::Json> = match std::fs::read_to_string(path) {
         Ok(text) => match obs::parse_json(&text) {
             Ok(json) => match json.get("runs") {
                 Some(obs::Json::Arr(runs)) => runs.clone(),
-                _ => Vec::new(),
+                _ => return preserve_corrupt(path, "no \"runs\" array"),
             },
-            Err(_) => Vec::new(),
+            Err(e) => return preserve_corrupt(path, &format!("unparseable JSON: {e}")),
         },
-        Err(_) => Vec::new(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
     };
     let seq = runs.len() + 1;
     let mut entry = BTreeMap::new();
@@ -223,6 +229,20 @@ pub fn append_trajectory(path: &Path, r: &ThroughputRun) -> std::io::Result<usiz
     root.insert("runs".to_string(), obs::Json::Arr(runs));
     std::fs::write(path, obs::Json::Obj(root).render() + "\n")?;
     Ok(seq)
+}
+
+/// Copy an unparseable trajectory file aside and refuse the append.
+fn preserve_corrupt(path: &Path, why: &str) -> std::io::Result<usize> {
+    let bak = std::path::PathBuf::from(format!("{}.bak", path.display()));
+    std::fs::copy(path, &bak)?;
+    Err(std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!(
+            "trajectory {} is corrupt ({why}); original preserved at {}, append skipped",
+            path.display(),
+            bak.display()
+        ),
+    ))
 }
 
 #[cfg(test)]
@@ -260,5 +280,41 @@ mod tests {
         assert_eq!(runs[1].get("seq"), Some(&obs::Json::Num(2.0)));
         assert_eq!(runs[0].get("sessions_per_sec"), Some(&obs::Json::Num(200.0)));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_trajectory_is_preserved_not_destroyed() {
+        let dir = std::env::temp_dir().join("nwdp_throughput_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let r = ThroughputRun {
+            quick: true,
+            sessions: 100,
+            shards: 1,
+            threads: 1,
+            wall_s: 0.5,
+            sessions_per_sec: 200.0,
+            packets_per_sec: 4000.0,
+            p50_pkt_ns: 120.0,
+            p99_pkt_ns: 900.0,
+            batch_wall_s: 1.0,
+            speedup_vs_batch: 2.0,
+            total_packets: 2000,
+        };
+        // Unparseable JSON and parseable-but-wrong-shape both refuse the
+        // append, keep the original bytes intact, and leave a .bak copy.
+        for (name, garbage) in
+            [("truncated.json", "{\"version\":1,\"runs\":[{\"seq\""), ("noruns.json", "{\"v\":2}")]
+        {
+            let path = dir.join(name);
+            let bak = std::path::PathBuf::from(format!("{}.bak", path.display()));
+            let _ = std::fs::remove_file(&bak);
+            std::fs::write(&path, garbage).unwrap();
+            let err = append_trajectory(&path, &r).expect_err("corrupt file must not append");
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{name}");
+            assert_eq!(std::fs::read_to_string(&path).unwrap(), garbage, "{name}: original intact");
+            assert_eq!(std::fs::read_to_string(&bak).unwrap(), garbage, "{name}: .bak written");
+            let _ = std::fs::remove_file(&path);
+            let _ = std::fs::remove_file(&bak);
+        }
     }
 }

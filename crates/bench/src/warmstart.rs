@@ -97,7 +97,7 @@ pub fn fpl_cold_vs_warm(epochs: usize, n_rules: usize, seed: u64) -> WarmCompari
     let run = |reuse: bool| {
         let mut adv = StochasticUniform::new(n_rules, inst.paths.len(), 0.01, seed ^ 0x5eed);
         let cfg = FplConfig { epochs, seed, reuse_oracle: reuse, ..Default::default() };
-        run_fpl(&inst, &mut adv, &cfg)
+        run_fpl(&inst, &mut adv, &cfg).expect("valid config")
     };
     let (cold, cold_secs, cold_iters) = measured(|| run(false));
     let (warm, warm_secs, warm_iters) = measured(|| run(true));

@@ -13,6 +13,7 @@
 //! a two-segment [`RangeSet`]. Since each `d ≤ 1`, a node never wraps onto
 //! itself, guaranteeing `r` *distinct* nodes per point.
 
+use crate::nids::lp::NodeCaps;
 use crate::units::{NidsDeployment, UnitKey};
 use nwdp_hash::RangeSet;
 use nwdp_topo::NodeId;
@@ -188,6 +189,229 @@ impl SamplingManifest {
     }
 }
 
+/// Why the validation gate rejected a candidate manifest. Every variant
+/// names the first offending unit/node in deterministic iteration order,
+/// so a rejection is reproducible and debuggable from the error alone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManifestValidationError {
+    /// The manifest was compiled for a different node count.
+    NodeCountMismatch { manifest: usize, deployment: usize },
+    /// An entry references a unit index outside the deployment.
+    UnknownUnit { node: usize, unit: usize },
+    /// An entry references a class index with no registered analysis class.
+    UnknownClass { unit: usize, class: usize },
+    /// An entry's class disagrees with the unit's class in the deployment.
+    ClassMismatch { unit: usize, entry: usize, expected: usize },
+    /// An entry's coordination key disagrees with the unit's key.
+    KeyMismatch { unit: usize },
+    /// An entry assigns hash space to a node outside the unit's eligible
+    /// set — traffic for the unit never transits that node, so the range
+    /// would silently go unanalyzed.
+    ForeignNode { unit: usize, node: usize },
+    /// A range segment is non-finite or escapes the unit hash interval.
+    MalformedRange { unit: usize, node: usize, lo: f64, hi: f64 },
+    /// Some hash interval of the unit is covered by fewer than
+    /// `redundancy` distinct nodes.
+    CoverageGap { unit: usize, lo: f64, hi: f64, covers: usize, want: usize },
+    /// Some hash interval of the unit is covered by more than
+    /// `redundancy` distinct nodes (duplicate analysis).
+    CoverageOverlap { unit: usize, lo: f64, hi: f64, covers: usize, want: usize },
+    /// A node's manifest-implied load exceeds the capacity ceiling.
+    CapacityExceeded { node: usize, resource: &'static str, load: f64, limit: f64 },
+}
+
+impl std::fmt::Display for ManifestValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use ManifestValidationError::*;
+        match self {
+            NodeCountMismatch { manifest, deployment } => {
+                write!(f, "manifest compiled for {manifest} nodes, deployment has {deployment}")
+            }
+            UnknownUnit { node, unit } => {
+                write!(f, "node {node} references unknown unit {unit}")
+            }
+            UnknownClass { unit, class } => {
+                write!(f, "unit {unit} references unknown analysis class {class}")
+            }
+            ClassMismatch { unit, entry, expected } => {
+                write!(f, "unit {unit} entry carries class {entry}, deployment says {expected}")
+            }
+            KeyMismatch { unit } => {
+                write!(f, "unit {unit} entry carries a different coordination key")
+            }
+            ForeignNode { unit, node } => {
+                write!(f, "unit {unit} assigns hash space to off-path node {node}")
+            }
+            MalformedRange { unit, node, lo, hi } => {
+                write!(f, "unit {unit} node {node} has malformed range [{lo}, {hi})")
+            }
+            CoverageGap { unit, lo, hi, covers, want } => {
+                write!(
+                    f,
+                    "unit {unit}: [{lo:.6}, {hi:.6}) covered by {covers} distinct nodes, need {want}"
+                )
+            }
+            CoverageOverlap { unit, lo, hi, covers, want } => {
+                write!(
+                    f,
+                    "unit {unit}: [{lo:.6}, {hi:.6}) covered by {covers} distinct nodes, want {want}"
+                )
+            }
+            CapacityExceeded { node, resource, load, limit } => {
+                write!(f, "node {node} {resource} load {load:.3} exceeds ceiling {limit:.3}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManifestValidationError {}
+
+/// Optional capacity check for [`validate_manifests`]: reject manifests
+/// whose implied per-node cpu/mem load (same formula as
+/// [`loads_from_assignment`](crate::nids::lp::loads_from_assignment), with
+/// manifest shares as the fractions) exceeds `max_load`.
+#[derive(Debug, Clone)]
+pub struct CapacityCeiling<'a> {
+    pub caps: &'a [NodeCaps],
+    /// Load ceiling as a fraction of capacity (1.0 = exactly at capacity).
+    pub max_load: f64,
+}
+
+/// The validation gate in front of `Engine::set_manifest`: decide whether a
+/// candidate manifest is safe to serve *before* any engine swaps to it.
+///
+/// Checks, in deterministic order:
+/// 1. structural integrity — node count, unit/class/key indices resolve in
+///    `dep`, ranges only on eligible nodes, segments finite inside `[0, 1]`;
+/// 2. exact coverage — every unit's hash space covered by exactly
+///    `round(redundancy)` *distinct* nodes (elementary-interval sweep, the
+///    same arithmetic as [`SamplingManifest::unit_coverage_exact`], so no
+///    gap or overlap wider than [`SWEEP_EPS`] can hide);
+/// 3. capacity — when `ceiling` is given, the manifest-implied load of
+///    every node stays at or under `ceiling.max_load`.
+///
+/// Returns the first violation found; `Ok(())` means the manifest may go
+/// live. Callers keep the previous manifest serving on `Err`.
+pub fn validate_manifests(
+    dep: &NidsDeployment,
+    manifest: &SamplingManifest,
+    redundancy: f64,
+    ceiling: Option<&CapacityCeiling<'_>>,
+) -> Result<(), ManifestValidationError> {
+    use ManifestValidationError as E;
+    if manifest.num_nodes() != dep.num_nodes {
+        return Err(E::NodeCountMismatch {
+            manifest: manifest.num_nodes(),
+            deployment: dep.num_nodes,
+        });
+    }
+    // 1. Structural integrity, per node in order.
+    for j in 0..dep.num_nodes {
+        for entry in manifest.node_entries(NodeId(j)) {
+            let Some(unit) = dep.units.get(entry.unit) else {
+                return Err(E::UnknownUnit { node: j, unit: entry.unit });
+            };
+            if entry.class >= dep.classes.len() {
+                return Err(E::UnknownClass { unit: entry.unit, class: entry.class });
+            }
+            if entry.class != unit.class {
+                return Err(E::ClassMismatch {
+                    unit: entry.unit,
+                    entry: entry.class,
+                    expected: unit.class,
+                });
+            }
+            if entry.key != unit.key {
+                return Err(E::KeyMismatch { unit: entry.unit });
+            }
+            if !unit.nodes.contains(&NodeId(j)) {
+                return Err(E::ForeignNode { unit: entry.unit, node: j });
+            }
+            for seg in entry.ranges.segments() {
+                let bad = !seg.lo.is_finite()
+                    || !seg.hi.is_finite()
+                    || seg.lo < -SWEEP_EPS
+                    || seg.hi > 1.0 + SWEEP_EPS
+                    || seg.hi < seg.lo;
+                if bad {
+                    return Err(E::MalformedRange {
+                        unit: entry.unit,
+                        node: j,
+                        lo: seg.lo,
+                        hi: seg.hi,
+                    });
+                }
+            }
+        }
+    }
+    // 2. Exact per-unit coverage at the redundancy multiplicity.
+    let want = (redundancy.round() as usize).max(1);
+    for (u, unit) in dep.units.iter().enumerate() {
+        let mut cuts: Vec<f64> = vec![0.0, 1.0];
+        for &j in &unit.nodes {
+            if let Some(ranges) = manifest.range(u, j) {
+                for seg in ranges.segments() {
+                    cuts.push(seg.lo.clamp(0.0, 1.0));
+                    cuts.push(seg.hi.clamp(0.0, 1.0));
+                }
+            }
+        }
+        cuts.sort_by(f64::total_cmp);
+        for w in 0..cuts.len() - 1 {
+            let (a, b) = (cuts[w], cuts[w + 1]);
+            if b - a <= SWEEP_EPS {
+                continue; // sub-lattice sliver: no representable hash
+            }
+            let h = 0.5 * (a + b);
+            let covers = unit.nodes.iter().filter(|&&j| manifest.should_analyze(u, j, h)).count();
+            if covers < want {
+                return Err(E::CoverageGap { unit: u, lo: a, hi: b, covers, want });
+            }
+            if covers > want {
+                return Err(E::CoverageOverlap { unit: u, lo: a, hi: b, covers, want });
+            }
+        }
+    }
+    // 3. Capacity ceiling from manifest-implied loads.
+    if let Some(ceiling) = ceiling {
+        debug_assert_eq!(ceiling.caps.len(), dep.num_nodes, "caps per node");
+        let mut cpu = vec![0.0f64; dep.num_nodes];
+        let mut mem = vec![0.0f64; dep.num_nodes];
+        for (u, unit) in dep.units.iter().enumerate() {
+            let class = &dep.classes[unit.class];
+            for &j in &unit.nodes {
+                let share = manifest.share(u, j);
+                if share <= 0.0 {
+                    continue;
+                }
+                cpu[j.index()] +=
+                    class.cpu_per_pkt * unit.pkts * share / ceiling.caps[j.index()].cpu;
+                mem[j.index()] +=
+                    class.mem_per_item * unit.items * share / ceiling.caps[j.index()].mem;
+            }
+        }
+        for j in 0..dep.num_nodes {
+            if cpu[j] > ceiling.max_load + 1e-9 {
+                return Err(E::CapacityExceeded {
+                    node: j,
+                    resource: "cpu",
+                    load: cpu[j],
+                    limit: ceiling.max_load,
+                });
+            }
+            if mem[j] > ceiling.max_load + 1e-9 {
+                return Err(E::CapacityExceeded {
+                    node: j,
+                    resource: "mem",
+                    load: mem[j],
+                    limit: ceiling.max_load,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,5 +570,127 @@ mod tests {
         assert!(m.should_analyze(0, u0.nodes[0], 0.2499));
         assert!(!m.should_analyze(0, u0.nodes[0], 0.25));
         assert!(m.should_analyze(0, u0.nodes[1], 0.25));
+    }
+
+    fn lp_manifest() -> (NidsDeployment, SamplingManifest) {
+        let d = dep();
+        let cfg = NidsLpConfig::homogeneous(d.num_nodes, NodeCaps { cpu: 2e8, mem: 4e9 });
+        let a = solve_nids_lp(&d, &cfg).unwrap();
+        let m = generate_manifests(&d, &a.d);
+        (d, m)
+    }
+
+    #[test]
+    fn validation_accepts_lp_manifest_under_generous_ceiling() {
+        let (d, m) = lp_manifest();
+        assert_eq!(validate_manifests(&d, &m, 1.0, None), Ok(()));
+        let caps = vec![NodeCaps { cpu: 2e8, mem: 4e9 }; d.num_nodes];
+        let ceiling = CapacityCeiling { caps: &caps, max_load: 1.0 };
+        assert_eq!(validate_manifests(&d, &m, 1.0, Some(&ceiling)), Ok(()));
+    }
+
+    #[test]
+    fn validation_rejects_gap_and_overlap() {
+        let (d, m) = manifest_of(vec![RangeSet::interval(0.0, 0.4), RangeSet::interval(0.5, 1.0)]);
+        match validate_manifests(&d, &m, 1.0, None) {
+            Err(ManifestValidationError::CoverageGap { unit: 0, covers: 0, want: 1, .. }) => {}
+            other => panic!("expected a coverage gap, got {other:?}"),
+        }
+        let (d, m) = manifest_of(vec![RangeSet::interval(0.0, 0.6), RangeSet::interval(0.5, 1.0)]);
+        match validate_manifests(&d, &m, 1.0, None) {
+            Err(ManifestValidationError::CoverageOverlap {
+                unit: 0, covers: 2, want: 1, ..
+            }) => {}
+            other => panic!("expected a coverage overlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_rejects_structural_corruption() {
+        let (d, good) = lp_manifest();
+        // Unknown unit index.
+        let mut entries: Vec<(NodeId, ManifestEntry)> = (0..d.num_nodes)
+            .flat_map(|j| good.node_entries(NodeId(j)).iter().cloned().map(move |e| (NodeId(j), e)))
+            .collect();
+        entries[0].1.unit = d.units.len() + 7;
+        let m = SamplingManifest::from_entries(d.num_nodes, entries.clone());
+        assert!(matches!(
+            validate_manifests(&d, &m, 1.0, None),
+            Err(ManifestValidationError::UnknownUnit { .. })
+        ));
+        // Unknown class / class mismatch on the same entry.
+        entries[0].1.unit = good.node_entries(entries[0].0)[0].unit;
+        entries[0].1.class = d.classes.len() + 3;
+        let m = SamplingManifest::from_entries(d.num_nodes, entries.clone());
+        assert!(matches!(
+            validate_manifests(&d, &m, 1.0, None),
+            Err(ManifestValidationError::UnknownClass { .. })
+        ));
+        // Node-count mismatch.
+        entries[0].1.class = d.units[entries[0].1.unit].class;
+        let m = SamplingManifest::from_entries(d.num_nodes + 1, entries);
+        assert!(matches!(
+            validate_manifests(&d, &m, 1.0, None),
+            Err(ManifestValidationError::NodeCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_foreign_node_ranges() {
+        let (d, good) = lp_manifest();
+        // Move some unit's whole range onto a node outside its eligible
+        // set: structurally a ForeignNode violation.
+        let (u, victim) = d
+            .units
+            .iter()
+            .enumerate()
+            .find_map(|(u, unit)| {
+                let outsider = (0..d.num_nodes).map(NodeId).find(|n| !unit.nodes.contains(n))?;
+                Some((u, outsider))
+            })
+            .expect("some unit excludes some node");
+        let entries = (0..d.num_nodes).flat_map(|j| {
+            good.node_entries(NodeId(j)).iter().cloned().map(move |e| {
+                let to = if e.unit == u { victim } else { NodeId(j) };
+                (to, e)
+            })
+        });
+        let m = SamplingManifest::from_entries(d.num_nodes, entries.collect::<Vec<_>>());
+        assert!(matches!(
+            validate_manifests(&d, &m, 1.0, None),
+            Err(ManifestValidationError::ForeignNode { node, .. }) if node == victim.index()
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_capacity_ceiling_violation() {
+        let (d, m) = lp_manifest();
+        // Starve one node: its LP-assigned share now exceeds any ceiling.
+        let mut caps = vec![NodeCaps { cpu: 2e8, mem: 4e9 }; d.num_nodes];
+        let loaded = (0..d.num_nodes)
+            .map(NodeId)
+            .max_by(|a, b| {
+                let sa: f64 = (0..d.units.len()).map(|u| m.share(u, *a)).sum();
+                let sb: f64 = (0..d.units.len()).map(|u| m.share(u, *b)).sum();
+                sa.total_cmp(&sb)
+            })
+            .unwrap();
+        caps[loaded.index()] = NodeCaps { cpu: 1.0, mem: 1.0 };
+        let ceiling = CapacityCeiling { caps: &caps, max_load: 1.0 };
+        assert!(matches!(
+            validate_manifests(&d, &m, 1.0, Some(&ceiling)),
+            Err(ManifestValidationError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_checks_redundancy_multiplicity() {
+        // Two nodes each covering everything: valid at r=2, overlap at r=1.
+        let (d, m) = manifest_of(vec![RangeSet::interval(0.0, 1.0), RangeSet::interval(0.0, 1.0)]);
+        assert_eq!(validate_manifests(&d, &m, 2.0, None), Ok(()));
+        assert!(matches!(
+            validate_manifests(&d, &m, 1.0, None),
+            Err(ManifestValidationError::CoverageOverlap { covers: 2, want: 1, .. })
+        ));
     }
 }

@@ -9,5 +9,9 @@ pub use lp::{
     edge_only_loads, loads_from_assignment, solve_nids_lp, solve_nids_lp_excluding,
     solve_nids_lp_warm, NidsAssignment, NidsError, NidsLpConfig, NodeCaps,
 };
-pub use manifest::{generate_manifests, ManifestEntry, SamplingManifest};
+pub use manifest::{
+    generate_manifests, validate_manifests, CapacityCeiling, ManifestEntry,
+    ManifestValidationError, SamplingManifest,
+};
 pub use manifest_io::{node_manifest_from_text, node_manifest_to_text, NodeManifest};
+pub use nwdp_lp::WarmStart;

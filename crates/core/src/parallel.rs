@@ -28,10 +28,72 @@
 
 use nwdp_obs as obs;
 use std::cell::Cell;
+use std::collections::BTreeSet;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 thread_local! {
     static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Parse a positive-count environment value (`NWDP_THREADS`,
+/// `NWDP_SHARDS`, …). Whitespace is trimmed; `0` is floored to `1` (the
+/// documented serial fallback). Returns `None` for anything that is not a
+/// non-negative integer, so the caller can distinguish "unset/invalid" from
+/// a real value.
+pub fn parse_count(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().map(|n| n.max(1))
+}
+
+/// Env-var config values that already triggered an invalid-value warning,
+/// so each misconfigured variable warns exactly once per process.
+fn warned_vars() -> &'static Mutex<BTreeSet<String>> {
+    static WARNED: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    WARNED.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// Record an invalid env-var value: one-shot stderr warning (first sighting
+/// per variable per process) plus a `config.invalid_env` counter when
+/// metrics are on. Returns whether this call was the first sighting —
+/// tests key off that instead of capturing stderr.
+pub fn note_invalid_env(var: &str, raw: &str) -> bool {
+    note_invalid_env_expecting(var, raw, "a non-negative integer")
+}
+
+/// [`note_invalid_env`] with a caller-supplied description of the expected
+/// value shape (non-integer knobs like `NWDP_RELOAD_BLEND` pass e.g.
+/// `"a number in [0, 1]"`).
+pub fn note_invalid_env_expecting(var: &str, raw: &str, expected: &str) -> bool {
+    if obs::enabled() {
+        obs::Scope::new("config").counter_with("invalid_env", &[("var", var)]).inc();
+    }
+    let first = match warned_vars().lock() {
+        Ok(mut seen) => seen.insert(var.to_string()),
+        Err(_) => false, // a warner panicked mid-insert: stay quiet
+    };
+    if first {
+        // Deliberately user-facing regardless of tracing config: a typo'd
+        // knob silently falling back to defaults is how whole benchmark
+        // runs get measured under the wrong parallelism.
+        use std::io::Write as _;
+        let _ = writeln!(
+            std::io::stderr(),
+            "nwdp: ignoring invalid {var}={raw:?} (expected {expected}); using default"
+        );
+    }
+    first
+}
+
+/// Read a count-valued environment variable via [`parse_count`], warning
+/// through [`note_invalid_env`] on unparseable values (which then fall back
+/// to the caller's default, exactly as if the variable were unset).
+pub fn env_count(var: &str) -> Option<usize> {
+    let raw = std::env::var_os(var)?;
+    let parsed = raw.to_str().and_then(parse_count);
+    if parsed.is_none() {
+        note_invalid_env(var, &raw.to_string_lossy());
+    }
+    parsed
 }
 
 /// Number of worker threads a fan-out on this thread would use.
@@ -39,10 +101,8 @@ pub fn num_threads() -> usize {
     if let Some(n) = OVERRIDE.with(|o| o.get()) {
         return n.max(1);
     }
-    if let Some(v) = std::env::var_os("NWDP_THREADS") {
-        if let Some(n) = v.to_str().and_then(|s| s.trim().parse::<usize>().ok()) {
-            return n.max(1);
-        }
+    if let Some(n) = env_count("NWDP_THREADS") {
+        return n;
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
@@ -249,5 +309,25 @@ mod tests {
     #[test]
     fn override_floor_is_one() {
         with_threads(0, || assert_eq!(num_threads(), 1));
+    }
+
+    #[test]
+    fn parse_count_accepts_integers_and_rejects_garbage() {
+        assert_eq!(parse_count("4"), Some(4));
+        assert_eq!(parse_count(" 8 "), Some(8));
+        assert_eq!(parse_count("0"), Some(1), "zero floors to the serial fallback");
+        assert_eq!(parse_count("abc"), None);
+        assert_eq!(parse_count(""), None);
+        assert_eq!(parse_count("-1"), None);
+        assert_eq!(parse_count("1.5"), None);
+        assert_eq!(parse_count("4 threads"), None);
+    }
+
+    #[test]
+    fn invalid_env_warns_exactly_once_per_var() {
+        assert!(note_invalid_env("NWDP_TEST_BOGUS_A", "abc"), "first sighting warns");
+        assert!(!note_invalid_env("NWDP_TEST_BOGUS_A", "abc"), "repeat stays quiet");
+        assert!(!note_invalid_env("NWDP_TEST_BOGUS_A", "xyz"), "per-var, not per-value");
+        assert!(note_invalid_env("NWDP_TEST_BOGUS_B", "abc"), "other vars warn independently");
     }
 }

@@ -27,6 +27,7 @@ use nwdp_hash::{FlowKeyKind, KeyedHasher};
 use nwdp_topo::NodeId;
 use nwdp_traffic::{node_of_ip, Packet, Session};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Where coordination checks are implemented (§2.3's two alternatives).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,16 +40,29 @@ pub enum Placement {
     PolicyEngine,
 }
 
-/// Coordination context shared by all nodes of a deployment.
+/// Coordination context shared by all nodes of a deployment. The manifest
+/// is held behind an [`Arc`] so the reload controller can mint a fresh
+/// manifest mid-replay and hot-swap it into live engines
+/// ([`Engine::set_manifest`]) without the engines borrowing storage that
+/// outlives the run.
 pub struct CoordContext<'a> {
     pub dep: &'a NidsDeployment,
-    pub manifest: &'a SamplingManifest,
+    pub manifest: Arc<SamplingManifest>,
     /// `(class index, unit key)` → unit index.
     unit_of: HashMap<(usize, UnitKey), usize>,
 }
 
 impl<'a> CoordContext<'a> {
-    pub fn new(dep: &'a NidsDeployment, manifest: &'a SamplingManifest) -> Self {
+    /// Build a context from a borrowed manifest (cloned into shared
+    /// ownership). Call sites that already hold an `Arc` — the reload
+    /// runner swaps manifests per epoch — use
+    /// [`CoordContext::with_shared`] to avoid the clone.
+    pub fn new(dep: &'a NidsDeployment, manifest: &SamplingManifest) -> Self {
+        Self::with_shared(dep, Arc::new(manifest.clone()))
+    }
+
+    /// Build a context around an already-shared manifest.
+    pub fn with_shared(dep: &'a NidsDeployment, manifest: Arc<SamplingManifest>) -> Self {
         let mut unit_of = HashMap::with_capacity(dep.units.len());
         for (u, unit) in dep.units.iter().enumerate() {
             unit_of.insert((unit.class, unit.key), u);
@@ -200,7 +214,7 @@ impl<'a> Engine<'a> {
     /// repaired ranges. An engine running without coordination has no
     /// manifest to replace; that is reported as
     /// [`EngineError::NotCoordinated`] instead of panicking.
-    pub fn set_manifest(&mut self, manifest: &'a SamplingManifest) -> Result<(), EngineError> {
+    pub fn set_manifest(&mut self, manifest: Arc<SamplingManifest>) -> Result<(), EngineError> {
         match self.coord.as_mut() {
             Some(coord) => {
                 coord.manifest = manifest;
@@ -677,7 +691,7 @@ mod tests {
         let mut edge =
             Engine::new(NodeId(0), Placement::Unmodified, &names, None, KeyedHasher::unkeyed())
                 .unwrap();
-        assert_eq!(edge.set_manifest(&manifest), Err(EngineError::NotCoordinated));
+        assert_eq!(edge.set_manifest(Arc::new(manifest)), Err(EngineError::NotCoordinated));
         // A coordinated engine accepts the swap.
         let (solo, manifest2) = standalone_coordination(&dep, NodeId(1));
         let names: Vec<String> = solo.classes.iter().map(|c| c.name.clone()).collect();
@@ -690,7 +704,7 @@ mod tests {
             KeyedHasher::unkeyed(),
         )
         .unwrap();
-        assert_eq!(owner.set_manifest(&manifest2), Ok(()));
+        assert_eq!(owner.set_manifest(Arc::new(manifest2)), Ok(()));
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod cost;
 pub mod engine;
 pub mod modules;
 pub mod netwide;
+pub mod reload;
 pub mod stream;
 
 pub use ac::AhoCorasick;
@@ -33,5 +34,9 @@ pub use netwide::{
     coverage_timeline, plan_manifest_epochs, run_coordinated, run_coordinated_resilient,
     run_edge_only, run_edge_only_faulty, run_standalone_reference, ManifestEpoch, NetworkRun,
     ResilienceConfig, ResilientRun,
+};
+pub use reload::{
+    run_coordinated_stream_reload, ObservedMix, ReloadConfig, ReloadController, ReloadDecision,
+    ReloadOutcome, ReloadRun, Sabotage,
 };
 pub use stream::{pkt_latency_bounds, run_coordinated_stream, shard_of, stream_shards};

@@ -306,15 +306,19 @@ pub fn run_coordinated_resilient(
     assert!(!epochs.is_empty() && epochs[0].from == 0.0, "epoch timeline must start at 0");
     let names = class_names(dep);
     let n_total = trace.sessions.len().max(1) as f64;
+    // One shared copy of each epoch's manifest; every node's swap is an
+    // Arc clone, not a manifest clone.
+    let shared: Vec<std::sync::Arc<SamplingManifest>> =
+        epochs.iter().map(|e| std::sync::Arc::new(e.manifest.clone())).collect();
     let run = replay_nodes("coordinated_resilient", dep.num_nodes, |node| {
-        let coord = CoordContext::new(dep, &epochs[0].manifest);
+        let coord = CoordContext::with_shared(dep, shared[0].clone());
         let mut engine = Engine::new(node, placement, &names, Some(coord), hasher)?;
         let mut k = 0;
         for s in trace.onpath_sessions(paths, node) {
             let now = s.id as f64 / n_total;
             while k + 1 < epochs.len() && epochs[k + 1].from <= now {
                 k += 1;
-                engine.set_manifest(&epochs[k].manifest)?;
+                engine.set_manifest(shared[k].clone())?;
                 obs::trace_event!(
                     "engine.manifest_swap",
                     node = node.0,

@@ -35,14 +35,11 @@ use std::collections::BTreeSet;
 /// Effective shard count for the streaming data plane: the `NWDP_SHARDS`
 /// environment variable when set, else the parallel worker count (see
 /// [`parallel::num_threads`]). Results are shard-count-invariant; the knob
-/// only trades per-shard state size against merge work.
+/// only trades per-shard state size against merge work. An unparseable
+/// value warns once on stderr (and bumps `config.invalid_env`) instead of
+/// being silently ignored.
 pub fn stream_shards() -> usize {
-    if let Some(v) = std::env::var_os("NWDP_SHARDS") {
-        if let Some(n) = v.to_str().and_then(|s| s.trim().parse::<usize>().ok()) {
-            return n.max(1);
-        }
-    }
-    parallel::num_threads()
+    parallel::env_count("NWDP_SHARDS").unwrap_or_else(parallel::num_threads)
 }
 
 /// Shard owning `session`: the keyed `BiSession` hash of its canonical

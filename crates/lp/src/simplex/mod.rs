@@ -151,6 +151,15 @@ pub struct SolverOpts {
     /// `NWDP_NO_DUAL=1` flips the default off (emergency escape hatch —
     /// objectives are unaffected either way, only the pivot path).
     pub dual_phase: bool,
+    /// Pivot budget for the dual repair phase. `None` derives
+    /// `4m + 100` from the row count: worthwhile repairs land well under
+    /// it (measured worst case ~2.6m pivots on the NIDS upgrade sweep,
+    /// most need a handful), while a degenerate crawl that would run past
+    /// it costs more than the cold solve it falls back to — and without a
+    /// budget such a crawl burns the full `max_iters` cap, which is sized
+    /// for complete cold solves and can be two orders of magnitude
+    /// larger (a ~100 s stall observed in the reload loop's re-solves).
+    pub dual_budget: Option<usize>,
 }
 
 /// `NWDP_NO_DUAL` read once per process (same pattern as the trace env
@@ -170,6 +179,7 @@ impl Default for SolverOpts {
             bland_trigger: 80,
             refresh_every: 500,
             dual_phase: dual_phase_default(),
+            dual_budget: None,
         }
     }
 }
@@ -1327,7 +1337,13 @@ fn try_solve<B: BasisBackend>(
                         flips = core.n_dual_flips
                     );
                 }
-                match core.iterate_dual(max_iters) {
+                // A bounded budget, not `max_iters`: a repair still
+                // crawling past ~4m pivots is slower than redoing the
+                // solve cold, and a stalled (degenerate-crawling) repair
+                // would otherwise burn the whole cold-solve-sized cap
+                // before falling back.
+                let dual_budget = opts.dual_budget.unwrap_or(4 * m + 100).min(max_iters);
+                match core.iterate_dual(dual_budget) {
                     DualEnd::PrimalFeasible => {
                         repaired = true;
                         core.dual_repaired = true;

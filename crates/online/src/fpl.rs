@@ -55,6 +55,38 @@ impl Default for FplConfig {
     }
 }
 
+/// A degenerate [`FplConfig`] that [`run_fpl`] refuses to play. Each
+/// variant names the offending knob; previously these produced an empty or
+/// numerically meaningless [`OnlineRun`] instead of an error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FplError {
+    /// `epochs == 0`: there is no round to play, and every per-epoch
+    /// trajectory (including the Fig 11 regret series) would be empty.
+    ZeroEpochs,
+    /// `maxdrop` must be a positive finite fraction in `(0, 1]`: it scales
+    /// the Theorem 3.1 constants R = A that derive the automatic ε.
+    BadMaxDrop(f64),
+    /// An explicit `epsilon` must be positive and finite — perturbations
+    /// are drawn from `[0, 1/ε)`.
+    BadEpsilon(f64),
+}
+
+impl std::fmt::Display for FplError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FplError::ZeroEpochs => write!(f, "FPL needs at least one epoch (epochs == 0)"),
+            FplError::BadMaxDrop(v) => {
+                write!(f, "maxdrop must be a positive fraction in (0, 1], got {v}")
+            }
+            FplError::BadEpsilon(v) => {
+                write!(f, "epsilon must be positive and finite, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FplError {}
+
 /// Per-epoch trajectory of the online game.
 #[derive(Debug, Clone)]
 pub struct OnlineRun {
@@ -107,9 +139,27 @@ impl WeightLayout {
 ///
 /// `inst` supplies the network/volume/capacity model; its own
 /// `match_rates` are ignored (the adversary provides each epoch's truth).
-pub fn run_fpl(inst: &NipsInstance, adversary: &mut dyn Adversary, cfg: &FplConfig) -> OnlineRun {
+/// Degenerate configurations — zero epochs, a non-positive `maxdrop`, an
+/// explicit non-positive ε — are rejected with a typed [`FplError`] before
+/// any epoch runs.
+pub fn run_fpl(
+    inst: &NipsInstance,
+    adversary: &mut dyn Adversary,
+    cfg: &FplConfig,
+) -> Result<OnlineRun, FplError> {
     assert_eq!(adversary.n_rules(), inst.rules.len());
     assert_eq!(adversary.n_paths(), inst.paths.len());
+    if cfg.epochs == 0 {
+        return Err(FplError::ZeroEpochs);
+    }
+    if !cfg.maxdrop.is_finite() || cfg.maxdrop <= 0.0 || cfg.maxdrop > 1.0 {
+        return Err(FplError::BadMaxDrop(cfg.maxdrop));
+    }
+    if let Some(e) = cfg.epsilon {
+        if !e.is_finite() || e <= 0.0 {
+            return Err(FplError::BadEpsilon(e));
+        }
+    }
     let t_run = obs::now_if_enabled();
     let nr = inst.rules.len();
     let np = inst.paths.len();
@@ -257,7 +307,7 @@ pub fn run_fpl(inst: &NipsInstance, adversary: &mut dyn Adversary, cfg: &FplConf
         }
         s.timer("run_ns").observe_since(t_run);
     }
-    OnlineRun { fpl_value, static_prefix_value, normalized_regret, ftl_value, epsilon }
+    Ok(OnlineRun { fpl_value, static_prefix_value, normalized_regret, ftl_value, epsilon })
 }
 
 #[cfg(test)]
@@ -280,11 +330,50 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_configs_return_typed_errors() {
+        let inst = instance(3);
+        let mut adv = StochasticUniform::new(3, inst.paths.len(), 0.01, 1);
+        let zero = FplConfig { epochs: 0, ..Default::default() };
+        assert_eq!(run_fpl(&inst, &mut adv, &zero).unwrap_err(), FplError::ZeroEpochs);
+        for maxdrop in [0.0, -0.5, 1.5, f64::INFINITY] {
+            let cfg = FplConfig { epochs: 5, maxdrop, ..Default::default() };
+            assert_eq!(
+                run_fpl(&inst, &mut adv, &cfg).unwrap_err(),
+                FplError::BadMaxDrop(maxdrop),
+                "maxdrop {maxdrop}"
+            );
+        }
+        for eps in [0.0, -1.0, f64::INFINITY] {
+            let cfg = FplConfig { epochs: 5, epsilon: Some(eps), ..Default::default() };
+            assert_eq!(
+                run_fpl(&inst, &mut adv, &cfg).unwrap_err(),
+                FplError::BadEpsilon(eps),
+                "epsilon {eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_epoch_boundary_produces_finite_run() {
+        // epochs == 1 is the smallest legal game; every trajectory must
+        // have exactly one finite entry (no division hazards at t = 0).
+        let inst = instance(3);
+        let mut adv = StochasticUniform::new(3, inst.paths.len(), 0.01, 2);
+        let cfg = FplConfig { epochs: 1, seed: 9, ..Default::default() };
+        let run = run_fpl(&inst, &mut adv, &cfg).expect("one epoch is legal");
+        assert_eq!(run.fpl_value.len(), 1);
+        assert_eq!(run.normalized_regret.len(), 1);
+        assert!(run.fpl_value[0].is_finite());
+        assert!(run.normalized_regret[0].is_finite());
+        assert!(run.epsilon.is_finite() && run.epsilon > 0.0);
+    }
+
+    #[test]
     fn regret_small_and_shrinking_under_stochastic_adversary() {
         let inst = instance(6);
         let mut adv = StochasticUniform::new(6, inst.paths.len(), 0.01, 7);
         let cfg = FplConfig { epochs: 60, seed: 3, ..Default::default() };
-        let run = run_fpl(&inst, &mut adv, &cfg);
+        let run = run_fpl(&inst, &mut adv, &cfg).expect("valid config");
         assert_eq!(run.normalized_regret.len(), 60);
         let early = run.normalized_regret[5].abs();
         let late = run.normalized_regret[59].abs();
@@ -300,7 +389,7 @@ mod tests {
         let inst = instance(4);
         let mut adv = StochasticUniform::new(4, inst.paths.len(), 0.01, 11);
         let cfg = FplConfig { epochs: 30, seed: 5, ..Default::default() };
-        let run = run_fpl(&inst, &mut adv, &cfg);
+        let run = run_fpl(&inst, &mut adv, &cfg).expect("valid config");
         for r in &run.normalized_regret {
             assert!(r.is_finite());
             assert!(*r < 1.0);
@@ -312,7 +401,7 @@ mod tests {
         let inst = instance(8);
         let mut adv = Shifting::new(8, inst.paths.len(), 0.01, 10, 2, 13);
         let cfg = FplConfig { epochs: 50, seed: 1, ..Default::default() };
-        let run = run_fpl(&inst, &mut adv, &cfg);
+        let run = run_fpl(&inst, &mut adv, &cfg).expect("valid config");
         // The game must produce positive value (the defender drops traffic).
         let total: f64 = run.fpl_value.iter().sum();
         assert!(total > 0.0);
@@ -324,7 +413,7 @@ mod tests {
         let inst = instance(3);
         let mut adv = StochasticUniform::new(3, inst.paths.len(), 0.01, 2);
         let cfg = FplConfig { epochs: 5, ..Default::default() };
-        let run = run_fpl(&inst, &mut adv, &cfg);
+        let run = run_fpl(&inst, &mut adv, &cfg).expect("valid config");
         assert!(run.epsilon > 0.0 && run.epsilon.is_finite());
     }
 
@@ -334,8 +423,8 @@ mod tests {
         let cfg = FplConfig { epochs: 10, seed: 9, ..Default::default() };
         let mut a1 = StochasticUniform::new(4, inst.paths.len(), 0.01, 21);
         let mut a2 = StochasticUniform::new(4, inst.paths.len(), 0.01, 21);
-        let r1 = run_fpl(&inst, &mut a1, &cfg);
-        let r2 = run_fpl(&inst, &mut a2, &cfg);
+        let r1 = run_fpl(&inst, &mut a1, &cfg).expect("valid config");
+        let r2 = run_fpl(&inst, &mut a2, &cfg).expect("valid config");
         assert_eq!(r1.fpl_value, r2.fpl_value);
         assert_eq!(r1.normalized_regret, r2.normalized_regret);
     }
@@ -371,8 +460,8 @@ mod tests {
         let cfg_cold = FplConfig { reuse_oracle: false, ..cfg_warm.clone() };
         let mut a1 = StochasticUniform::new(5, inst.paths.len(), 0.01, 8);
         let mut a2 = StochasticUniform::new(5, inst.paths.len(), 0.01, 8);
-        let warm = run_fpl(&inst, &mut a1, &cfg_warm);
-        let cold = run_fpl(&inst, &mut a2, &cfg_cold);
+        let warm = run_fpl(&inst, &mut a1, &cfg_warm).expect("valid config");
+        let cold = run_fpl(&inst, &mut a2, &cfg_cold).expect("valid config");
         assert_eq!(warm.fpl_value, cold.fpl_value);
         assert_eq!(warm.ftl_value, cold.ftl_value);
         assert_eq!(warm.static_prefix_value, cold.static_prefix_value);
@@ -398,7 +487,7 @@ mod ftl_tests {
         inst.cam_cap = vec![f64::INFINITY; inst.num_nodes];
         let mut adv = Reactive::new(4, inst.paths.len(), 0.01, 6);
         let cfg = FplConfig { epochs: 20, seed: 2, track_ftl: true, ..Default::default() };
-        let run = run_fpl(&inst, &mut adv, &cfg);
+        let run = run_fpl(&inst, &mut adv, &cfg).expect("valid config");
         assert_eq!(run.ftl_value.len(), 20);
         assert!(run.ftl_value.iter().all(|v| v.is_finite() && *v >= 0.0));
         // Both defenders earn value against the reactive adversary.

@@ -11,4 +11,4 @@ pub mod adversary;
 pub mod fpl;
 
 pub use adversary::{Adversary, Reactive, Shifting, StochasticUniform};
-pub use fpl::{run_fpl, FplConfig, OnlineRun};
+pub use fpl::{run_fpl, FplConfig, FplError, OnlineRun};

@@ -35,7 +35,7 @@ fn main() {
 
     for (name, adv) in advs.iter_mut() {
         let cfg = FplConfig { epochs, seed: 99, ..Default::default() };
-        let run = run_fpl(&inst, adv.as_mut(), &cfg);
+        let run = run_fpl(&inst, adv.as_mut(), &cfg).expect("valid config");
         let total: f64 = run.fpl_value.iter().sum();
         let static_total = *run.static_prefix_value.last().unwrap();
         println!("adversary: {name}");

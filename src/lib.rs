@@ -55,8 +55,8 @@ pub use nwdp_traffic as traffic;
 /// The most common imports in one place.
 pub mod prelude {
     pub use nwdp_core::nids::{
-        edge_only_loads, generate_manifests, solve_nids_lp, NidsLpConfig, NodeCaps,
-        SamplingManifest,
+        edge_only_loads, generate_manifests, solve_nids_lp, validate_manifests, CapacityCeiling,
+        ManifestEntry, ManifestValidationError, NidsLpConfig, NodeCaps, SamplingManifest,
     };
     pub use nwdp_core::nips::{
         round_best_of, solve_relaxation, NipsInstance, RoundError, RoundingOpts, Strategy,
@@ -72,13 +72,14 @@ pub mod prelude {
     };
     pub use nwdp_engine::{
         plan_manifest_epochs, run_coordinated, run_coordinated_resilient, run_coordinated_stream,
-        run_edge_only, run_edge_only_faulty, run_standalone_reference, shard_of, stream_shards,
-        CoordContext, Engine, EngineError, ManifestEpoch, Placement, ResilienceConfig,
-        ResilientRun,
+        run_coordinated_stream_reload, run_edge_only, run_edge_only_faulty,
+        run_standalone_reference, shard_of, stream_shards, CoordContext, Engine, EngineError,
+        ManifestEpoch, Placement, ReloadConfig, ReloadController, ReloadOutcome, ReloadRun,
+        ResilienceConfig, ResilientRun, Sabotage,
     };
     pub use nwdp_hash::{FiveTuple, FlowKeyKind, KeyedHasher, RangeSet};
     pub use nwdp_lp::rowgen::RowGenOpts;
-    pub use nwdp_online::{run_fpl, FplConfig, StochasticUniform};
+    pub use nwdp_online::{run_fpl, FplConfig, FplError, StochasticUniform};
     pub use nwdp_topo::{NodeId, Path, PathDb, Topology};
     pub use nwdp_traffic::{
         generate_trace, node_of_ip, AppProtocol, FaultInjector, MatchRates, NetTrace, NodeBlackout,

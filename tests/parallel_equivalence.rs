@@ -97,6 +97,84 @@ fn streaming_replay_identical_to_batch() {
     }
 }
 
+/// The closed reconfiguration loop must be invisible when it never
+/// swaps: with `Sabotage::Every` the validation gate rejects every
+/// candidate, the original manifest serves end to end, and the run is
+/// bit-identical to the plain streaming data plane — at 1 and 4 threads
+/// and across shard counts (ISSUE 8). This pins the reload runner's
+/// epoch-chunked fan-out (persistent workers, boundary pauses, observed-
+/// mix counting) as pure plumbing with zero effect on results.
+#[test]
+fn reload_with_every_swap_rejected_identical_to_stream() {
+    let topo = nwdp::topo::internet2();
+    let paths = PathDb::shortest_paths(&topo);
+    let tm = TrafficMatrix::gravity(&topo);
+    let vol = VolumeModel::internet2_baseline();
+    let dep = build_units(&topo, &paths, &tm, &vol, &AnalysisClass::standard_set());
+
+    let cfg = NidsLpConfig::homogeneous(dep.num_nodes, NodeCaps { cpu: 2e8, mem: 4e9 });
+    let assignment = solve_nids_lp(&dep, &cfg).unwrap();
+    let manifest = generate_manifests(&dep, &assignment.d);
+    let trace_cfg = TraceConfig::new(2000, 17);
+    let h = KeyedHasher::with_key(5);
+
+    for shards in [1usize, 3] {
+        let stream = run_coordinated_stream(
+            &dep,
+            &manifest,
+            &paths,
+            || SessionStream::new(&topo, &tm, &trace_cfg),
+            Placement::EventEngine,
+            h,
+            shards,
+        )
+        .unwrap();
+        let (s, p) = both(|| {
+            let reload_cfg = ReloadConfig {
+                epochs: 4,
+                total_sessions: 2000,
+                caps: &cfg.caps,
+                redundancy: 1.0,
+                max_load: 1.0,
+                blend: 0.5,
+                sabotage: Sabotage::Every,
+            };
+            run_coordinated_stream_reload(
+                &dep,
+                &manifest,
+                &paths,
+                || SessionStream::new(&topo, &tm, &trace_cfg),
+                Placement::EventEngine,
+                h,
+                shards,
+                &reload_cfg,
+            )
+            .unwrap()
+        });
+        for (which, reload) in [("1 thread", &s), ("4 threads", &p)] {
+            assert_eq!(reload.swaps(), 0, "Sabotage::Every must reject everything ({which})");
+            assert_eq!(reload.rejected(), 3, "{which}");
+            assert!(reload.coverage_floor() > 1.0 - 1e-9, "{which}");
+            assert_eq!(
+                reload.run.alerts, stream.alerts,
+                "reload alerts diverged from stream ({shards} shards, {which})"
+            );
+            for (a, b) in reload.run.per_node.iter().zip(&stream.per_node) {
+                let ctx = format!("node {} ({shards} shards, {which})", a.node.0);
+                assert_eq!(a.packets, b.packets, "packets, {ctx}");
+                assert_eq!(a.connections, b.connections, "connections, {ctx}");
+                assert_eq!(a.cpu_cycles, b.cpu_cycles, "cpu_cycles, {ctx}");
+                assert_eq!(a.mem_peak, b.mem_peak, "mem_peak, {ctx}");
+                assert_eq!(a.fastpath_skipped, b.fastpath_skipped, "fastpath, {ctx}");
+                assert_eq!(a.range_checks, b.range_checks, "range_checks, {ctx}");
+                assert_eq!(a.range_hits, b.range_hits, "range_hits, {ctx}");
+                assert_eq!(a.per_module_cpu, b.per_module_cpu, "per_module_cpu, {ctx}");
+                assert_eq!(a.alerts, b.alerts, "alerts, {ctx}");
+            }
+        }
+    }
+}
+
 #[test]
 fn nips_rounding_identical_across_thread_counts() {
     let topo = nwdp::topo::internet2();
@@ -151,7 +229,7 @@ fn fpl_identical_across_thread_counts() {
 
     let (s, p) = both(|| {
         let mut adv = StochasticUniform::new(4, inst.paths.len(), 0.01, 19);
-        run_fpl(&inst, &mut adv, &cfg)
+        run_fpl(&inst, &mut adv, &cfg).expect("valid config")
     });
     assert_eq!(s.fpl_value, p.fpl_value);
     assert_eq!(s.ftl_value, p.ftl_value);

@@ -69,7 +69,8 @@ fn online_pipeline_end_to_end() {
     inst.cam_cap = vec![f64::INFINITY; inst.num_nodes];
 
     let mut adv = StochasticUniform::new(5, inst.paths.len(), 0.01, 4);
-    let run = run_fpl(&inst, &mut adv, &FplConfig { epochs: 25, seed: 8, ..Default::default() });
+    let run = run_fpl(&inst, &mut adv, &FplConfig { epochs: 25, seed: 8, ..Default::default() })
+        .expect("valid config");
     assert_eq!(run.normalized_regret.len(), 25);
     assert!(run.normalized_regret.iter().all(|r| r.is_finite()));
     assert!(run.fpl_value.iter().sum::<f64>() > 0.0);

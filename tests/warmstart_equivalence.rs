@@ -196,7 +196,7 @@ fn fpl_oracle_reuse_matches_cold_over_50_epochs() {
         let run = |reuse: bool| {
             let mut adv = StochasticUniform::new(4, inst.paths.len(), 0.01, 0xfee1);
             let cfg = FplConfig { epochs: 50, seed: 29, reuse_oracle: reuse, ..Default::default() };
-            run_fpl(&inst, &mut adv, &cfg)
+            run_fpl(&inst, &mut adv, &cfg).expect("valid config")
         };
         let cold = run(false);
         let warm = run(true);
