@@ -221,4 +221,63 @@ print(f"reload gate OK ({swapped} swaps, {rejected} rejected, "
       f"floor {floor:.9f}, {len(series)} coverage points)")
 PY
 
+# Distributed control plane: the cluster suites must hold at 1 and 4
+# threads (full-run bit-equality incl. the delivery-schedule fingerprint),
+# and `repro cluster` must meet the fault-injected convergence criteria at
+# 0% and 10% link loss — crash detected from actually missed heartbeats
+# near the grid prediction, coverage never below the repair bound, zero
+# stale-epoch manifests live. The bench asserts those internally; the gate
+# re-checks the artifacts (convergence CSV, net.* counters, replay-clock
+# series, BENCH_cluster.json trajectory) so a silent emit regression can't
+# pass. Runs from the temp dir so trajectory entries land there.
+echo "== distributed control-plane gate =="
+NWDP_THREADS=1 cargo test -q -p nwdp-engine --test cluster
+NWDP_THREADS=4 cargo test -q -p nwdp-engine --test cluster
+NWDP_THREADS=1 cargo test -q --test proptest_cluster
+NWDP_THREADS=4 cargo test -q --test proptest_cluster
+cluster_out="$metrics_tmp/cluster"
+(cd "$metrics_tmp" && NWDP_NET_LOSS=0 "$repo_root/target/release/repro" cluster --quick \
+  --out "$cluster_out/loss0" > /dev/null)
+(cd "$metrics_tmp" && NWDP_NET_LOSS=0.1 "$repo_root/target/release/repro" cluster --quick \
+  --out "$cluster_out/loss10" --metrics-out "$cluster_out/metrics.json" > /dev/null)
+python3 - "$cluster_out" "$metrics_tmp/BENCH_cluster.json" <<'PY'
+import csv, json, os, sys
+out, traj_path = sys.argv[1], sys.argv[2]
+
+def point(sub, loss):
+    rows = list(csv.DictReader(open(os.path.join(out, sub, "cluster_convergence.csv"))))
+    assert len(rows) == 1, f"{sub}: NWDP_NET_LOSS must pin the sweep to one point"
+    r = rows[0]
+    assert float(r["loss"]) == loss, r
+    assert int(r["detections"]) >= 2, f"{sub}: crash + partition both declared: {r}"
+    assert float(r["coverage_floor"]) >= float(r["repair_bound"]) - 1e-9, r
+    assert int(r["epochs"]) >= 3, f"{sub}: one repair epoch per scripted fault: {r}"
+    epochs = list(csv.DictReader(open(os.path.join(out, sub, "cluster_epochs.csv"))))
+    assert len(epochs) >= 2, f"{sub}: epochs CSV too short"
+    return r
+
+r0 = point("loss0", 0.0)
+assert int(r0["retries"]) == 0 and int(r0["timeouts"]) == 0, r0
+r10 = point("loss10", 0.1)
+assert int(r10["retries"]) > 0, f"10% loss must exercise the retry path: {r10}"
+
+c = json.load(open(os.path.join(out, "metrics.json")))["counters"]
+for key in ("net.sends", "net.delivered", "net.drops_loss", "net.heartbeats",
+            "net.installs", "net.retries", "net.repairs"):
+    assert c.get(key, 0) > 0, f"missing or zero counter: {key}"
+assert c["net.delivered"] < c["net.sends"], "a lossy run must drop something"
+ts = list(csv.DictReader(open(os.path.join(out, "loss10", "timeseries.csv"))))
+cov = [p for p in ts if p["series"] == "net.coverage"]
+assert cov, "no net.coverage replay-clock series in timeseries.csv"
+
+traj = json.load(open(traj_path))
+assert traj["version"] == 1 and len(traj["runs"]) == 2, traj.get("version")
+last = traj["runs"][-1]
+assert last["loss"] == 0.1 and last["detect_latency"] > 0, last
+assert 0 < last["coverage_floor"] <= 1, last
+print(f"control-plane gate OK (0%: {r0['detections']} detections; "
+      f"10%: {r10['retries']} retries, floor {float(r10['coverage_floor']):.9f}, "
+      f"{len(cov)} coverage points)")
+PY
+
 echo "CI OK"

@@ -22,7 +22,8 @@
 
 use nwdp_bench::output::Table;
 use nwdp_bench::{
-    fig10, fig11, fig5, fig678, opttime, reload, report, selftest, throughput, warmstart, Scale,
+    cluster, fig10, fig11, fig5, fig678, opttime, reload, report, selftest, throughput, warmstart,
+    Scale,
 };
 use nwdp_core::obs;
 use std::path::PathBuf;
@@ -149,6 +150,7 @@ fn parse_args(args: &[String]) -> Cli {
             "resilience",
             "throughput",
             "reload",
+            "cluster",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -300,6 +302,30 @@ fn main() {
                     b.run.swaps(),
                     b.run.rejected(),
                     b.run.coverage_floor()
+                );
+            }
+            "cluster" => {
+                let b = cluster::run(scale);
+                emit(&cluster::table(&b), &cli.out, "cluster_convergence");
+                emit(&cluster::epochs_table(&b), &cli.out, "cluster_epochs");
+                let traj = std::path::Path::new("BENCH_cluster.json");
+                match cluster::append_trajectory(traj, &b) {
+                    Ok(seq) => println!("trajectory entry #{seq} appended to {}", traj.display()),
+                    Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                        eprintln!("repro: {e}");
+                    }
+                    Err(e) => {
+                        eprintln!("repro: failed to write {}: {e}", traj.display());
+                        exit(1);
+                    }
+                }
+                let p = &b.points[b.points.len() - 1];
+                println!(
+                    "cluster: loss {:.2} -> {} detections, final epoch {}, coverage floor {:.9}",
+                    p.loss,
+                    p.run.detections.len(),
+                    p.run.final_epoch,
+                    p.run.coverage_floor()
                 );
             }
             "opt-time" => {

@@ -30,7 +30,6 @@ use nwdp_engine::{
 use nwdp_hash::KeyedHasher;
 use nwdp_obs as obs;
 use nwdp_traffic::{generate_trace, SessionStream, TraceConfig};
-use std::collections::BTreeMap;
 use std::path::Path;
 use std::time::Instant;
 
@@ -194,55 +193,23 @@ pub fn table(r: &ThroughputRun) -> Table {
 /// copied to `<path>.bak` and an `InvalidData` error names both paths, so
 /// the caller can warn and skip the append.
 pub fn append_trajectory(path: &Path, r: &ThroughputRun) -> std::io::Result<usize> {
-    let mut runs: Vec<obs::Json> = match std::fs::read_to_string(path) {
-        Ok(text) => match obs::parse_json(&text) {
-            Ok(json) => match json.get("runs") {
-                Some(obs::Json::Arr(runs)) => runs.clone(),
-                _ => return preserve_corrupt(path, "no \"runs\" array"),
-            },
-            Err(e) => return preserve_corrupt(path, &format!("unparseable JSON: {e}")),
-        },
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
-        Err(e) => return Err(e),
-    };
-    let seq = runs.len() + 1;
-    let mut entry = BTreeMap::new();
-    let mut put = |k: &str, v: obs::Json| {
-        entry.insert(k.to_string(), v);
-    };
-    put("seq", obs::Json::Num(seq as f64));
-    put("quick", obs::Json::Bool(r.quick));
-    put("sessions", obs::Json::Num(r.sessions as f64));
-    put("shards", obs::Json::Num(r.shards as f64));
-    put("threads", obs::Json::Num(r.threads as f64));
-    put("wall_s", obs::Json::Num(r.wall_s));
-    put("sessions_per_sec", obs::Json::Num(r.sessions_per_sec));
-    put("packets_per_sec", obs::Json::Num(r.packets_per_sec));
-    put("p50_pkt_ns", obs::Json::Num(r.p50_pkt_ns));
-    put("p99_pkt_ns", obs::Json::Num(r.p99_pkt_ns));
-    put("batch_wall_s", obs::Json::Num(r.batch_wall_s));
-    put("speedup_vs_batch", obs::Json::Num(r.speedup_vs_batch));
-    put("total_packets", obs::Json::Num(r.total_packets as f64));
-    runs.push(obs::Json::Obj(entry));
-    let mut root = BTreeMap::new();
-    root.insert("version".to_string(), obs::Json::Num(1.0));
-    root.insert("runs".to_string(), obs::Json::Arr(runs));
-    std::fs::write(path, obs::Json::Obj(root).render() + "\n")?;
-    Ok(seq)
-}
-
-/// Copy an unparseable trajectory file aside and refuse the append.
-fn preserve_corrupt(path: &Path, why: &str) -> std::io::Result<usize> {
-    let bak = std::path::PathBuf::from(format!("{}.bak", path.display()));
-    std::fs::copy(path, &bak)?;
-    Err(std::io::Error::new(
-        std::io::ErrorKind::InvalidData,
-        format!(
-            "trajectory {} is corrupt ({why}); original preserved at {}, append skipped",
-            path.display(),
-            bak.display()
-        ),
-    ))
+    crate::output::append_trajectory(
+        path,
+        vec![
+            ("quick", obs::Json::Bool(r.quick)),
+            ("sessions", obs::Json::Num(r.sessions as f64)),
+            ("shards", obs::Json::Num(r.shards as f64)),
+            ("threads", obs::Json::Num(r.threads as f64)),
+            ("wall_s", obs::Json::Num(r.wall_s)),
+            ("sessions_per_sec", obs::Json::Num(r.sessions_per_sec)),
+            ("packets_per_sec", obs::Json::Num(r.packets_per_sec)),
+            ("p50_pkt_ns", obs::Json::Num(r.p50_pkt_ns)),
+            ("p99_pkt_ns", obs::Json::Num(r.p99_pkt_ns)),
+            ("batch_wall_s", obs::Json::Num(r.batch_wall_s)),
+            ("speedup_vs_batch", obs::Json::Num(r.speedup_vs_batch)),
+            ("total_packets", obs::Json::Num(r.total_packets as f64)),
+        ],
+    )
 }
 
 #[cfg(test)]

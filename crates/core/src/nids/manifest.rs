@@ -31,7 +31,7 @@ pub struct ManifestEntry {
 }
 
 /// The network-wide set of sampling manifests.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SamplingManifest {
     /// Entries grouped per node.
     per_node: Vec<Vec<ManifestEntry>>,
@@ -298,6 +298,27 @@ pub fn validate_manifests(
     redundancy: f64,
     ceiling: Option<&CapacityCeiling<'_>>,
 ) -> Result<(), ManifestValidationError> {
+    validate_manifests_excluding(dep, manifest, redundancy, ceiling, &[])
+}
+
+/// [`validate_manifests`] with an explicit allowance for *known* coverage
+/// gaps: unit indices in `skip_units` are exempt from the exact-coverage
+/// sweep (structural and capacity checks still apply everywhere).
+///
+/// This is the gate for post-repair manifests: `greedy_repair` /
+/// `lp_repair` report units whose only eligible observer failed as
+/// `unrecoverable` / `degraded_units` — those units legitimately have no
+/// coverage, and a gate that rejected the otherwise-sound repair for them
+/// would force the cluster to keep serving the *stale* manifest, which is
+/// strictly worse. Everything **not** listed is still held to exact
+/// coverage, so the allowance cannot mask an unrelated gap.
+pub fn validate_manifests_excluding(
+    dep: &NidsDeployment,
+    manifest: &SamplingManifest,
+    redundancy: f64,
+    ceiling: Option<&CapacityCeiling<'_>>,
+    skip_units: &[usize],
+) -> Result<(), ManifestValidationError> {
     use ManifestValidationError as E;
     if manifest.num_nodes() != dep.num_nodes {
         return Err(E::NodeCountMismatch {
@@ -347,6 +368,9 @@ pub fn validate_manifests(
     // 2. Exact per-unit coverage at the redundancy multiplicity.
     let want = (redundancy.round() as usize).max(1);
     for (u, unit) in dep.units.iter().enumerate() {
+        if skip_units.contains(&u) {
+            continue;
+        }
         let mut cuts: Vec<f64> = vec![0.0, 1.0];
         for &j in &unit.nodes {
             if let Some(ranges) = manifest.range(u, j) {
@@ -681,6 +705,39 @@ mod tests {
             validate_manifests(&d, &m, 1.0, Some(&ceiling)),
             Err(ManifestValidationError::CapacityExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn excluding_allows_only_the_listed_gap_units() {
+        // Unit 0 has a real gap: rejected plainly, accepted when unit 0 is
+        // declared unrecoverable — but only that unit is exempt.
+        let (d, m) = manifest_of(vec![RangeSet::interval(0.0, 0.4), RangeSet::interval(0.5, 1.0)]);
+        assert!(matches!(
+            validate_manifests(&d, &m, 1.0, None),
+            Err(ManifestValidationError::CoverageGap { unit: 0, .. })
+        ));
+        assert_eq!(validate_manifests_excluding(&d, &m, 1.0, None, &[0]), Ok(()));
+        // Exempting some other unit does not mask unit 0's gap.
+        assert!(matches!(
+            validate_manifests_excluding(&d, &m, 1.0, None, &[1]),
+            Err(ManifestValidationError::CoverageGap { unit: 0, .. })
+        ));
+        // Structural checks still apply to exempted units.
+        let mut entries: Vec<(NodeId, ManifestEntry)> =
+            (0..d.num_nodes).flat_map(|j| good_entries(&m, j)).collect();
+        entries[0].1.key = match entries[0].1.key {
+            UnitKey::Ingress(n) => UnitKey::Egress(n),
+            _ => UnitKey::Ingress(NodeId(0)),
+        };
+        let bad = SamplingManifest::from_entries(d.num_nodes, entries);
+        assert!(matches!(
+            validate_manifests_excluding(&d, &bad, 1.0, None, &[0]),
+            Err(ManifestValidationError::KeyMismatch { .. })
+        ));
+    }
+
+    fn good_entries(m: &SamplingManifest, j: usize) -> Vec<(NodeId, ManifestEntry)> {
+        m.node_entries(NodeId(j)).iter().cloned().map(|e| (NodeId(j), e)).collect()
     }
 
     #[test]

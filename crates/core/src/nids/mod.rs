@@ -10,8 +10,8 @@ pub use lp::{
     solve_nids_lp_warm, NidsAssignment, NidsError, NidsLpConfig, NodeCaps,
 };
 pub use manifest::{
-    generate_manifests, validate_manifests, CapacityCeiling, ManifestEntry,
-    ManifestValidationError, SamplingManifest,
+    generate_manifests, validate_manifests, validate_manifests_excluding, CapacityCeiling,
+    ManifestEntry, ManifestValidationError, SamplingManifest,
 };
 pub use manifest_io::{node_manifest_from_text, node_manifest_to_text, NodeManifest};
 pub use nwdp_lp::WarmStart;

@@ -22,12 +22,14 @@
 //! `nwdp-obs` when collection is enabled.
 
 pub mod degrade;
+pub mod faultplan;
 pub mod health;
 pub mod repair;
 pub mod scenario;
 
 pub use degrade::{distance_weighted_values, shed_overload, DegradeOutcome, ShedAction};
-pub use health::{FailureTimeline, HealthConfig};
+pub use faultplan::{FaultPlan, LinkFault, Partition};
+pub use health::{FailureTimeline, HealthConfig, HealthConfigError, HeartbeatMonitor};
 pub use repair::{greedy_repair, lp_repair, manifest_loads, LpRepair, RepairOutcome};
 pub use scenario::{FailureKind, FailureScenario, FailureSchedule};
 

@@ -1,0 +1,132 @@
+//! Deterministic virtual clock: a logical event queue on the
+//! replay-fraction timeline.
+//!
+//! No wall-clock anywhere — "time" is the replay fraction carried by each
+//! scheduled event, exactly like the PR 4 resilience clock. Ties are
+//! broken by insertion sequence, so two events at the same instant always
+//! pop in the order they were scheduled, which is what makes whole-run
+//! delivery schedules bit-identical across `NWDP_THREADS` (all
+//! scheduling happens serially in the driver; only actor *processing* of
+//! an already-ordered same-instant batch fans out).
+
+use super::{Addr, Msg};
+use nwdp_topo::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Everything that can fire on the virtual clock.
+#[derive(Debug, Clone)]
+pub enum Timer {
+    /// A transport-delayed message arrival.
+    Deliver { to: Addr, msg: Msg },
+    /// A node's next heartbeat emission.
+    NodeBeat { node: NodeId },
+    /// The controller's periodic heartbeat-monitor sweep.
+    HealthSweep,
+    /// Per-attempt manifest-push timeout: if `node` has not acked `epoch`
+    /// by the time this fires, the controller retries or gives up. Stale
+    /// checks (epoch moved on, node already acked/declared) are resolved
+    /// lazily at fire time, so no explicit cancellation is needed.
+    RetryCheck { node: NodeId, epoch: u64, attempt: u32 },
+    /// Deferred LP re-optimization after a greedy repair.
+    LpFollowup { after_epoch: u64 },
+    /// Ground-truth coverage sample point (plan boundaries).
+    Sample,
+}
+
+struct Scheduled {
+    at: f64,
+    seq: u64,
+    timer: Timer,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at.total_cmp(&other.at) == Ordering::Equal && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    // BinaryHeap is a max-heap: reverse so the earliest (then
+    // first-scheduled) event is the maximum.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.at.total_cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Seeded-order logical event queue.
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    pub fn push(&mut self, at: f64, timer: Timer) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, timer });
+    }
+
+    /// Time of the next event, if any.
+    pub fn peek_at(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    pub fn pop(&mut self) -> Option<(f64, Timer)> {
+        self.heap.pop().map(|s| (s.at, s.timer))
+    }
+
+    /// Pop every event scheduled at exactly the head instant (ties in
+    /// scheduling order): one same-instant batch for the driver.
+    pub fn pop_batch(&mut self) -> Option<(f64, Vec<Timer>)> {
+        let (at, first) = self.pop()?;
+        let mut batch = vec![first];
+        while self.peek_at().is_some_and(|next| next.total_cmp(&at) == Ordering::Equal) {
+            if let Some((_, timer)) = self.pop() {
+                batch.push(timer);
+            }
+        }
+        Some((at, batch))
+    }
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(0.5, Timer::HealthSweep);
+        q.push(0.2, Timer::NodeBeat { node: NodeId(1) });
+        q.push(0.2, Timer::NodeBeat { node: NodeId(0) });
+        let (at, batch) = q.pop_batch().unwrap();
+        assert_eq!(at, 0.2);
+        // Same instant, insertion order: node 1 was scheduled first.
+        match &batch[..] {
+            [Timer::NodeBeat { node: a }, Timer::NodeBeat { node: b }] => {
+                assert_eq!((*a, *b), (NodeId(1), NodeId(0)));
+            }
+            other => panic!("unexpected batch {other:?}"),
+        }
+        let (at, batch) = q.pop_batch().unwrap();
+        assert_eq!(at, 0.5);
+        assert_eq!(batch.len(), 1);
+        assert!(q.pop_batch().is_none());
+    }
+}

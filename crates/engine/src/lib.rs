@@ -17,6 +17,7 @@
 //! - [`netwide`]: edge-only vs coordinated network-wide runs (Figs 6–8).
 
 pub mod ac;
+pub mod cluster;
 pub mod conn;
 pub mod cost;
 pub mod engine;
@@ -26,6 +27,10 @@ pub mod reload;
 pub mod stream;
 
 pub use ac::AhoCorasick;
+pub use cluster::{
+    run_cluster, Addr, ClusterConfig, ClusterError, ClusterRun, Detection, DetectionCause,
+    EpochReport, Msg, NetStats, NodeActor,
+};
 pub use conn::{ConnRecord, ConnTable};
 pub use cost::{CostModel, Meter};
 pub use engine::{standalone_coordination, CoordContext, Engine, Placement, RunStats};

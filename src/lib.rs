@@ -55,8 +55,9 @@ pub use nwdp_traffic as traffic;
 /// The most common imports in one place.
 pub mod prelude {
     pub use nwdp_core::nids::{
-        edge_only_loads, generate_manifests, solve_nids_lp, validate_manifests, CapacityCeiling,
-        ManifestEntry, ManifestValidationError, NidsLpConfig, NodeCaps, SamplingManifest,
+        edge_only_loads, generate_manifests, solve_nids_lp, validate_manifests,
+        validate_manifests_excluding, CapacityCeiling, ManifestEntry, ManifestValidationError,
+        NidsLpConfig, NodeCaps, SamplingManifest,
     };
     pub use nwdp_core::nips::{
         round_best_of, solve_relaxation, NipsInstance, RoundError, RoundingOpts, Strategy,
@@ -65,17 +66,19 @@ pub mod prelude {
         covered_fraction, distance_weighted_values, greedy_repair, lp_repair,
         manifest_gap_fraction, manifest_loads, shed_overload, simulate_node_failure,
         DegradeOutcome, FailureKind, FailureReport, FailureScenario, FailureSchedule,
-        FailureTimeline, HealthConfig, RepairOutcome,
+        FailureTimeline, FaultPlan, HealthConfig, HealthConfigError, HeartbeatMonitor, LinkFault,
+        Partition, RepairOutcome,
     };
     pub use nwdp_core::{
         build_units, AnalysisClass, ClassScope, ClassSetError, NidsDeployment, UnitKey,
     };
     pub use nwdp_engine::{
-        plan_manifest_epochs, run_coordinated, run_coordinated_resilient, run_coordinated_stream,
-        run_coordinated_stream_reload, run_edge_only, run_edge_only_faulty,
-        run_standalone_reference, shard_of, stream_shards, CoordContext, Engine, EngineError,
-        ManifestEpoch, Placement, ReloadConfig, ReloadController, ReloadOutcome, ReloadRun,
-        ResilienceConfig, ResilientRun, Sabotage,
+        plan_manifest_epochs, run_cluster, run_coordinated, run_coordinated_resilient,
+        run_coordinated_stream, run_coordinated_stream_reload, run_edge_only, run_edge_only_faulty,
+        run_standalone_reference, shard_of, stream_shards, ClusterConfig, ClusterError, ClusterRun,
+        CoordContext, Detection, DetectionCause, Engine, EngineError, ManifestEpoch, NetStats,
+        Placement, ReloadConfig, ReloadController, ReloadOutcome, ReloadRun, ResilienceConfig,
+        ResilientRun, Sabotage,
     };
     pub use nwdp_hash::{FiveTuple, FlowKeyKind, KeyedHasher, RangeSet};
     pub use nwdp_lp::rowgen::RowGenOpts;

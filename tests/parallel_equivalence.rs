@@ -175,6 +175,35 @@ fn reload_with_every_swap_rejected_identical_to_stream() {
     }
 }
 
+/// The distributed control plane is a discrete-event replay: transport
+/// drops, delays, retry jitter, and repair decisions all draw from
+/// driver-serial RNG in event order, and same-instant node batches merge
+/// in node order — so a faulty, lossy, partitioned run is bit-identical
+/// (full `ClusterRun` equality, including the delivery-schedule
+/// fingerprint) at 1 and 4 threads (ISSUE 9).
+#[test]
+fn cluster_convergence_identical_across_thread_counts() {
+    let topo = nwdp::topo::internet2();
+    let paths = PathDb::shortest_paths(&topo);
+    let tm = TrafficMatrix::gravity(&topo);
+    let vol = VolumeModel::internet2_baseline();
+    let dep = build_units(&topo, &paths, &tm, &vol, &AnalysisClass::standard_set());
+    let cfg = NidsLpConfig::homogeneous(dep.num_nodes, NodeCaps { cpu: 2e8, mem: 4e9 });
+    let assignment = solve_nids_lp(&dep, &cfg).unwrap();
+    let manifest = generate_manifests(&dep, &assignment.d);
+
+    let mut plan = FaultPlan::lossy(0.1, 0.001, 0.004, 19);
+    plan.crashes.push((NodeId(3), 0.37));
+    plan.partitions.push(Partition { nodes: vec![NodeId(7)], from: 0.5, until: 0.75 });
+    let mut ccfg = ClusterConfig::default();
+    ccfg.health.miss_threshold = 4;
+
+    let (s, p) = both(|| run_cluster(&dep, &manifest, &cfg.caps, &plan, &ccfg).unwrap());
+    assert_eq!(s, p, "cluster run must not depend on thread count");
+    assert!(s.final_epoch >= 2, "the crash must force at least one repair epoch");
+    assert!(s.stats.delivered > 0 && s.stats.drops_loss > 0);
+}
+
 #[test]
 fn nips_rounding_identical_across_thread_counts() {
     let topo = nwdp::topo::internet2();

@@ -1,0 +1,115 @@
+//! Workspace property tests for the distributed control plane: over
+//! random topologies and random seeded fault plans, a cluster run must be
+//! bit-identical across thread counts, every manifest a node ever
+//! installs must have passed validation (modulo the declared-unrecoverable
+//! units), epoch fencing must hold on every node, and the message
+//! accounting must balance.
+
+use nwdp::core::parallel;
+use nwdp::prelude::*;
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+
+/// A random small topology: line, ring, or Waxman (connected by
+/// construction in `nwdp::topo`).
+fn arb_topology() -> impl proptest::strategy::Strategy<Value = Topology> {
+    (0usize..3, 4usize..9, 0u64..1000).prop_map(|(kind, n, seed)| match kind {
+        0 => nwdp::topo::line(n),
+        1 => nwdp::topo::ring(n),
+        _ => nwdp::topo::waxman("prop", n, 0.6, 0.5, seed),
+    })
+}
+
+fn deployment_for(topo: &Topology) -> (NidsDeployment, Vec<NodeCaps>, SamplingManifest) {
+    let paths = PathDb::shortest_paths(topo);
+    let tm = TrafficMatrix::uniform(topo);
+    let vol = VolumeModel::internet2_baseline();
+    let dep = build_units(topo, &paths, &tm, &vol, &AnalysisClass::standard_set());
+    let cfg = NidsLpConfig::homogeneous(dep.num_nodes, NodeCaps { cpu: 2e8, mem: 4e9 });
+    let assignment = solve_nids_lp(&dep, &cfg).expect("generous caps always solve");
+    let manifest = generate_manifests(&dep, &assignment.d);
+    (dep, cfg.caps, manifest)
+}
+
+/// A random fault plan over `n` nodes: background loss, at most one
+/// crash and at most one partition window, all derived from the seed.
+fn plan_for(n: usize, drop_p: f64, seed: u64) -> FaultPlan {
+    let mut plan = FaultPlan::lossy(drop_p, 0.001, 0.004, seed);
+    if seed.is_multiple_of(2) {
+        let victim = NodeId((seed as usize / 2) % n);
+        let at = 0.2 + 0.4 * ((seed % 7) as f64 / 7.0);
+        plan.crashes.push((victim, at));
+    }
+    if seed.is_multiple_of(3) {
+        let victim = NodeId((seed as usize / 3) % n);
+        plan.partitions.push(Partition { nodes: vec![victim], from: 0.45, until: 0.7 });
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cluster_runs_are_thread_invariant_fenced_and_validated(
+        case in (arb_topology(), 0.0f64..0.15, 0u64..10_000)
+    ) {
+        let (topo, drop_p, seed) = case;
+        let (dep, caps, manifest) = deployment_for(&topo);
+        let plan = plan_for(dep.num_nodes, drop_p, seed);
+        let mut cfg = ClusterConfig::default();
+        cfg.health.miss_threshold = 5;
+
+        let run = run_cluster(&dep, &manifest, &caps, &plan, &cfg).expect("valid config");
+
+        // Bit-identical at 1 and 4 threads: same stats, same detections,
+        // same epochs, same coverage samples, same delivery-schedule
+        // fingerprint.
+        let r1 = parallel::with_threads(1, || {
+            run_cluster(&dep, &manifest, &caps, &plan, &cfg).expect("valid config")
+        });
+        let r4 = parallel::with_threads(4, || {
+            run_cluster(&dep, &manifest, &caps, &plan, &cfg).expect("valid config")
+        });
+        prop_assert_eq!(&r1, &r4, "cluster run must not depend on thread count");
+        prop_assert_eq!(&r1, &run);
+
+        // Epoch fencing on every node: installed epochs strictly increase,
+        // and no node ever runs an epoch the controller never created.
+        for (j, installs) in run.node_installs.iter().enumerate() {
+            let mut prev = 0u64;
+            for &(at, epoch) in installs {
+                prop_assert!(epoch > prev, "node {} re-installed epoch {} at {}", j, epoch, at);
+                prop_assert!(epoch <= run.final_epoch);
+                prev = epoch;
+            }
+            prop_assert_eq!(run.node_epochs[j], if installs.is_empty() { 1 } else { prev });
+        }
+        let wire: u64 = run.node_stale_rejects.iter().sum();
+        prop_assert_eq!(wire, run.stats.stale_epoch_rejects);
+
+        // Every epoch the controller created passed validation with the
+        // then-unrecoverable units exempted. Re-check the final manifest
+        // externally: exempt only units all of whose homes were declared
+        // at some point (recovered nodes rejoin as spares, so their
+        // own-only units legitimately stay residual until a reload).
+        if run.final_epoch > 1 {
+            let ever: Vec<NodeId> = run.detections.iter().map(|d| d.node).collect();
+            let skip: Vec<usize> = (0..dep.units.len())
+                .filter(|&u| dep.units[u].nodes.iter().all(|j| ever.contains(j)))
+                .collect();
+            prop_assert!(validate_manifests_excluding(
+                &dep, &run.final_manifest, cfg.redundancy, None, &skip
+            ).is_ok(), "final epoch {} fails validation", run.final_epoch);
+        }
+
+        // Message accounting balances: everything sent was delivered,
+        // dropped by loss, or dropped by a cut link.
+        let s = &run.stats;
+        prop_assert_eq!(s.sends, s.delivered + s.drops_loss + s.drops_cut);
+        // Coverage samples are sane fractions and the floor is attained.
+        prop_assert!(run.coverage.iter().all(|&(_, c)| (0.0..=1.0 + 1e-9).contains(&c)));
+        let floor = run.coverage_floor();
+        prop_assert!(run.coverage.iter().any(|&(_, c)| (c - floor).abs() < 1e-12));
+    }
+}
