@@ -280,4 +280,103 @@ print(f"control-plane gate OK (0%: {r0['detections']} detections; "
       f"{len(cov)} coverage points)")
 PY
 
+# Production alert plane: detections must leave the engine only through
+# the structured alert pipeline (no direct stdout/stderr writes anywhere
+# in the data plane), `repro alerts` must produce sanitized JSONL + CEF
+# egress whose accounting balances exactly (emitted == written + deduped
+# + dropped_ratelimit, nothing silently lossy), the NWDP_ALERT env path
+# must install a working writer, and cluster alert forwarding at 10% loss
+# must balance sends == delivered + drops. Benches run from the temp dir
+# so trajectory entries land there.
+echo "== alert plane gate =="
+engine_print_hits="$(grep -rnE '(^|[^a-zA-Z_])(eprintln!|println!|print!)\(' crates/engine/src --include='*.rs' \
+  | grep -vE '^[^:]*:[0-9]+:[[:space:]]*(//|///|//!)' || true)"
+if [ -n "$engine_print_hits" ]; then
+  echo "found direct stdout/stderr writes in the engine (emit structured alerts/trace events):" >&2
+  echo "$engine_print_hits" >&2
+  exit 1
+fi
+NWDP_THREADS=1 cargo test -q --test proptest_alerts
+NWDP_THREADS=4 cargo test -q --test proptest_alerts
+alerts_out="$metrics_tmp/alerts"
+(cd "$metrics_tmp" && "$repo_root/target/release/repro" alerts --quick \
+  --out "$alerts_out" --metrics-out "$alerts_out/metrics.json" > /dev/null)
+python3 - "$alerts_out" <<'PY'
+import csv, json, os, sys
+out = sys.argv[1]
+
+# Summary CSV: the exact balance the pipeline promises.
+r = list(csv.DictReader(open(os.path.join(out, "alerts_summary.csv"))))[0]
+emitted, written = int(r["emitted"]), int(r["written"])
+deduped, dropped = int(r["deduped"]), int(r["dropped_rl"])
+assert emitted == written + deduped + dropped, r
+assert written > 0 and dropped > 0, r
+
+# JSONL egress: every line parses, full field set, count == written.
+lines = open(os.path.join(out, "alerts.jsonl")).read().splitlines()
+assert len(lines) == written, (len(lines), written)
+for n, line in enumerate(lines, 1):
+    rec = json.loads(line)
+    for k in ("ts", "node", "class", "kind", "subject", "severity",
+              "src_ip", "dst_ip", "src_port", "dst_port", "proto"):
+        assert k in rec, f"jsonl line {n} lacks {k}"
+
+# CEF egress: count == written, exactly 7 unescaped pipes per line.
+def unescaped_pipes(s):
+    n, i = 0, 0
+    while i < len(s):
+        if s[i] == "\\":
+            i += 2
+            continue
+        if s[i] == "|":
+            n += 1
+        i += 1
+    return n
+
+cef = open(os.path.join(out, "alerts.cef")).read().splitlines()
+assert len(cef) == written, (len(cef), written)
+for n, line in enumerate(cef, 1):
+    assert line.startswith("CEF:0|"), f"cef line {n}: {line[:40]!r}"
+    assert unescaped_pipes(line) == 7, \
+        f"cef line {n}: {unescaped_pipes(line)} unescaped pipes"
+
+# Mirrored obs counters and the emission-latency histogram agree.
+m = json.load(open(os.path.join(out, "metrics.json")))
+c = m["counters"]
+assert c.get("alert.emitted", 0) == emitted, c.get("alert.emitted")
+assert c["alert.emitted"] == c.get("alert.written", 0) + c.get("alert.deduped", 0) \
+    + c.get("alert.dropped_ratelimit", 0), c
+h = m["histograms"]["alert.emit_ns"]
+assert h["count"] >= emitted and h["sum"] > 0, h
+print(f"alert gate OK ({emitted} emitted = {written} written + {deduped} deduped "
+      f"+ {dropped} rate-limited)")
+PY
+# NWDP_ALERT env path: a streaming run must leave a valid JSONL egress.
+(cd "$metrics_tmp" && NWDP_ALERT="$metrics_tmp/env_alerts.jsonl" \
+  "$repo_root/target/release/repro" throughput --quick \
+  --out "$metrics_tmp/results" > /dev/null)
+python3 - "$metrics_tmp/env_alerts.jsonl" <<'PY'
+import json, sys
+lines = open(sys.argv[1]).read().splitlines()
+assert lines, "NWDP_ALERT egress is empty"
+for n, line in enumerate(lines, 1):
+    json.loads(line)
+print(f"NWDP_ALERT env path OK ({len(lines)} records)")
+PY
+# Cluster alert forwarding rides the lossy transport and balances.
+(cd "$metrics_tmp" && NWDP_NET_LOSS=0.1 NWDP_ALERT="$metrics_tmp/cluster_alerts.jsonl" \
+  "$repo_root/target/release/repro" cluster --quick \
+  --out "$alerts_out/cluster" --metrics-out "$alerts_out/cluster_metrics.json" > /dev/null)
+python3 - "$alerts_out/cluster_metrics.json" <<'PY'
+import json, sys
+c = json.load(open(sys.argv[1]))["counters"]
+sends = c.get("net.alert_sends", 0)
+assert sends > 0, "alert forwarding must run when the alert plane is on"
+assert sends == c.get("net.alert_delivered", 0) + c.get("net.alert_drops", 0), c
+assert c.get("net.alert_drops", 0) > 0, "10% loss must drop some alert reports"
+assert c.get("net.alerts_forwarded", 0) >= c.get("net.alert_delivered", 0), c
+print(f"cluster alert forwarding OK ({sends} sends = "
+      f"{c['net.alert_delivered']} delivered + {c['net.alert_drops']} dropped)")
+PY
+
 echo "CI OK"

@@ -22,8 +22,8 @@
 
 use nwdp_bench::output::Table;
 use nwdp_bench::{
-    cluster, fig10, fig11, fig5, fig678, opttime, reload, report, selftest, throughput, warmstart,
-    Scale,
+    alerts, cluster, fig10, fig11, fig5, fig678, opttime, reload, report, selftest, throughput,
+    warmstart, Scale,
 };
 use nwdp_core::obs;
 use std::path::PathBuf;
@@ -43,6 +43,10 @@ struct FlushGuard;
 
 impl Drop for FlushGuard {
     fn drop(&mut self) {
+        // Alerts first: flushing mirrors the final emitted/written/dropped
+        // deltas into the `alert.*` counters, which the metrics dump below
+        // must include.
+        let _ = obs::flush_alerts();
         let _ = obs::flush();
         obs::flush_trace();
     }
@@ -151,6 +155,7 @@ fn parse_args(args: &[String]) -> Cli {
             "throughput",
             "reload",
             "cluster",
+            "alerts",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -179,11 +184,17 @@ fn main() {
     // guard make both sinks survive a mid-run panic with valid (partial)
     // contents.
     let trace_path = obs::init_trace_from_env();
+    // Alert plane: NWDP_ALERT=FILE[:format] turns on structured detection
+    // egress; unset means the plane stays off and outputs bit-identical.
+    let alert_path = nwdp_core::alertcfg::init_alert_from_env();
     obs::install_panic_flush();
     let _flush_guard = FlushGuard;
     let metrics_on = obs::enabled();
     if let Some(p) = &trace_path {
         println!("repro: tracing to {}", p.display());
+    }
+    if let Some(p) = &alert_path {
+        println!("repro: alert egress to {}", p.display());
     }
     let root_span = obs::span!("repro");
     if metrics_on {
@@ -326,6 +337,33 @@ fn main() {
                     p.run.detections.len(),
                     p.run.final_epoch,
                     p.run.coverage_floor()
+                );
+            }
+            "alerts" => {
+                let b = alerts::run(scale, &cli.out);
+                emit(&alerts::table(&b), &cli.out, "alerts_summary");
+                emit(&alerts::class_table(&b), &cli.out, "alerts_by_class");
+                emit(&alerts::talkers_table(&b), &cli.out, "alerts_top_talkers");
+                let traj = std::path::Path::new("BENCH_alerts.json");
+                match alerts::append_trajectory(traj, &b) {
+                    Ok(seq) => println!("trajectory entry #{seq} appended to {}", traj.display()),
+                    Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                        eprintln!("repro: {e}");
+                    }
+                    Err(e) => {
+                        eprintln!("repro: failed to write {}: {e}", traj.display());
+                        exit(1);
+                    }
+                }
+                let s = &b.stats;
+                println!(
+                    "alerts: {} emitted = {} written + {} deduped + {} rate-limited ({} + {})",
+                    s.emitted,
+                    s.written,
+                    s.deduped,
+                    s.dropped_ratelimit,
+                    b.jsonl_path.display(),
+                    b.cef_path.display()
                 );
             }
             "opt-time" => {

@@ -114,6 +114,12 @@ pub fn run(scale: Scale) -> ClusterBench {
     cfg.health.miss_threshold = 4;
     cfg.retry_budget = retry_budget;
     cfg.backoff_base = backoff_base;
+    // Alert forwarding rides along only when the alert plane is on: the
+    // extra messages advance the transport RNG stream, so turning them on
+    // unconditionally would break bit-identity with earlier commits.
+    if obs::alert_enabled() {
+        cfg.alert_every = 2;
+    }
 
     // Metrics stay on for the runs (restored after): the `net.*` counters
     // and the `net.coverage` / `net.convergence` series are part of the
@@ -194,6 +200,14 @@ fn assert_acceptance(
     }
     let wire: u64 = run.node_stale_rejects.iter().sum();
     assert_eq!(wire, run.stats.stale_epoch_rejects, "loss {loss}: stale-reject accounting");
+
+    // Forwarded-alert accounting balances exactly (trivially zero when
+    // the alert plane — and with it `alert_every` — is off).
+    assert_eq!(
+        run.stats.alert_sends,
+        run.stats.alert_delivered + run.stats.alert_drops,
+        "loss {loss}: alert accounting must balance"
+    );
     for j in 0..run.node_epochs.len() {
         if !run.failed_final.contains(&NodeId(j)) {
             assert_eq!(

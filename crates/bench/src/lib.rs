@@ -4,6 +4,7 @@
 //! writes CSV + ASCII tables into `results/`. Criterion benches (under
 //! `benches/`) measure wall-clock for the key kernels.
 
+pub mod alerts;
 pub mod cluster;
 pub mod extensions;
 pub mod fig10;

@@ -309,6 +309,137 @@ pub fn warmstart_table(metrics: &Json) -> Table {
     t
 }
 
+fn hist_field(doc: &Json, hist: &str, field: &str) -> f64 {
+    doc.get(&format!("histograms/{hist}/{field}")).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+/// Control-plane message accounting (`net.*`, the PR 9 counters) from
+/// the metrics snapshot. `None` when the run held no cluster traffic.
+/// The drop balance is restated in the note column so an unbalanced
+/// snapshot is visible at a glance.
+pub fn cluster_table(metrics: &Json) -> Option<Table> {
+    let sends = counter(metrics, "net.sends");
+    if sends == 0 {
+        return None;
+    }
+    let delivered = counter(metrics, "net.delivered");
+    let loss = counter(metrics, "net.drops_loss");
+    let cut = counter(metrics, "net.drops_cut");
+    let mut t = Table::new("control plane (net.*)", &["metric", "value", "note"]);
+    let balance = if sends == delivered + loss + cut {
+        "balanced".to_string()
+    } else {
+        format!("UNBALANCED: {} delivered + {} dropped", delivered, loss + cut)
+    };
+    t.row(vec!["sends".into(), sends.to_string(), balance]);
+    t.row(vec!["delivered".into(), delivered.to_string(), String::new()]);
+    t.row(vec!["drops".into(), (loss + cut).to_string(), format!("{loss} loss, {cut} cut")]);
+    for name in ["retries", "timeouts", "heartbeats", "installs", "stale_epoch_rejects"] {
+        t.row(vec![
+            name.into(),
+            counter(metrics, &format!("net.{name}")).to_string(),
+            String::new(),
+        ]);
+    }
+    t.row(vec![
+        "recoveries".into(),
+        counter(metrics, "net.recoveries").to_string(),
+        format!(
+            "{} repairs, {} rejected, {} LP follow-ups",
+            counter(metrics, "net.repairs"),
+            counter(metrics, "net.repairs_rejected"),
+            counter(metrics, "net.lp_followups")
+        ),
+    ]);
+    let asends = counter(metrics, "net.alert_sends");
+    if asends > 0 {
+        let adel = counter(metrics, "net.alert_delivered");
+        let adrop = counter(metrics, "net.alert_drops");
+        let ab = if asends == adel + adrop {
+            "balanced".to_string()
+        } else {
+            format!("UNBALANCED: {adel} delivered + {adrop} dropped")
+        };
+        t.row(vec!["alert_sends".into(), asends.to_string(), ab]);
+        t.row(vec![
+            "alerts_forwarded".into(),
+            counter(metrics, "net.alerts_forwarded").to_string(),
+            format!("over {adel} delivered reports"),
+        ]);
+    }
+    Some(t)
+}
+
+/// Hot-reload accounting (`reload.*`, the PR 8 counters) from the
+/// metrics snapshot. `None` when the run never re-solved a manifest.
+pub fn reload_table(metrics: &Json) -> Option<Table> {
+    let resolves = counter(metrics, "reload.resolves");
+    if resolves == 0 {
+        return None;
+    }
+    let swaps = counter(metrics, "reload.swaps");
+    let rejected = counter(metrics, "reload.rejected");
+    let failed = counter(metrics, "reload.solve_failed");
+    let us = counter(metrics, "reload.resolve_us");
+    let mut t = Table::new("live reconfiguration (reload.*)", &["metric", "value", "note"]);
+    t.row(vec![
+        "resolves".into(),
+        resolves.to_string(),
+        format!("{:.1} ms avg", us as f64 / 1e3 / resolves as f64),
+    ]);
+    t.row(vec!["swaps".into(), swaps.to_string(), String::new()]);
+    t.row(vec!["rejected".into(), rejected.to_string(), "failed validation, kept serving".into()]);
+    t.row(vec!["solve_failed".into(), failed.to_string(), String::new()]);
+    Some(t)
+}
+
+/// Alert-plane accounting (`alert.*`, mirrored from the pipeline) from
+/// the metrics snapshot. `None` when no structured alert was emitted.
+pub fn alerts_table(metrics: &Json) -> Option<Table> {
+    let emitted = counter(metrics, "alert.emitted");
+    if emitted == 0 {
+        return None;
+    }
+    let written = counter(metrics, "alert.written");
+    let deduped = counter(metrics, "alert.deduped");
+    let dropped = counter(metrics, "alert.dropped_ratelimit");
+    let mut t = Table::new("alert plane (alert.*)", &["metric", "value", "note"]);
+    let balance = if emitted == written + deduped + dropped {
+        "balanced".to_string()
+    } else {
+        format!("UNBALANCED: {written} written + {deduped} deduped + {dropped} dropped")
+    };
+    t.row(vec!["emitted".into(), emitted.to_string(), balance]);
+    t.row(vec!["written".into(), written.to_string(), String::new()]);
+    t.row(vec!["deduped".into(), deduped.to_string(), "suppression window".into()]);
+    t.row(vec!["dropped_ratelimit".into(), dropped.to_string(), "token bucket".into()]);
+    Some(t)
+}
+
+/// Emission-path latency from the `alert.emit_ns` histogram: the
+/// count/sum pair gives the mean, the exported quantiles the tail.
+/// `None` when the histogram never observed an emission.
+pub fn alert_latency_table(metrics: &Json) -> Option<Table> {
+    let count = hist_field(metrics, "alert.emit_ns", "count");
+    if count <= 0.0 {
+        return None;
+    }
+    let sum = hist_field(metrics, "alert.emit_ns", "sum");
+    let mut t = Table::new(
+        "alert emission latency (alert.emit_ns)",
+        &["emits", "mean_ns", "p50_ns", "p95_ns", "p99_ns", "total_ms"],
+    );
+    t.row(vec![
+        format!("{count:.0}"),
+        format!("{:.0}", sum / count),
+        format!("{:.0}", hist_field(metrics, "alert.emit_ns", "p50")),
+        format!("{:.0}", hist_field(metrics, "alert.emit_ns", "p95")),
+        format!("{:.0}", hist_field(metrics, "alert.emit_ns", "p99")),
+        format!("{:.3}", sum / 1e6),
+    ]);
+    Some(t)
+}
+
 /// Render the span forest as a Chrome-trace / Perfetto document
 /// (`chrome://tracing` "JSON array" format; durations in microseconds).
 pub fn chrome_trace(j: &Journal) -> String {
@@ -361,6 +492,13 @@ pub fn run(
             .map_err(|e| format!("cannot read metrics {}: {e}", mpath.display()))?;
         let doc = parse_json(&mtext).map_err(|e| format!("bad metrics JSON: {e}"))?;
         println!("{}", warmstart_table(&doc).ascii());
+        for t in [reload_table(&doc), cluster_table(&doc), alerts_table(&doc)].into_iter().flatten()
+        {
+            println!("{}", t.ascii());
+        }
+        if let Some(t) = alert_latency_table(&doc) {
+            println!("{}", t.ascii());
+        }
     }
     if let Some(cpath) = chrome_out {
         std::fs::write(cpath, chrome_trace(&j))
@@ -510,6 +648,68 @@ mod tests {
         assert_eq!(t.rows[0][5], "60.0%");
         // A journal without streaming runs yields no table.
         assert!(stream_shard_table(&parse_journal(synthetic())).is_none());
+    }
+
+    #[test]
+    fn cluster_table_balances_and_surfaces_alert_forwarding() {
+        let doc = parse_json(
+            "{\"counters\":{\"net.sends\":100,\"net.delivered\":90,\"net.drops_loss\":7,\
+             \"net.drops_cut\":3,\"net.retries\":5,\"net.heartbeats\":60,\"net.installs\":8,\
+             \"net.alert_sends\":20,\"net.alert_delivered\":18,\"net.alert_drops\":2,\
+             \"net.alerts_forwarded\":37}}",
+        )
+        .unwrap();
+        let t = cluster_table(&doc).expect("sends > 0 yields a table");
+        assert_eq!(t.rows[0][2], "balanced");
+        let alert_row = t.rows.iter().find(|r| r[0] == "alert_sends").unwrap();
+        assert_eq!(alert_row[1], "20");
+        assert_eq!(alert_row[2], "balanced");
+        assert!(t.rows.iter().any(|r| r[0] == "alerts_forwarded" && r[1] == "37"));
+
+        // An unbalanced snapshot says so instead of hiding it.
+        let bad = parse_json("{\"counters\":{\"net.sends\":10,\"net.delivered\":7}}").unwrap();
+        let t = cluster_table(&bad).unwrap();
+        assert!(t.rows[0][2].starts_with("UNBALANCED"), "note: {}", t.rows[0][2]);
+        // No cluster traffic → no table.
+        assert!(cluster_table(&parse_json("{}").unwrap()).is_none());
+    }
+
+    #[test]
+    fn reload_table_reports_resolve_attribution() {
+        let doc = parse_json(
+            "{\"counters\":{\"reload.resolves\":4,\"reload.swaps\":3,\"reload.rejected\":1,\
+             \"reload.solve_failed\":0,\"reload.resolve_us\":8000}}",
+        )
+        .unwrap();
+        let t = reload_table(&doc).expect("resolves > 0 yields a table");
+        assert_eq!(t.rows[0][1], "4");
+        assert_eq!(t.rows[0][2], "2.0 ms avg");
+        assert!(t.rows.iter().any(|r| r[0] == "swaps" && r[1] == "3"));
+        assert!(reload_table(&parse_json("{}").unwrap()).is_none());
+    }
+
+    #[test]
+    fn alerts_tables_consume_counters_and_histogram_count_sum() {
+        let doc = parse_json(
+            "{\"counters\":{\"alert.emitted\":100,\"alert.written\":70,\"alert.deduped\":20,\
+             \"alert.dropped_ratelimit\":10},\
+             \"histograms\":{\"alert.emit_ns\":{\"count\":100,\"sum\":25000,\
+             \"p50\":200,\"p95\":450,\"p99\":700}}}",
+        )
+        .unwrap();
+        let t = alerts_table(&doc).expect("emitted > 0 yields a table");
+        assert_eq!(t.rows[0][2], "balanced");
+        assert!(t.rows.iter().any(|r| r[0] == "dropped_ratelimit" && r[1] == "10"));
+        let lat = alert_latency_table(&doc).expect("histogram observed emissions");
+        // mean = sum/count: the count/sum pair json.rs exports.
+        assert_eq!(lat.rows[0][1], "250");
+        assert_eq!(lat.rows[0][3], "450");
+        assert_eq!(lat.rows[0][5], "0.025");
+
+        let bad = parse_json("{\"counters\":{\"alert.emitted\":5,\"alert.written\":4}}").unwrap();
+        assert!(alerts_table(&bad).unwrap().rows[0][2].starts_with("UNBALANCED"));
+        assert!(alerts_table(&parse_json("{}").unwrap()).is_none());
+        assert!(alert_latency_table(&parse_json("{}").unwrap()).is_none());
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //!   (greedy fast path + warm-started LP slow path), and graceful
 //!   degradation under overload.
 
+pub mod alertcfg;
 pub mod class;
 pub mod migration;
 pub mod nids;

@@ -339,6 +339,11 @@ impl<'a> Controller<'a> {
                     self.note_ack(from, pushed, now);
                 }
             }
+            Msg::AlertReport { count, .. } => {
+                // Forwarded alert volume. Deliberately not a liveness
+                // proof — detection stays a heartbeat-only contract.
+                stats.alerts_forwarded += count;
+            }
             Msg::ManifestPush { .. } => {} // never addressed to us
         }
     }

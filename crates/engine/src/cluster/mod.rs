@@ -68,6 +68,11 @@ pub enum Msg {
     /// Node → controller: fenced off a stale push; `current` is what the
     /// node actually runs.
     StaleReject { from: NodeId, pushed: u64, current: u64 },
+    /// Node → controller: batched alert forwarding — `count` alerts
+    /// detected locally since the previous report. Rides the same lossy
+    /// transport as everything else, so the fault plans exercise alert
+    /// loss; sends/delivered/drops are balance-checked like heartbeats.
+    AlertReport { from: NodeId, seq: u64, count: u64 },
 }
 
 /// Mailbox addresses.
@@ -110,6 +115,17 @@ pub struct NetStats {
     pub lp_followups: u64,
     /// LP follow-ups that failed to solve.
     pub lp_failures: u64,
+    /// Alert-report messages handed to the transport.
+    pub alert_sends: u64,
+    /// Alert-report messages delivered to the controller.
+    pub alert_delivered: u64,
+    /// Alert-report messages lost (link loss, or a severed path at send
+    /// or delivery time). Invariant: `alert_sends == alert_delivered +
+    /// alert_drops`.
+    pub alert_drops: u64,
+    /// Sum of the `count` fields of delivered alert reports — alerts the
+    /// controller actually learned about.
+    pub alerts_forwarded: u64,
 }
 
 /// Why the controller declared a node failed.
@@ -169,6 +185,12 @@ pub struct ClusterConfig {
     /// Schedule an LP re-optimization one heartbeat after each greedy
     /// repair.
     pub lp_followup: bool,
+    /// Forward an [`Msg::AlertReport`] every this-many heartbeats per
+    /// node; 0 (the default) disables forwarding. Off by default because
+    /// extra messages advance the transport's RNG stream — enabling this
+    /// legitimately changes the delivery schedule, so it is only switched
+    /// on when the alert plane is (`NWDP_ALERT` set) or by tests.
+    pub alert_every: u64,
 }
 
 impl Default for ClusterConfig {
@@ -182,6 +204,7 @@ impl Default for ClusterConfig {
             max_load: None,
             horizon: 1.0,
             lp_followup: false,
+            alert_every: 0,
         }
     }
 }
@@ -285,6 +308,9 @@ fn fingerprint_msg(h: u64, at: f64, to: &Addr, msg: &Msg) -> u64 {
         Msg::InstallAck { from, epoch } => fnv(fnv(fnv(h, 3), from.index() as u64), *epoch),
         Msg::StaleReject { from, pushed, current } => {
             fnv(fnv(fnv(fnv(h, 4), from.index() as u64), *pushed), *current)
+        }
+        Msg::AlertReport { from, seq, count } => {
+            fnv(fnv(fnv(fnv(h, 5), from.index() as u64), *seq), *count)
         }
     }
 }
@@ -398,14 +424,22 @@ pub fn run_cluster(
                     q.push(t + i, Timer::NodeBeat { node });
                 }
                 Timer::Deliver { to: Addr::Controller, msg } => {
-                    if let Msg::Heartbeat { from, .. } = &msg {
+                    // Delivery-time severance: a beat or alert report in
+                    // flight when its origin was cut must not land.
+                    if let Msg::Heartbeat { from, .. } | Msg::AlertReport { from, .. } = &msg {
                         if tx.cut(*from, t) {
                             stats.drops_cut += 1;
+                            if matches!(msg, Msg::AlertReport { .. }) {
+                                stats.alert_drops += 1;
+                            }
                             continue;
                         }
                     }
                     fingerprint = fingerprint_msg(fingerprint, t, &Addr::Controller, &msg);
                     stats.delivered += 1;
+                    if matches!(msg, Msg::AlertReport { .. }) {
+                        stats.alert_delivered += 1;
+                    }
                     ctl_events.push(Timer::Deliver { to: Addr::Controller, msg });
                 }
                 other => ctl_events.push(other),
@@ -418,6 +452,7 @@ pub fn run_cluster(
         if !active.is_empty() {
             let work = &node_work;
             let cells = &nodes;
+            let alert_every = cfg.alert_every;
             let replies: Vec<(usize, Vec<Msg>, NetStats, bool)> =
                 parallel::par_map_n(active.len(), |k| {
                     let j = active[k];
@@ -434,7 +469,12 @@ pub fn run_cluster(
                                 }
                                 installed |= local.installs > before;
                             }
-                            NodeWork::Beat => out.push(actor.beat()),
+                            NodeWork::Beat => {
+                                out.push(actor.beat());
+                                if alert_every > 0 && actor.beat_seq.is_multiple_of(alert_every) {
+                                    out.push(actor.alert_report());
+                                }
+                            }
                         }
                     }
                     (j, out, local, installed)
@@ -445,12 +485,26 @@ pub fn run_cluster(
                 stats.stale_epoch_rejects += local.stale_epoch_rejects;
                 resample |= installed;
                 for msg in out {
+                    let is_alert = matches!(msg, Msg::AlertReport { .. });
+                    if is_alert {
+                        stats.alert_sends += 1;
+                    }
                     match tx.send(NodeId(j), t) {
                         SendOutcome::Delivered { at } => {
                             q.push(at, Timer::Deliver { to: Addr::Controller, msg });
                         }
-                        SendOutcome::DroppedLoss => stats.drops_loss += 1,
-                        SendOutcome::DroppedCut => stats.drops_cut += 1,
+                        SendOutcome::DroppedLoss => {
+                            stats.drops_loss += 1;
+                            if is_alert {
+                                stats.alert_drops += 1;
+                            }
+                        }
+                        SendOutcome::DroppedCut => {
+                            stats.drops_cut += 1;
+                            if is_alert {
+                                stats.alert_drops += 1;
+                            }
+                        }
                     }
                 }
             }
@@ -524,6 +578,15 @@ fn export_metrics(run: &ClusterRun) {
     s.counter("repairs").add(run.stats.repairs);
     s.counter("repairs_rejected").add(run.stats.repairs_rejected);
     s.counter("lp_followups").add(run.stats.lp_followups);
+    // Alert forwarding is opt-in (`ClusterConfig::alert_every`); only
+    // export its counters when it actually ran, so the metrics document
+    // is unchanged for runs with forwarding off.
+    if run.stats.alert_sends > 0 {
+        s.counter("alert_sends").add(run.stats.alert_sends);
+        s.counter("alert_delivered").add(run.stats.alert_delivered);
+        s.counter("alert_drops").add(run.stats.alert_drops);
+        s.counter("alerts_forwarded").add(run.stats.alerts_forwarded);
+    }
     s.gauge("final_epoch").set(run.final_epoch as f64);
     for r in &run.epochs {
         if let Some(latency) = r.convergence_latency() {

@@ -27,6 +27,8 @@ pub struct NodeActor {
     pub manifest: Arc<SamplingManifest>,
     /// Heartbeat sequence counter.
     pub beat_seq: u64,
+    /// Alert-report sequence counter.
+    pub alert_seq: u64,
     /// Stale pushes this node fenced off.
     pub stale_epoch_rejects: u64,
     /// Install log: `(at, epoch)` in arrival order.
@@ -43,6 +45,7 @@ impl NodeActor {
             epoch: 1,
             manifest,
             beat_seq: 0,
+            alert_seq: 0,
             stale_epoch_rejects: 0,
             installs: Vec::new(),
         }
@@ -71,7 +74,10 @@ impl NodeActor {
             }
             // Control messages addressed to the controller never reach a
             // node; ignore defensively.
-            Msg::Heartbeat { .. } | Msg::InstallAck { .. } | Msg::StaleReject { .. } => None,
+            Msg::Heartbeat { .. }
+            | Msg::InstallAck { .. }
+            | Msg::StaleReject { .. }
+            | Msg::AlertReport { .. } => None,
         }
     }
 
@@ -79,6 +85,15 @@ impl NodeActor {
     pub fn beat(&mut self) -> Msg {
         self.beat_seq += 1;
         Msg::Heartbeat { from: self.id, seq: self.beat_seq }
+    }
+
+    /// Emit the next batched alert report. The cluster simulation has no
+    /// data plane, so `count` is a deterministic stand-in for "alerts
+    /// detected since the last report" (`1 + seq mod 3`) — enough to make
+    /// the forwarded-alert accounting non-trivial under loss.
+    pub fn alert_report(&mut self) -> Msg {
+        self.alert_seq += 1;
+        Msg::AlertReport { from: self.id, seq: self.alert_seq, count: 1 + self.alert_seq % 3 }
     }
 }
 

@@ -155,6 +155,12 @@ pub struct Engine<'a> {
     fault_buf: Vec<Packet<'static>>,
     /// Connections counted in shard engines merged into this one.
     absorbed_conns: usize,
+    /// Highest session id fed to this engine; maintained only while the
+    /// alert plane is on, and used to give merge-time re-detections in
+    /// [`Engine::absorb_shard`] a deterministic replay-clock label
+    /// (thread-local context would otherwise leak whatever the merging
+    /// thread last processed — a thread-count-dependent timestamp).
+    last_sid: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -198,6 +204,7 @@ impl<'a> Engine<'a> {
             pkt_buf: Vec::new(),
             fault_buf: Vec::new(),
             absorbed_conns: 0,
+            last_sid: 0,
         })
     }
 
@@ -235,6 +242,10 @@ impl<'a> Engine<'a> {
     /// Feed one session's packets through the engine. Packets are
     /// synthesized into a reusable buffer — no per-session allocation.
     pub fn process_session(&mut self, session: &Session) {
+        if nwdp_obs::alert_enabled() {
+            nwdp_obs::set_alert_context(self.node.0 as u64, session.id);
+            self.last_sid = self.last_sid.max(session.id);
+        }
         let mut buf = std::mem::take(&mut self.pkt_buf);
         session.packets_into(&mut buf);
         for pkt in &buf {
@@ -251,6 +262,10 @@ impl<'a> Engine<'a> {
         session: &Session,
         faults: &nwdp_traffic::FaultInjector,
     ) {
+        if nwdp_obs::alert_enabled() {
+            nwdp_obs::set_alert_context(self.node.0 as u64, session.id);
+            self.last_sid = self.last_sid.max(session.id);
+        }
         let mut raw = std::mem::take(&mut self.pkt_buf);
         let mut shaped = std::mem::take(&mut self.fault_buf);
         session.packets_into(&mut raw);
@@ -523,6 +538,16 @@ impl<'a> Engine<'a> {
         );
         assert_eq!(self.node, other.node, "shards must belong to one node");
         assert_eq!(self.modules.len(), other.modules.len(), "shards must run the same modules");
+        if nwdp_obs::alert_enabled() {
+            // Merge re-detections (a threshold only the combined shard
+            // counts cross) emit below via `Analyzer::absorb`. Pin their
+            // context to this node and the last session either shard
+            // processed — the moment the detection became knowable —
+            // instead of whatever the merging thread's thread-local
+            // context happens to hold.
+            self.last_sid = self.last_sid.max(other.last_sid);
+            nwdp_obs::set_alert_context(self.node.0 as u64, self.last_sid);
+        }
         self.packets += other.packets;
         self.fastpath_skipped += other.fastpath_skipped;
         self.range_checks += other.range_checks;

@@ -114,6 +114,36 @@ fn conn_subject(conn: &ConnRecord) -> u64 {
         | conn.orig.dst_port as u64
 }
 
+/// CEF-convention severity (1 informational ..= 10 critical) for each
+/// detection kind the modules can fire.
+pub fn severity_for(kind: &str) -> u8 {
+    match kind {
+        "blaster_worm" => 9,
+        "syn_flood" => 8,
+        "signature_match" => 7,
+        "address_scan" => 5,
+        "login_attempt" | "ftp_anonymous_login" => 4,
+        "irc_join" | "tftp_rrq" => 3,
+        "http_request" | "smtp_sender" | "ssh_session" => 2,
+        _ => 1,
+    }
+}
+
+/// Forward one *new* detection to the structured alert plane. No-op (one
+/// relaxed atomic load) when `NWDP_ALERT` is off, so outputs stay
+/// bit-identical. The module's `BTreeSet<Alert>` and all counters are
+/// unchanged — the plane is an additional egress, not a replacement.
+/// Merge re-detections (shard `absorb`) have no triggering connection and
+/// pass `None`.
+fn emit_structured(module: &str, kind: &str, subject: u64, conn: Option<&ConnRecord>) {
+    if !nwdp_obs::alert_enabled() {
+        return;
+    }
+    let tuple = conn
+        .map(|c| (c.orig.src_ip, c.orig.dst_ip, c.orig.src_port, c.orig.dst_port, c.orig.proto));
+    nwdp_obs::emit_alert(module, kind, subject, severity_for(kind), tuple);
+}
+
 // ---------------------------------------------------------------- Baseline
 
 /// Connection accounting: the work every Bro instance does for every
@@ -238,12 +268,14 @@ impl Analyzer for Scan {
         if set.insert(conn.orig.dst_ip) {
             meter.alloc(8);
         }
-        if set.len() == self.threshold {
-            self.alerts.insert(Alert {
-                module: self.class_name().to_string(),
+        if set.len() == self.threshold
+            && self.alerts.insert(Alert {
+                module: "Scan".to_string(),
                 kind: "address_scan",
                 subject: src as u64,
-            });
+            })
+        {
+            emit_structured("Scan", "address_scan", src as u64, Some(conn));
         }
     }
     fn alerts(&self) -> &BTreeSet<Alert> {
@@ -267,12 +299,14 @@ impl Analyzer for Scan {
                             refund += 8; // destination seen by both shards
                         }
                     }
-                    if set.len() >= threshold {
-                        self.alerts.insert(Alert {
+                    if set.len() >= threshold
+                        && self.alerts.insert(Alert {
                             module: "Scan".to_string(),
                             kind: "address_scan",
                             subject: src as u64,
-                        });
+                        })
+                    {
+                        emit_structured("Scan", "address_scan", src as u64, None);
                     }
                 }
                 std::collections::hash_map::Entry::Vacant(v) => {
@@ -477,6 +511,7 @@ impl Analyzer for AppAnalyzer {
                     kind: self.alert_kind,
                     subject: subj,
                 });
+                emit_structured(&self.name, self.alert_kind, subj, Some(conn));
             }
         }
     }
@@ -550,12 +585,14 @@ impl Analyzer for Blaster {
             return;
         }
         meter.cpu(pkt.payload.len() as u64 * costs.sig_per_byte);
-        if self.ac.is_match(pkt.payload) {
-            self.alerts.insert(Alert {
-                module: self.class_name().to_string(),
+        if self.ac.is_match(pkt.payload)
+            && self.alerts.insert(Alert {
+                module: "Blaster".to_string(),
                 kind: "blaster_worm",
                 subject: conn.orig.src_ip as u64,
-            });
+            })
+        {
+            emit_structured("Blaster", "blaster_worm", conn.orig.src_ip as u64, Some(conn));
         }
     }
     fn alerts(&self) -> &BTreeSet<Alert> {
@@ -639,12 +676,14 @@ impl Analyzer for Signature {
         let state = self.stream_state.get(&key).copied().unwrap_or(0);
         let (next, matched) = self.ac.scan_stream(state, pkt.payload);
         self.stream_state.insert(key, next);
-        if matched {
-            self.alerts.insert(Alert {
-                module: self.class_name().to_string(),
+        if matched
+            && self.alerts.insert(Alert {
+                module: "Signature".to_string(),
                 kind: "signature_match",
                 subject: conn_subject(conn),
-            });
+            })
+        {
+            emit_structured("Signature", "signature_match", conn_subject(conn), Some(conn));
         }
     }
     fn alerts(&self) -> &BTreeSet<Alert> {
@@ -709,12 +748,14 @@ impl Analyzer for SynFlood {
             0
         });
         *c += 1;
-        if *c == self.threshold {
-            self.alerts.insert(Alert {
-                module: self.class_name().to_string(),
+        if *c == self.threshold
+            && self.alerts.insert(Alert {
+                module: "SYNFlood".to_string(),
                 kind: "syn_flood",
                 subject: conn.orig.dst_ip as u64,
-            });
+            })
+        {
+            emit_structured("SYNFlood", "syn_flood", conn.orig.dst_ip as u64, Some(conn));
         }
     }
     fn alerts(&self) -> &BTreeSet<Alert> {
@@ -733,12 +774,14 @@ impl Analyzer for SynFlood {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
                     refund += 48; // both shards allocated this victim's counter
                     *e.get_mut() += c;
-                    if *e.get() >= threshold {
-                        self.alerts.insert(Alert {
+                    if *e.get() >= threshold
+                        && self.alerts.insert(Alert {
                             module: "SYNFlood".to_string(),
                             kind: "syn_flood",
                             subject: dst as u64,
-                        });
+                        })
+                    {
+                        emit_structured("SYNFlood", "syn_flood", dst as u64, None);
                     }
                 }
                 std::collections::hash_map::Entry::Vacant(v) => {

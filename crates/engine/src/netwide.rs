@@ -156,6 +156,9 @@ pub fn run_edge_only_faulty(
     replay_nodes("edge_only_faulty", dep.num_nodes, |node| {
         let mut engine = Engine::new(node, Placement::Unmodified, &names, None, hasher)?;
         for s in trace.edge_sessions(node) {
+            if obs::alert_enabled() {
+                obs::set_alert_context(node.0 as u64, s.id);
+            }
             let now = s.id as f64 / n_total;
             for pkt in faults.apply_at(s, s.packets(), node, now) {
                 engine.process_packet(&pkt);

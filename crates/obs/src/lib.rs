@@ -27,12 +27,19 @@
 //! `_ns` for nanoseconds, `_bytes` for sizes; bare names are event
 //! counts or pure ratios.
 
+mod alert;
 mod json;
 mod metrics;
 mod registry;
 mod series;
 mod trace;
 
+pub use alert::{
+    add_alert_writer, alert_class_stats, alert_enabled, alert_stats, alert_top_talkers,
+    cef_unescape, clear_alert_writers, emit_alert, emit_latency_bounds, encode_cef, encode_jsonl,
+    flush_alerts, reset_alerts, set_alert_clock_scale, set_alert_config, set_alert_context,
+    set_alert_enabled, split_cef, AlertConfig, AlertFormat, AlertRecord, AlertStats,
+};
 pub use json::{parse as parse_json, snapshot_to_json, Json};
 pub use metrics::{Counter, Gauge, Histogram, Timer};
 pub use registry::{
@@ -157,6 +164,9 @@ pub fn install_panic_flush() {
     INSTALL.call_once(|| {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
+            // Alerts before metrics: flushing mirrors the final alert
+            // deltas into the `alert.*` counters the metrics dump reads.
+            let _ = flush_alerts();
             let _ = flush();
             flush_trace();
             prev(info);

@@ -111,5 +111,41 @@ proptest! {
         prop_assert!(run.coverage.iter().all(|&(_, c)| (0.0..=1.0 + 1e-9).contains(&c)));
         let floor = run.coverage_floor();
         prop_assert!(run.coverage.iter().any(|&(_, c)| (c - floor).abs() < 1e-12));
+
+        // Alert forwarding is off by default: its accounting stays zero.
+        prop_assert_eq!((s.alert_sends, s.alert_delivered, s.alert_drops), (0, 0, 0));
+    }
+
+    /// With alert forwarding enabled, alert-report messages ride the same
+    /// lossy transport and their accounting balances exactly — sends ==
+    /// delivered + drops — while staying thread-invariant.
+    #[test]
+    fn alert_forwarding_balances_under_loss(
+        case in (arb_topology(), 1u64..4, 0u64..10_000)
+    ) {
+        let (topo, alert_every, seed) = case;
+        let (dep, caps, manifest) = deployment_for(&topo);
+        let plan = plan_for(dep.num_nodes, 0.1, seed);
+        let mut cfg = ClusterConfig::default();
+        cfg.health.miss_threshold = 5;
+        cfg.alert_every = alert_every;
+
+        let run = run_cluster(&dep, &manifest, &caps, &plan, &cfg).expect("valid config");
+        let s = &run.stats;
+        prop_assert!(s.alert_sends > 0, "forwarding on must produce reports");
+        prop_assert_eq!(s.alert_sends, s.alert_delivered + s.alert_drops,
+            "alert accounting must balance: {:?}", s);
+        prop_assert_eq!(s.sends, s.delivered + s.drops_loss + s.drops_cut);
+        prop_assert!(s.alerts_forwarded >= s.alert_delivered,
+            "every delivered report carries at least one alert");
+
+        let r1 = parallel::with_threads(1, || {
+            run_cluster(&dep, &manifest, &caps, &plan, &cfg).expect("valid config")
+        });
+        let r4 = parallel::with_threads(4, || {
+            run_cluster(&dep, &manifest, &caps, &plan, &cfg).expect("valid config")
+        });
+        prop_assert_eq!(&r1, &r4, "alert forwarding must stay thread-invariant");
+        prop_assert_eq!(&r1, &run);
     }
 }
